@@ -1,0 +1,29 @@
+"""pytest-benchmark configuration for the figure-reproduction harness.
+
+Each benchmark regenerates one figure of the paper on the simulated
+machines and prints the paper-vs-simulated table.  `--benchmark-only`
+runs just these targets:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+#: execution scale for benchmark runs — larger than the unit tests' so
+#: measured traffic statistics are smooth, small enough to stay fast.
+BENCH_SCALE = 2.0**-12
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_figure(benchmark, runner, **kwargs):
+    """Benchmark one figure runner and echo its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result.render() if hasattr(result, "render") else result)
+    return result

@@ -1,0 +1,19 @@
+"""Figure 1: theoretical vs. measured bandwidth."""
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig01_bandwidth
+
+
+def test_fig01_bandwidth(benchmark):
+    result = run_figure(benchmark, fig01_bandwidth.run)
+    nvlink = result.value("nvlink2", "measured")
+    memory = result.value("memory", "measured")
+    pcie = result.value("pcie3", "measured")
+    # The figure's caption: NVLink 2.0 eliminates the GPU's main-memory
+    # access disadvantage; PCI-e 3.0 does not.
+    assert nvlink > 0.8 * memory
+    assert pcie < 0.2 * memory
+    # Within 10% of the paper's bars.
+    for label in ("memory", "nvlink2", "pcie3"):
+        paper = result.paper_value(label, "measured")
+        assert abs(result.value(label, "measured") - paper) / paper < 0.10

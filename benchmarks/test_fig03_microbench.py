@@ -1,0 +1,32 @@
+"""Figure 3: interconnect/memory microbenchmarks."""
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig03_microbench
+
+
+def test_fig03_microbench(benchmark):
+    result = run_figure(benchmark, fig03_microbench.run)
+    # Panel (a): NVLink 2.0 vs other interconnects.
+    assert result.value("nvlink2", "seq") / result.value("pcie3", "seq") > 5
+    assert result.value("nvlink2", "random") / result.value("pcie3", "random") > 10
+    assert result.value("nvlink2", "latency_ns") < result.value(
+        "pcie3", "latency_ns"
+    )
+    assert result.value("nvlink2", "latency_ns") > result.value(
+        "upi", "latency_ns"
+    )
+    # Panel (b): within 2x of CPU memory bandwidth, 6x its latency.
+    assert result.value("power9-memory", "seq") / result.value(
+        "nvlink2", "seq"
+    ) < 2.0
+    assert result.value("nvlink2", "latency_ns") / result.value(
+        "power9-memory", "latency_ns"
+    ) > 5
+    # Panel (c): GPU memory an order of magnitude above the link.
+    assert result.value("gpu-memory", "seq") / result.value("nvlink2", "seq") > 10
+    # Exact agreement with the paper's primitives (they ARE the specs).
+    for row in result.rows:
+        for series, value in row.values.items():
+            paper = result.paper_value(row.label, series)
+            if paper:
+                assert abs(value - paper) / paper < 0.01, (row.label, series)

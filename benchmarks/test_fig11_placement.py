@@ -1,0 +1,34 @@
+"""Figure 11: placement decision tree validation."""
+
+import pytest
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig11_placement
+
+
+def test_fig11_decision_tree(benchmark):
+    result = run_figure(benchmark, fig11_placement.run, scale=2.0**-13)
+
+    # In-core regimes: the tree's choice is the best strategy found.
+    for label in ("cache-sized (4 MiB)", "in-GPU (8 GiB)", "in-GPU (15 GiB)"):
+        chosen = result.value(label, "chosen")
+        best = result.value(label, "best")
+        assert chosen == pytest.approx(best, rel=0.02), label
+
+    # The cache-sized case picks the cooperative GPU+Het (Figure 21 B).
+    small = "cache-sized (4 MiB)"
+    assert result.value(small, "chosen") == pytest.approx(
+        result.value(small, "gpu+het"), rel=0.01
+    )
+
+    # Beyond GPU memory: GPU+Het is impossible (the table cannot be
+    # replicated), and the tree's Het choice is the robust one — never
+    # below ~the CPU-side baseline even though the hybrid peaks higher.
+    for label in ("beyond-GPU (24 GiB)", "beyond-GPU (32 GiB)"):
+        with pytest.raises(KeyError):
+            result.value(label, "gpu")  # plain GPU placement: OOM
+        with pytest.raises(KeyError):
+            result.value(label, "gpu+het")  # replication: OOM
+        chosen = result.value(label, "chosen")
+        assert chosen == pytest.approx(result.value(label, "het"), rel=0.01)
+        assert chosen > 0.4  # robustness floor: ~the CPU-only rate

@@ -1,0 +1,51 @@
+"""Figure 12: NOPA join throughput per transfer method."""
+
+import pytest
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig12_transfer_methods
+
+
+def test_fig12_transfer_methods(benchmark, bench_scale):
+    result = run_figure(benchmark, fig12_transfer_methods.run, scale=bench_scale)
+
+    # Coherence and Zero-Copy are the fastest NVLink methods.
+    nvlink_best = max(result.series("nvlink2"))
+    assert result.value("coherence", "nvlink2") == pytest.approx(
+        nvlink_best, rel=0.01
+    )
+    assert result.value("zero_copy", "nvlink2") == pytest.approx(
+        nvlink_best, rel=0.02
+    )
+
+    # Coherence is unsupported on PCI-e 3.0.
+    with pytest.raises(KeyError):
+        result.value("coherence", "pcie3")
+
+    # NVLink is ~5x PCI-e for the best methods.
+    ratio = result.value("zero_copy", "nvlink2") / result.value(
+        "zero_copy", "pcie3"
+    )
+    assert 4 < ratio < 6
+
+    # The UM methods are the only ones where NVLink loses to PCI-e.
+    losers = {
+        method
+        for method in result.series_names()
+        for row in result.rows
+        if row.values.get("nvlink2") is not None
+        and row.values.get("pcie3") is not None
+        and row.values["nvlink2"] < row.values["pcie3"]
+        for method in [row.label]
+    }
+    assert losers == {"um_prefetch", "um_migration"}
+
+    # Every cell within 25% of the paper's value.
+    for row in result.rows:
+        for series, value in row.values.items():
+            paper = result.paper_value(row.label, series)
+            if paper:
+                assert value == pytest.approx(paper, rel=0.25), (
+                    row.label,
+                    series,
+                )

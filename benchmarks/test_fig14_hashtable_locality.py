@@ -1,0 +1,34 @@
+"""Figure 14: hash-table locality (0-3 hops)."""
+
+import pytest
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig14_hashtable_locality
+
+
+def test_fig14_hashtable_locality(benchmark, bench_scale):
+    result = run_figure(
+        benchmark, fig14_hashtable_locality.run, scale=bench_scale
+    )
+
+    # One NVLink hop to the table costs 75-85% of throughput (A, B).
+    for workload in ("A", "B"):
+        drop = 1 - result.value(workload, "cpu") / result.value(workload, "gpu")
+        assert 0.7 < drop < 0.95
+
+    # Additional hops keep costing throughput.
+    for workload in ("A", "B", "C"):
+        values = [
+            result.value(workload, loc) for loc in ("gpu", "cpu", "rcpu", "rgpu")
+        ]
+        assert values[0] > values[1] > values[2] >= values[3] * 0.99
+
+    # Workload B's cache-sized table gets NO remote-L2 relief: its
+    # remote throughput is like A's, not like its local 4x advantage.
+    assert result.value("B", "cpu") == pytest.approx(
+        result.value("A", "cpu"), rel=0.25
+    )
+
+    # Anchor cells vs the paper.
+    assert result.value("A", "gpu") == pytest.approx(3.82, rel=0.1)
+    assert result.value("A", "cpu") == pytest.approx(0.59, rel=0.15)

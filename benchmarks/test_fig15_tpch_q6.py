@@ -1,0 +1,45 @@
+"""Figure 15: TPC-H Q6 scaling."""
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig15_tpch_q6
+
+
+def test_fig15_tpch_q6(benchmark):
+    result = run_figure(
+        benchmark, fig15_tpch_q6.run, scale=2.0**-10,
+        scale_factors=(100, 500, 1000),
+    )
+    row = "SF1000"
+
+    # The CPU achieves the highest throughput overall.
+    cpu_best = max(
+        result.value(row, "cpu-predicated"), result.value(row, "cpu-branching")
+    )
+    nvlink_best = max(
+        result.value(row, "nvlink-branching"),
+        result.value(row, "nvlink-predicated"),
+    )
+    assert cpu_best > nvlink_best
+
+    # ... but NVLink considerably closes the gap (paper: within 67%).
+    assert cpu_best / nvlink_best < 2.0
+
+    # NVLink is many multiples of PCI-e 3.0 (paper: up to 9.8x).
+    pcie_best = max(
+        result.value(row, "pcie-branching"), result.value(row, "pcie-predicated")
+    )
+    assert nvlink_best / pcie_best > 4
+
+    # Branching beats predication on the GPU (transfer skipping) but
+    # not on the CPU (SIMD predication wins there).
+    assert result.value(row, "nvlink-branching") > result.value(
+        row, "nvlink-predicated"
+    )
+    assert result.value(row, "cpu-predicated") > result.value(
+        row, "cpu-branching"
+    )
+
+    # Throughput is flat across scale factors (bandwidth-bound).
+    for series in ("cpu-predicated", "nvlink-predicated", "pcie-predicated"):
+        values = result.series(series)
+        assert max(values) / min(values) < 1.05

@@ -1,0 +1,50 @@
+"""Figure 17: build-side scaling and the hybrid hash table."""
+
+import pytest
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig17_build_scaling
+
+
+def test_fig17_build_scaling(benchmark):
+    result = run_figure(
+        benchmark, fig17_build_scaling.run, scale=2.0**-13,
+        tuple_millions=(512, 1024, 1280, 1536, 2048),
+    )
+
+    # Crossover: the table outgrows the 16 GiB GPU between 1024M and
+    # 1280M tuples (16.4 -> 20.5 GB).
+    assert result.value("1024M", "pcie3") > 10 * result.value("1280M", "pcie3")
+    assert result.value("1024M", "nvlink2") > 2 * result.value("1280M", "nvlink2")
+
+    # PCI-e's cliff is catastrophic (paper: -97%), NVLink's graceful.
+    pcie_drop = result.value("2048M", "pcie3") / result.value("512M", "pcie3")
+    nvlink_drop = result.value("2048M", "nvlink2") / result.value(
+        "512M", "nvlink2"
+    )
+    assert pcie_drop < 0.05
+    assert 0.1 < nvlink_drop < 0.45
+
+    # Out-of-core: NVLink stays 8-18x above PCI-e and near the CPU.
+    assert (
+        8
+        < result.value("2048M", "nvlink2") / result.value("2048M", "pcie3")
+        < 30
+    )
+    assert result.value("2048M", "nvlink2") == pytest.approx(
+        result.value("2048M", "cpu-pra"), rel=0.25
+    )
+
+    # The hybrid hash table degrades gracefully: monotone decrease, and
+    # 1-2.2x over the plain spilled table.
+    hybrid = result.series("nvlink2-hybrid")
+    assert all(b <= a * 1.001 for a, b in zip(hybrid, hybrid[1:]))
+    for label in ("1280M", "1536M", "2048M"):
+        gain = result.value(label, "nvlink2-hybrid") / result.value(
+            label, "nvlink2"
+        )
+        assert 1.0 < gain < 4.0
+
+    # The CPU baseline is flat.
+    cpu = result.series("cpu-pra")
+    assert max(cpu) / min(cpu) < 1.1

@@ -1,0 +1,30 @@
+"""Figure 18: build-to-probe ratios."""
+
+import pytest
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig18_build_probe_ratio
+
+
+def test_fig18_build_probe_ratio(benchmark, bench_scale):
+    result = run_figure(
+        benchmark, fig18_build_probe_ratio.run, scale=bench_scale
+    )
+
+    # Throughput rises with the probe share: 2.41 -> 3.85 in the paper.
+    throughput = result.series("throughput")
+    assert throughput == sorted(throughput)
+    assert result.value("1:1", "throughput") == pytest.approx(2.41, rel=0.1)
+    assert result.value("1:16", "throughput") == pytest.approx(3.85, rel=0.1)
+
+    # The build phase takes 71% of the time at 1:1 (it is ~45% slower
+    # than the probe phase per tuple) and shrinks to 13% at 1:16.
+    assert result.value("1:1", "build_pct") == pytest.approx(71, abs=5)
+    assert result.value("1:16", "build_pct") == pytest.approx(13, abs=4)
+    build_pct = result.series("build_pct")
+    assert build_pct == sorted(build_pct, reverse=True)
+
+    # Per-tuple build/probe cost ratio implied by the 1:1 breakdown.
+    share = result.value("1:1", "build_pct") / 100
+    per_tuple_ratio = share / (1 - share)
+    assert per_tuple_ratio == pytest.approx(2.45, rel=0.15)  # ~45% slower

@@ -1,0 +1,42 @@
+"""Figure 20: join selectivity."""
+
+import pytest
+
+from benchmarks.conftest import run_figure
+from repro.bench import fig20_selectivity
+
+
+def test_fig20_selectivity(benchmark, bench_scale):
+    result = run_figure(benchmark, fig20_selectivity.run, scale=bench_scale)
+
+    # Throughput decreases with selectivity for every configuration.
+    for series in (
+        "cpu",
+        "nvlink2-gpu-ht",
+        "nvlink2-cpu-ht",
+        "pcie3-gpu-ht",
+        "pcie3-cpu-ht",
+    ):
+        values = result.series(series)
+        assert all(b <= a * 1.01 for a, b in zip(values, values[1:])), series
+
+    # NVLink with a GPU-memory table shows a pronounced decrease (the
+    # paper reports it as the largest, ~30%; our model shows ~40%, and
+    # prices the PCI-e CPU-table case more pessimistically than the
+    # paper's 7% — see EXPERIMENTS.md).
+    nvlink_gpu_drop = 1 - result.value("sel=1.0", "nvlink2-gpu-ht") / result.value(
+        "sel=0.0", "nvlink2-gpu-ht"
+    )
+    pcie_cpu_drop = 1 - result.value("sel=1.0", "pcie3-cpu-ht") / result.value(
+        "sel=0.0", "pcie3-cpu-ht"
+    )
+    assert 0.2 < nvlink_gpu_drop < 0.6
+    assert pcie_cpu_drop < 0.6
+
+    # The cache-line effect: at 10% selectivity, 81.5% of the value
+    # lines are loaded (the paper's exact number).
+    assert result.value("sel=0.1", "value_lines_loaded_pct") == pytest.approx(
+        81.5, abs=1.0
+    )
+    assert result.value("sel=0.0", "value_lines_loaded_pct") == 0.0
+    assert result.value("sel=1.0", "value_lines_loaded_pct") == 100.0

@@ -1,0 +1,26 @@
+"""Extension bench: multi-GPU placement (Section 6.3)."""
+
+from benchmarks.conftest import run_figure
+from repro.bench import multi_gpu
+
+
+def test_multi_gpu_placement(benchmark, bench_scale):
+    result = run_figure(benchmark, multi_gpu.run, scale=bench_scale)
+
+    # Small table: replicating over two GPUs beats one GPU; interleaving
+    # a small table wastes remote bandwidth and loses.
+    small = "A (2 GiB table)"
+    assert result.value(small, "replicated") > result.value(small, "one-gpu")
+    assert result.value(small, "replicated") > result.value(small, "interleaved")
+
+    # Huge table (2x one GPU's memory): interleaving keeps the table in
+    # (remote) GPU memory and beats the single GPU's hybrid spill.
+    big = "C 2048M (32 GiB table)"
+    assert result.value(big, "interleaved") > result.value(big, "one-gpu")
+
+    # Four GPUs scale the interleaved join well past two (more mesh
+    # links, more issue engines, more aggregate HBM).
+    scaling = "C 2048M scaling"
+    assert result.value(scaling, "4-gpus") > 1.5 * result.value(
+        scaling, "2-gpus"
+    )

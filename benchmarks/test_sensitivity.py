@@ -1,0 +1,30 @@
+"""Calibration sensitivity: the reproduction is robust where claimed."""
+
+from benchmarks.conftest import run_figure
+from repro.bench import sensitivity
+
+
+def test_calibration_sensitivity(benchmark):
+    result = run_figure(benchmark, sensitivity.run, scale=2.0**-14)
+
+    def max_movement(constant):
+        row = next(r for r in result.rows if r.label == constant)
+        return max(row.values.values())
+
+    # Robust constants: a ±20% perturbation moves no anchor by more
+    # than ~1% (they only matter in regimes the anchors don't probe).
+    for constant in (
+        "shared_build_contention",
+        "per_hop_random_penalty",
+        "l2_random_rate",
+        "join_pipeline_overhead",
+    ):
+        assert max_movement(constant) < 2.0, constant
+
+    # Stiff constants: they visibly matter (the anchors were fitted
+    # against them) — but ±20% never moves an anchor more than ~25%,
+    # so shapes (orderings, crossover positions) survive recalibration.
+    for constant in ("independent_access_factor", "atomic_rate",
+                     "issue_efficiency"):
+        movement = max_movement(constant)
+        assert 1.0 < movement < 25.0, (constant, movement)

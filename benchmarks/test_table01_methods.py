@@ -1,0 +1,17 @@
+"""Table 1: the implemented transfer-method taxonomy matches the paper."""
+
+from repro.bench.table01_methods import PAPER, rows, run
+
+
+def test_table01_taxonomy(benchmark):
+    implemented = benchmark.pedantic(rows, rounds=1, iterations=1)
+    print()
+    print(run().render())
+    by_name = {row["method"]: row for row in implemented}
+    assert set(by_name) == set(PAPER)
+    for name, (semantics, level, granularity, memory) in PAPER.items():
+        row = by_name[name]
+        assert row["semantics"] == semantics, name
+        assert row["level"] == level, name
+        assert row["granularity"] == granularity, name
+        assert row["memory"] == memory, name

@@ -1,0 +1,34 @@
+"""Table 2: workload definitions (generation throughput + invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.builders import workload_a, workload_b, workload_c
+
+
+def test_table02_workload_generation(benchmark):
+    workloads = benchmark.pedantic(
+        lambda: {
+            "A": workload_a(scale=2.0**-11),
+            "B": workload_b(scale=2.0**-11),
+            "C": workload_c(scale=2.0**-11),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    wl_a, wl_b, wl_c = workloads["A"], workloads["B"], workloads["C"]
+
+    # Table 2's modeled sizes.
+    assert wl_a.r.modeled_bytes == 2 * 2**30
+    assert wl_a.s.modeled_bytes == 32 * 2**30
+    assert wl_b.r.modeled_bytes == 4 * 2**20
+    assert wl_c.r.modeled_tuples == wl_c.s.modeled_tuples == 1024 * 10**6
+
+    # Key/payload widths.
+    assert wl_a.r.key_bytes == wl_a.r.payload_bytes == 8
+    assert wl_c.r.key_bytes == wl_c.r.payload_bytes == 4
+
+    # Foreign-key property: every S tuple matches exactly one R tuple.
+    for wl in (wl_a, wl_b, wl_c):
+        assert np.isin(wl.s.key, wl.r.key).all()
+        assert len(np.unique(wl.r.key)) == wl.r.executed_tuples

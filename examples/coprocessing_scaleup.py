@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Cooperative CPU+GPU execution (Section 6 / Figure 21).
+
+Runs workloads A, B, and C under the four strategies — CPU-only, Het
+(shared hash table in CPU memory), GPU+Het (per-processor table
+copies), and GPU-only — and prints the morsel-dispatch timeline of the
+heterogeneous probe phase, showing how the dispatcher balances load
+between processors of very different speeds.
+"""
+
+import repro
+
+
+def main() -> None:
+    machine = repro.ibm_ac922()
+    workloads = {
+        "A (2 GiB ⋈ 32 GiB)": repro.workload_a(scale=2**-12),
+        "B (4 MiB ⋈ 32 GiB)": repro.workload_b(scale=2**-12),
+        "C (|R| = |S|)": repro.workload_c(scale=2**-12),
+    }
+
+    for name, workload in workloads.items():
+        print(f"workload {name}")
+        cpu = repro.NoPartitioningJoin(
+            machine, hash_table_placement="cpu"
+        ).run(workload.r, workload.s, processor="cpu0")
+        print(f"  cpu-only : {cpu.throughput_gtuples:5.2f} G Tuples/s")
+
+        for strategy in ("het", "gpu+het"):
+            coop = repro.CoopJoin(machine, strategy=strategy)
+            res = coop.run(workload.r, workload.s, workers=("cpu0", "gpu0"))
+            shares = ", ".join(
+                f"{worker}: {share:.0%}"
+                for worker, share in sorted(res.worker_shares.items())
+            )
+            print(f"  {strategy:9s}: {res.throughput_gtuples:5.2f} G Tuples/s "
+                  f"(probe shares — {shares})")
+
+        gpu = repro.NoPartitioningJoin(
+            machine, hash_table_placement="gpu"
+        ).run(workload.r, workload.s)
+        print(f"  gpu-only : {gpu.throughput_gtuples:5.2f} G Tuples/s")
+        print()
+
+    # Drill into the Het probe timeline for workload A.
+    workload = workloads["A (2 GiB ⋈ 32 GiB)"]
+    coop = repro.CoopJoin(machine, strategy="het", morsel_tuples=1 << 24)
+    res = coop.run(workload.r, workload.s, workers=("cpu0", "gpu0"))
+    print("Het probe timeline (workload A, 16M-tuple morsels):")
+    for worker, spans in sorted(res.timeline.by_worker().items()):
+        busy = res.timeline.busy_time(worker)
+        tuples = res.timeline.units_processed(worker)
+        tail = res.timeline.idle_tail(worker)
+        print(f"  {worker}: {len(spans)} dispatches, {busy:.2f}s busy, "
+              f"{tuples / 1e9:.2f}G tuples, idle tail {tail * 1e3:.1f} ms")
+    print(f"  probe makespan: {res.probe_seconds:.2f}s "
+          f"(skew kept small by dynamic morsel dispatch)")
+
+    from repro.utils.gantt import render_gantt
+
+    print()
+    print(render_gantt(res.timeline, width=64))
+
+    # The same dispatcher drives the functional layer.
+    dispatcher = repro.MorselDispatcher(
+        workload.s.executed_tuples, morsel_tuples=100_000
+    )
+    handed = 0
+    while (grant := dispatcher.next_batch(4, worker="demo")) is not None:
+        handed += grant.tuples
+    print(f"\nfunctional dispatcher handed out {handed} tuples "
+          f"in {len(dispatcher.dispatched)} batches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e .`).
+
+The sandbox has no network access and no `wheel` package, so PEP 517
+editable builds fail; this shim lets pip fall back to
+``setup.py develop``.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

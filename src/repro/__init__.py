@@ -1,0 +1,52 @@
+"""repro — reproduction of "Pump Up the Volume: Processing Large Data on
+GPUs with Fast Interconnects" (Lutz et al., SIGMOD 2020).
+
+The library pairs a *functional* execution layer (real numpy hash joins,
+selections, and aggregations that compute correct answers) with a
+*performance* layer (a calibrated analytical + discrete-event model of
+the paper's IBM AC922 and Intel Xeon + V100 machines).  See DESIGN.md for
+the architecture and EXPERIMENTS.md for paper-vs-simulated results.
+
+Quickstart::
+
+    import repro
+
+    machine = repro.ibm_ac922()
+    wl = repro.workload_a(scale=1 / 64)
+    join = repro.NoPartitioningJoin(machine, transfer_method="coherence")
+    result = join.run(wl.r, wl.s)
+    print(result.throughput_gtuples, "G Tuples/s")
+"""
+
+from repro.hardware.topology import Machine, ibm_ac922, intel_xeon_v100
+from repro.costmodel import Calibration, CostModel, DEFAULT_CALIBRATION
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "ibm_ac922",
+    "intel_xeon_v100",
+    "CostModel",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API (joins, workloads, operators).
+
+    Importing :mod:`repro.api` eagerly would pull the whole library into
+    every ``import repro``; deferring keeps the base import light and
+    avoids cycles while the package initializes.  ``import_module`` is
+    used instead of ``from repro import api`` because the latter would
+    re-enter this ``__getattr__`` before the submodule finishes loading.
+    """
+    import importlib
+
+    api = importlib.import_module("repro.api")
+    try:
+        return getattr(api, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None

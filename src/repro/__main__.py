@@ -1,0 +1,148 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro info                # describe the simulated machines
+    python -m repro figures             # run every figure reproduction
+    python -m repro figure 17           # run one figure (by number)
+    python -m repro join [options]      # run one configurable join
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.utils.units import format_bytes
+
+FIGURE_MODULES = {
+    "1": "fig01_bandwidth",
+    "3": "fig03_microbench",
+    "11": "fig11_placement",
+    "12": "fig12_transfer_methods",
+    "13": "fig13_data_locality",
+    "14": "fig14_hashtable_locality",
+    "15": "fig15_tpch_q6",
+    "16": "fig16_probe_scaling",
+    "17": "fig17_build_scaling",
+    "18": "fig18_build_probe_ratio",
+    "19": "fig19_skew",
+    "20": "fig20_selectivity",
+    "21": "fig21_coprocessing",
+    "ablations": "ablations",
+    "multi-gpu": "multi_gpu",
+    "table1": "table01_methods",
+    "sensitivity": "sensitivity",
+}
+
+
+def cmd_info(_args) -> int:
+    from repro.hardware.topology import ibm_ac922, intel_xeon_v100
+
+    for machine in (ibm_ac922(), intel_xeon_v100()):
+        print(f"{machine.name}")
+        for cpu in machine.cpus():
+            print(
+                f"  {cpu.name}: {cpu.spec.name}, {cpu.spec.cores} cores x "
+                f"SMT{cpu.spec.smt}, {format_bytes(cpu.local_memory.capacity)} "
+                f"memory"
+            )
+        for gpu in machine.gpus():
+            link = machine.gpu_link(gpu.name)
+            print(
+                f"  {gpu.name}: {gpu.spec.name}, {gpu.spec.sms} SMs, "
+                f"{format_bytes(gpu.local_memory.capacity)} memory, "
+                f"attached via {link.spec.name}"
+            )
+        print(f"  coherent GPU access: {machine.coherent_gpu_access}")
+        print()
+    return 0
+
+
+def cmd_figures(_args) -> int:
+    from repro.bench import run_all
+
+    run_all.main()
+    return 0
+
+
+def cmd_figure(args) -> int:
+    name = FIGURE_MODULES.get(args.number)
+    if name is None:
+        valid = ", ".join(sorted(FIGURE_MODULES))
+        print(f"unknown figure {args.number!r}; valid: {valid}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.bench.{name}")
+    module.main()
+    return 0
+
+
+def cmd_join(args) -> int:
+    import repro
+
+    machine = (
+        repro.ibm_ac922() if args.machine == "ibm" else repro.intel_xeon_v100()
+    )
+    builders = {
+        "a": repro.workload_a,
+        "b": repro.workload_b,
+        "c": repro.workload_c,
+    }
+    workload = builders[args.workload](scale=args.scale)
+    join = repro.NoPartitioningJoin(
+        machine,
+        hash_table_placement=args.placement,
+        transfer_method=args.method,
+    )
+    result = join.run(workload.r, workload.s, processor=args.processor)
+    print(f"workload {args.workload.upper()} on {machine.name} "
+          f"({args.processor}, table={args.placement}, method={args.method})")
+    print(f"  matches:    {result.matches}")
+    print(f"  build:      {result.build_cost.seconds:.3f} s "
+          f"[{result.build_cost.bottleneck}]")
+    print(f"  probe:      {result.probe_cost.seconds:.3f} s "
+          f"[{result.probe_cost.bottleneck}]")
+    print(f"  throughput: {result.throughput_gtuples:.2f} G Tuples/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Pump Up the Volume' (SIGMOD 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="describe the simulated machines")
+    sub.add_parser("figures", help="run every figure reproduction")
+
+    one = sub.add_parser("figure", help="run one figure reproduction")
+    one.add_argument("number", help="figure number (e.g. 17) or name")
+
+    join = sub.add_parser("join", help="run one configurable join")
+    join.add_argument("--machine", choices=("ibm", "intel"), default="ibm")
+    join.add_argument("--workload", choices=("a", "b", "c"), default="a")
+    join.add_argument(
+        "--placement", default="gpu",
+        help="gpu | cpu | hybrid | a region name",
+    )
+    join.add_argument("--method", default="coherence")
+    join.add_argument("--processor", default="gpu0")
+    join.add_argument("--scale", type=float, default=2.0**-12)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "figures": cmd_figures,
+        "figure": cmd_figure,
+        "join": cmd_join,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""High-level public API of the library.
+
+Everything here is re-exported lazily from ``repro`` itself::
+
+    import repro
+
+    machine = repro.ibm_ac922()
+    wl = repro.workload_a(scale=1 / 2048)
+    join = repro.NoPartitioningJoin(machine, hash_table_placement="gpu",
+                                    transfer_method="coherence")
+    result = join.run(wl.r, wl.s, processor="gpu0")
+    print(f"{result.throughput_gtuples:.2f} G Tuples/s")
+"""
+
+from repro.core.join.coop import CoopJoin, CoopResult
+from repro.core.join.multigpu import MultiGpuJoin, MultiGpuResult
+from repro.core.join.multiway import Dimension, StarJoin, StarJoinResult
+from repro.costmodel.explain import explain, explain_join
+from repro.core.join.nopa import JoinResult, NoPartitioningJoin
+from repro.core.join.radix import RadixJoin, RadixJoinResult
+from repro.engine import (
+    Filter,
+    HashAggregate,
+    HashJoinOp,
+    Limit,
+    Project,
+    TableScan,
+    collect,
+)
+from repro.core.ops.q6 import Q6Result, TpchQ6
+from repro.core.placement import PlacementDecision, decide_placement
+from repro.core.hashtable import (
+    ChainingHashTable,
+    OpenAddressingHashTable,
+    PerfectHashTable,
+    create_hash_table,
+)
+from repro.core.hashtable.placement import HashTablePlacement, place_hash_table
+from repro.core.scheduler.morsel import MorselDispatcher
+from repro.core.scheduler.batch import tune_batch_morsels
+from repro.data.relation import Morsel, Relation
+from repro.hardware.topology import Machine, ibm_ac922, intel_xeon_v100
+from repro.memory.allocator import Allocation, Allocator, OutOfMemoryError
+from repro.memory.hybrid import (
+    HybridAllocation,
+    allocate_hybrid,
+    allocate_interleaved,
+)
+from repro.storage.catalog import Catalog, StoredTable, TableExistsError
+from repro.transfer.methods import (
+    TRANSFER_METHODS,
+    TransferMethod,
+    UnsupportedTransferError,
+    get_method,
+)
+from repro.workloads.builders import (
+    JoinWorkload,
+    workload_a,
+    workload_b,
+    workload_c,
+    workload_ratio,
+    workload_selectivity,
+    workload_skewed,
+)
+from repro.workloads.tpch import Q6Workload, lineitem_q6
+
+__all__ = [
+    "CoopJoin",
+    "CoopResult",
+    "MultiGpuJoin",
+    "MultiGpuResult",
+    "Dimension",
+    "StarJoin",
+    "StarJoinResult",
+    "explain",
+    "explain_join",
+    "JoinResult",
+    "NoPartitioningJoin",
+    "RadixJoin",
+    "RadixJoinResult",
+    "Filter",
+    "HashAggregate",
+    "HashJoinOp",
+    "Limit",
+    "Project",
+    "TableScan",
+    "collect",
+    "Q6Result",
+    "TpchQ6",
+    "PlacementDecision",
+    "decide_placement",
+    "ChainingHashTable",
+    "OpenAddressingHashTable",
+    "PerfectHashTable",
+    "create_hash_table",
+    "HashTablePlacement",
+    "place_hash_table",
+    "MorselDispatcher",
+    "tune_batch_morsels",
+    "Morsel",
+    "Relation",
+    "Machine",
+    "ibm_ac922",
+    "intel_xeon_v100",
+    "Allocation",
+    "Allocator",
+    "OutOfMemoryError",
+    "HybridAllocation",
+    "allocate_hybrid",
+    "allocate_interleaved",
+    "Catalog",
+    "StoredTable",
+    "TableExistsError",
+    "TRANSFER_METHODS",
+    "TransferMethod",
+    "UnsupportedTransferError",
+    "get_method",
+    "JoinWorkload",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "workload_ratio",
+    "workload_selectivity",
+    "workload_skewed",
+    "Q6Workload",
+    "lineitem_q6",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: one module per table/figure of the evaluation.
+
+Every module exposes
+
+* ``PAPER`` — the values the paper reports (read off its figures),
+* ``run(...) -> FigureResult`` — regenerates the figure's rows on the
+  simulated machines, and
+* ``main()`` — prints the simulated values next to the paper's.
+
+The pytest-benchmark targets in ``benchmarks/`` call ``run`` and assert
+the *shape* claims (who wins, by roughly what factor, where crossovers
+fall); EXPERIMENTS.md records paper-vs-simulated numbers.
+"""
+
+from repro.bench.common import FigureResult, SeriesRow
+
+__all__ = ["FigureResult", "SeriesRow"]

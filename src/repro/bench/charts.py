@@ -1,0 +1,56 @@
+"""ASCII chart rendering of the reproduced figures.
+
+``python -m repro.bench.charts [figure ...]`` prints terminal bar
+charts of the simulated series, so the figures' shapes are visible
+without any plotting stack.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.utils.ascii_chart import figure_chart
+
+_RUNNERS = {
+    "12": lambda: _module("fig12_transfer_methods").run(scale=2.0**-13),
+    "13": lambda: _module("fig13_data_locality").run(scale=2.0**-13),
+    "14": lambda: _module("fig14_hashtable_locality").run(scale=2.0**-13),
+    "16": lambda: _module("fig16_probe_scaling").run(),
+    "17": lambda: _module("fig17_build_scaling").run(),
+    "18": lambda: _module("fig18_build_probe_ratio").run(scale=2.0**-13),
+    "19": lambda: _module("fig19_skew").run(scale=2.0**-13),
+    "20": lambda: _module("fig20_selectivity").run(scale=2.0**-13),
+    "21": lambda: _module("fig21_coprocessing").run(scale=2.0**-13),
+}
+
+
+def _module(name: str):
+    import importlib
+
+    return importlib.import_module(f"repro.bench.{name}")
+
+
+def render(figures: Optional[List[str]] = None) -> str:
+    """Chart the requested figures (default: a representative subset)."""
+    wanted = figures or ["12", "17", "21"]
+    unknown = [f for f in wanted if f not in _RUNNERS]
+    if unknown:
+        raise ValueError(
+            f"no chart for figure(s) {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(_RUNNERS))}"
+        )
+    sections = []
+    for figure in wanted:
+        sections.append(figure_chart(_RUNNERS[figure]()))
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    print(render(argv or None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Shared structures for the figure-reproduction harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.utils.tables import Table
+
+
+@dataclass
+class SeriesRow:
+    """One x-position of a figure: a label plus one value per series."""
+
+    label: str
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, series: str) -> Optional[float]:
+        return self.values.get(series)
+
+
+@dataclass
+class FigureResult:
+    """Simulated reproduction of one figure/table."""
+
+    figure: str
+    title: str
+    rows: List[SeriesRow] = field(default_factory=list)
+    paper: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    unit: str = "G Tuples/s"
+    notes: str = ""
+
+    def add(self, label: str, **values: float) -> None:
+        self.rows.append(SeriesRow(label=label, values=dict(values)))
+
+    def series_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for name in row.values:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, name: str) -> List[float]:
+        """Values of one series across rows (missing rows are skipped)."""
+        return [row.values[name] for row in self.rows if name in row.values]
+
+    def value(self, label: str, series: str) -> float:
+        for row in self.rows:
+            if row.label == label and series in row.values:
+                return row.values[series]
+        raise KeyError(f"no value for ({label!r}, {series!r}) in {self.figure}")
+
+    def paper_value(self, label: str, series: str) -> Optional[float]:
+        return self.paper.get(label, {}).get(series)
+
+    def table(self) -> Table:
+        """Render simulated-vs-paper as an ASCII table."""
+        names = self.series_names()
+        columns = [self.figure]
+        for name in names:
+            columns.append(f"{name} (sim)")
+            columns.append(f"{name} (paper)")
+        table = Table(columns, title=f"{self.figure}: {self.title} [{self.unit}]")
+        for row in self.rows:
+            cells: List[object] = [row.label]
+            for name in names:
+                sim = row.values.get(name)
+                cells.append("-" if sim is None else f"{sim:.3g}")
+                paper = self.paper_value(row.label, name)
+                cells.append("-" if paper is None else f"{paper:.3g}")
+            table.add_row(cells)
+        return table
+
+    def render(self) -> str:
+        out = self.table().render()
+        if self.notes:
+            out += f"\n  note: {self.notes}"
+        return out

@@ -1,0 +1,83 @@
+"""Figure 12: NOPA join throughput per transfer method.
+
+Workload A (2 GiB ⋈ 32 GiB), relations in CPU memory, hash table built
+in GPU memory; every Table 1 method on PCI-e 3.0 and NVLink 2.0.  The
+relation's memory kind is set to each method's requirement (the paper
+allocates pageable/pinned/unified memory per method).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.common import FigureResult
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.hardware.topology import ibm_ac922, intel_xeon_v100
+from repro.transfer.methods import TRANSFER_METHODS, UnsupportedTransferError
+from repro.workloads.builders import workload_a
+
+PAPER = {
+    "pageable_copy": {"pcie3": 0.25, "nvlink2": 0.67},
+    "staged_copy": {"pcie3": 0.73, "nvlink2": 2.15},
+    "dynamic_pinning": {"pcie3": 0.26, "nvlink2": 2.36},
+    "pinned_copy": {"pcie3": 0.74, "nvlink2": 3.42},
+    "um_prefetch": {"pcie3": 0.54, "nvlink2": 0.16},
+    "um_migration": {"pcie3": 0.25, "nvlink2": 0.17},
+    "zero_copy": {"pcie3": 0.77, "nvlink2": 3.81},
+    "coherence": {"nvlink2": 3.83},  # unsupported on PCI-e 3.0
+}
+
+METHOD_ORDER = [
+    "pageable_copy",
+    "staged_copy",
+    "dynamic_pinning",
+    "pinned_copy",
+    "um_prefetch",
+    "um_migration",
+    "zero_copy",
+    "coherence",
+]
+
+
+def run(scale: float = 2.0**-12) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 12",
+        title="NOPA join per transfer method, workload A",
+        paper=PAPER,
+        notes=(
+            "Coherence and Zero-Copy are fastest on NVLink 2.0; Coherence "
+            "is unsupported on PCI-e 3.0; Unified Memory underperforms on "
+            "the POWER9 platform."
+        ),
+    )
+    workload = workload_a(scale=scale)
+    machines = {"nvlink2": ibm_ac922(), "pcie3": intel_xeon_v100()}
+    for method_name in METHOD_ORDER:
+        method = TRANSFER_METHODS[method_name]
+        values = {}
+        for link_name, machine in machines.items():
+            throughput = _join_throughput(machine, method_name, method, workload)
+            if throughput is not None:
+                values[link_name] = throughput
+        result.add(method_name, **values)
+    return result
+
+
+def _join_throughput(machine, method_name, method, workload) -> Optional[float]:
+    r = workload.r.placed("cpu0-mem", kind=method.required_kind)
+    s = workload.s.placed("cpu0-mem", kind=method.required_kind)
+    join = NoPartitioningJoin(
+        machine, hash_table_placement="gpu", transfer_method=method_name
+    )
+    try:
+        return join.run(r, s, processor="gpu0").throughput_gtuples
+    except UnsupportedTransferError:
+        return None
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 14: hash-table locality (0-3 interconnect hops).
+
+Workloads A/B/C (up to 34 GiB), base relations in local CPU memory (one
+NVLink hop from the GPU), hash table placed in GPU memory, local CPU
+memory, remote CPU memory, and remote GPU memory.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import FigureResult
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.hardware.topology import ibm_ac922
+from repro.workloads.builders import workload_a, workload_b, workload_c
+
+PAPER = {
+    "A": {"gpu": 3.82, "cpu": 0.59, "rcpu": 0.30, "rgpu": 0.24},
+    "B": {"gpu": 4.17, "cpu": 0.66, "rcpu": 0.33, "rgpu": 0.33},
+    "C": {"gpu": 2.62, "cpu": 0.37, "rcpu": 0.19, "rgpu": 0.13},
+}
+
+PLACEMENTS = {
+    "gpu": "gpu0-mem",
+    "cpu": "cpu0-mem",
+    "rcpu": "cpu1-mem",
+    "rgpu": "gpu1-mem",
+}
+
+
+def run(scale: float = 2.0**-12) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 14",
+        title="Hash-table locality (hops 0-3), relations in local CPU memory",
+        paper=PAPER,
+        notes=(
+            "One NVLink hop to the table costs 75-85% of throughput; the "
+            "GPU's memory-side L2 cannot cache the remote table, so even "
+            "workload B's cache-sized table gets no relief."
+        ),
+    )
+    machine = ibm_ac922(gpus=2)
+    workloads = {
+        "A": workload_a(scale=scale),
+        "B": workload_b(scale=scale),
+        "C": workload_c(scale=scale),
+    }
+    for name, workload in workloads.items():
+        values = {}
+        for label, region in PLACEMENTS.items():
+            join = NoPartitioningJoin(
+                machine,
+                hash_table_placement=region,
+                transfer_method="coherence",
+            )
+            values[label] = join.run(
+                workload.r, workload.s, processor="gpu0"
+            ).throughput_gtuples
+        result.add(name, **values)
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Figure 15: TPC-H query 6 scaling (SF 100-1000).
+
+Branching and predicated variants on the POWER9 CPU, the GPU over
+NVLink 2.0, and the GPU over PCI-e 3.0; 8.9-89.4 GiB working sets read
+from CPU memory (nothing cached in GPU memory).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.common import FigureResult
+from repro.core.ops.q6 import TpchQ6
+from repro.hardware.topology import ibm_ac922, intel_xeon_v100
+from repro.workloads.tpch import lineitem_q6
+
+#: approximate curve readings at SF 1000 (the figure reports curves,
+#: not labeled points): CPU is highest, NVLink branching beats NVLink
+#: predication, PCI-e is 9.8-15.8x below.
+PAPER = {
+    "SF1000": {
+        "cpu-predicated": 6.9,
+        "cpu-branching": 4.0,
+        "nvlink-branching": 4.1,
+        "nvlink-predicated": 3.7,
+        "pcie-branching": 0.5,
+        "pcie-predicated": 0.4,
+    }
+}
+
+SCALE_FACTORS = (100, 250, 500, 750, 1000)
+
+
+def run(scale: float = 2.0**-10, scale_factors=SCALE_FACTORS) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 15",
+        title="TPC-H Q6 scaling (branching vs. predication)",
+        paper=PAPER,
+        notes=(
+            "CPU achieves the highest throughput (up to 67% over NVLink); "
+            "NVLink 2.0 reaches up to 9.8x PCI-e 3.0; branching beats "
+            "predication on the GPU because low selectivity skips "
+            "transfers."
+        ),
+    )
+    ibm = ibm_ac922()
+    intel = intel_xeon_v100()
+    configs = [
+        ("cpu-predicated", ibm, "cpu0", "predicated", "coherence"),
+        ("cpu-branching", ibm, "cpu0", "branching", "coherence"),
+        ("nvlink-branching", ibm, "gpu0", "branching", "coherence"),
+        ("nvlink-predicated", ibm, "gpu0", "predicated", "coherence"),
+        ("pcie-branching", intel, "gpu0", "branching", "zero_copy"),
+        ("pcie-predicated", intel, "gpu0", "predicated", "zero_copy"),
+    ]
+    for sf in scale_factors:
+        workload = lineitem_q6(scale_factor=sf, scale=scale)
+        values = {}
+        for series, machine, proc, variant, method in configs:
+            op = TpchQ6(machine, variant=variant, transfer_method=method)
+            values[series] = op.run(workload, processor=proc).throughput_gtuples
+        result.add(f"SF{sf}", **values)
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

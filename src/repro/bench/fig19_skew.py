@@ -1,0 +1,126 @@
+"""Figure 19: Zipf-skewed probe relations.
+
+Workload A (34 GiB) with the probe side skewed by Zipf exponents
+0-1.75; the hash table is placed in CPU memory, in GPU memory, and in
+hybrid tables with explicit GPU/CPU byte splits (0/100, 10/90, 30/70,
+50/50, 100/0).  Series are shown for the CPU (NOPA), the GPU over
+PCI-e 3.0, and the GPU over NVLink 2.0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.bench.common import FigureResult
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.hardware.topology import ibm_ac922, intel_xeon_v100
+from repro.workloads.builders import workload_skewed
+
+#: curve readings at the end points (hash table fully in CPU memory).
+PAPER = {
+    "zipf=0.0": {"cpu": 0.5, "nvlink2": 0.6, "pcie3": 0.05},
+    "zipf=1.5": {"cpu": 1.75, "nvlink2": 2.17, "pcie3": 0.31},
+}
+
+EXPONENTS = (0.0, 0.5, 1.0, 1.25, 1.5, 1.75)
+GPU_SPLITS = (0.0, 0.1, 0.3, 0.5, 1.0)
+
+
+def run(
+    scale: float = 2.0**-12,
+    exponents: Iterable[float] = EXPONENTS,
+    gpu_split: float = 0.0,
+) -> FigureResult:
+    """Reproduce the CPU/NVLink/PCIe series for one hybrid split.
+
+    ``gpu_split`` is the fraction of the hash table in GPU memory
+    (0.0 = the paper's "0,100" series; 1.0 = "100,0").
+    """
+    result = FigureResult(
+        figure="Figure 19",
+        title=(
+            "Zipf-skewed probe relation, hash table split "
+            f"{gpu_split:.0%} GPU / {1 - gpu_split:.0%} CPU"
+        ),
+        paper=PAPER if gpu_split == 0.0 else {},
+        notes=(
+            "Higher skew concentrates probes on a cacheable hot set: "
+            "throughput rises ~3.5x (CPU), ~3.6x (NVLink), ~6.1x (PCI-e); "
+            "fully GPU-resident tables see no effect (the interconnect "
+            "transfer of the base relations is the bottleneck)."
+        ),
+    )
+    ibm = ibm_ac922()
+    intel = intel_xeon_v100()
+    for exponent in exponents:
+        workload = workload_skewed(exponent, scale=scale)
+        hot = workload.hot_set_profile()
+        values = {}
+        values["cpu"] = (
+            NoPartitioningJoin(ibm, hash_table_placement="cpu")
+            .run(workload.r, workload.s, processor="cpu0", hot_set=hot)
+            .throughput_gtuples
+        )
+        for series, machine, method in (
+            ("nvlink2", ibm, "coherence"),
+            ("pcie3", intel, "zero_copy"),
+        ):
+            fractions = _fractions(machine, gpu_split)
+            values[series] = (
+                NoPartitioningJoin(machine, transfer_method=method)
+                .run(
+                    workload.r,
+                    workload.s,
+                    processor="gpu0",
+                    hot_set=hot,
+                    placement_fractions=fractions,
+                )
+                .throughput_gtuples
+            )
+        result.add(f"zipf={exponent}", **values)
+    return result
+
+
+def run_splits(
+    scale: float = 2.0**-12,
+    exponent: float = 1.5,
+    splits: Iterable[float] = GPU_SPLITS,
+) -> Dict[float, float]:
+    """NVLink throughput vs. hybrid split at one skew level (the
+    figure's legend dimension)."""
+    ibm = ibm_ac922()
+    workload = workload_skewed(exponent, scale=scale)
+    hot = workload.hot_set_profile()
+    out: Dict[float, float] = {}
+    for split in splits:
+        res = NoPartitioningJoin(ibm).run(
+            workload.r,
+            workload.s,
+            processor="gpu0",
+            hot_set=hot,
+            placement_fractions=_fractions(ibm, split),
+        )
+        out[split] = res.throughput_gtuples
+    return out
+
+
+def _fractions(machine, gpu_split: float) -> Dict[str, float]:
+    gpu_region = machine.gpu(0).local_memory.name
+    cpu_region = machine.nearest_cpu_memory(machine.gpu(0).name).name
+    if gpu_split <= 0.0:
+        return {cpu_region: 1.0}
+    if gpu_split >= 1.0:
+        return {gpu_region: 1.0}
+    return {gpu_region: gpu_split, cpu_region: 1.0 - gpu_split}
+
+
+def main() -> None:
+    print(run().render())
+    print()
+    print("NVLink throughput at zipf=1.5 by hybrid split (GPU fraction):")
+    for split, value in run_splits().items():
+        print(f"  {split:.0%} GPU: {value:.2f} G Tuples/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Figure 21: cooperative CPU+GPU scale-up.
+
+Workloads A/B/C (Table 2, up to 34 GiB) under four execution
+strategies: CPU-only (NOPA), Het (shared table in CPU memory),
+GPU+Het (local table copies), and GPU-only.  Panel (b) breaks down the
+build and probe phases of workload C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.bench.common import FigureResult
+from repro.core.join.coop import CoopJoin
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.hardware.topology import ibm_ac922
+from repro.workloads.builders import workload_a, workload_b, workload_c
+
+PAPER = {
+    "A": {"cpu": 0.52, "het": 0.82, "gpu+het": 2.92, "gpu": 3.81},
+    "B": {"cpu": 0.50, "het": 1.64, "gpu+het": 4.85, "gpu": 4.16},
+    "C": {"cpu": 0.54, "het": 0.49, "gpu+het": 0.86, "gpu": 2.34},
+}
+
+#: Figure 21b (workload C, seconds per phase).
+PAPER_PHASES = {
+    "cpu": {"build": 2.12, "probe": 1.68},
+    "het": {"build": 2.15, "probe": 1.14},
+    "gpu+het": {"build": 0.63, "probe": 0.25},
+    "gpu": {"build": 0.24, "probe": 0.25},
+}
+
+
+def run(scale: float = 2.0**-12) -> FigureResult:
+    result = FigureResult(
+        figure="Figure 21a",
+        title="CPU/GPU co-processing strategies",
+        paper=PAPER,
+        notes=(
+            "Using a GPU never hurts: every GPU strategy matches or beats "
+            "CPU-only. GPU-only wins on A and C; the cooperative GPU+Het "
+            "wins on B (cache-sized table, local copies)."
+        ),
+    )
+    machine = ibm_ac922()
+    workloads = {
+        "A": workload_a(scale=scale),
+        "B": workload_b(scale=scale),
+        "C": workload_c(scale=scale),
+    }
+    for name, workload in workloads.items():
+        values = {}
+        values["cpu"] = (
+            NoPartitioningJoin(machine, hash_table_placement="cpu")
+            .run(workload.r, workload.s, processor="cpu0")
+            .throughput_gtuples
+        )
+        for strategy in ("het", "gpu+het"):
+            coop = CoopJoin(machine, strategy=strategy)
+            values[strategy] = coop.run(
+                workload.r, workload.s, workers=("cpu0", "gpu0")
+            ).throughput_gtuples
+        values["gpu"] = _gpu_only(machine, workload)
+        result.add(name, **values)
+    return result
+
+
+def run_phases(scale: float = 2.0**-12) -> Dict[str, Dict[str, float]]:
+    """Figure 21b: per-phase seconds for workload C."""
+    machine = ibm_ac922()
+    workload = workload_c(scale=scale)
+    phases: Dict[str, Dict[str, float]] = {}
+    cpu = NoPartitioningJoin(machine, hash_table_placement="cpu").run(
+        workload.r, workload.s, processor="cpu0"
+    )
+    phases["cpu"] = {
+        "build": cpu.build_cost.seconds,
+        "probe": cpu.probe_cost.seconds,
+    }
+    for strategy in ("het", "gpu+het"):
+        res = CoopJoin(machine, strategy=strategy).run(
+            workload.r, workload.s, workers=("cpu0", "gpu0")
+        )
+        phases[strategy] = {"build": res.build_seconds, "probe": res.probe_seconds}
+    gpu = NoPartitioningJoin(machine, hash_table_placement="gpu").run(
+        workload.r, workload.s
+    )
+    phases["gpu"] = {
+        "build": gpu.build_cost.seconds,
+        "probe": gpu.probe_cost.seconds,
+    }
+    return phases
+
+
+def _gpu_only(machine, workload) -> float:
+    return (
+        NoPartitioningJoin(machine, hash_table_placement="gpu")
+        .run(workload.r, workload.s)
+        .throughput_gtuples
+    )
+
+
+def main() -> None:
+    print(run().render())
+    print()
+    print("Figure 21b: workload C phase times (seconds, sim vs paper):")
+    phases = run_phases()
+    for strategy, times in phases.items():
+        paper = PAPER_PHASES[strategy]
+        print(
+            f"  {strategy:8s} build {times['build']:.2f}s "
+            f"(paper {paper['build']}) probe {times['probe']:.2f}s "
+            f"(paper {paper['probe']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

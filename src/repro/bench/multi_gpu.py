@@ -1,0 +1,94 @@
+"""Extension bench: multi-GPU hash-table placement (Section 6.3).
+
+The paper describes — without a dedicated figure — that multi-GPU
+systems should replicate small tables (GPU+Het style) and *interleave*
+large tables over the GPUs' memories, because:
+
+1. using only GPUs avoids computational skew,
+2. distributing large tables within GPU memory frees CPU memory
+   bandwidth for loading the base relations, and
+3. interleaving exercises the full bidirectional link bandwidth.
+
+This bench compares one GPU vs. two GPUs with replicated and
+interleaved placements, and against the single-GPU hybrid spill for a
+table larger than one GPU.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import FigureResult
+from repro.core.join.multigpu import MultiGpuJoin
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.hardware.topology import ibm_ac922
+from repro.memory.allocator import OutOfMemoryError
+from repro.workloads.builders import workload_a, workload_ratio
+
+
+def run(scale: float = 2.0**-12) -> FigureResult:
+    result = FigureResult(
+        figure="Extension: multi-GPU",
+        title="Multi-GPU hash-table placement (Section 6.3)",
+        notes=(
+            "Small tables: replicate (local probes on every GPU). Large "
+            "tables: interleave over GPU memories — the table no longer "
+            "fits one GPU, yet stays entirely in (remote) GPU memory, "
+            "beating the single-GPU hybrid spill to CPU memory."
+        ),
+    )
+    machine = ibm_ac922(gpus=2, gpu_mesh=True)
+
+    # Small table (workload A): one GPU vs two, replicated vs interleaved.
+    wl = workload_a(scale=scale)
+    one_gpu = NoPartitioningJoin(machine, hash_table_placement="gpu").run(
+        wl.r, wl.s
+    )
+    values = {"one-gpu": one_gpu.throughput_gtuples}
+    for placement in ("replicated", "interleaved"):
+        res = MultiGpuJoin(machine, placement=placement).run(
+            wl.r, wl.s, workers=("gpu0", "gpu1")
+        )
+        values[placement] = res.throughput_gtuples
+    result.add("A (2 GiB table)", **values)
+
+    # Large table (24 GiB): exceeds one GPU; interleaving over two GPUs
+    # keeps it in GPU memory where the single GPU must spill.
+    big = workload_ratio(1, scale=2.0**-13, modeled_r=2048 * 10**6)
+    values = {}
+    try:
+        NoPartitioningJoin(machine, hash_table_placement="gpu").run(big.r, big.s)
+        raise AssertionError("32 GiB table unexpectedly fit one GPU")
+    except OutOfMemoryError:
+        pass
+    values["one-gpu"] = (
+        NoPartitioningJoin(machine, hash_table_placement="hybrid")
+        .run(big.r, big.s)
+        .throughput_gtuples
+    )
+    values["interleaved"] = (
+        MultiGpuJoin(machine, placement="interleaved")
+        .run(big.r, big.s, workers=("gpu0", "gpu1"))
+        .throughput_gtuples
+    )
+    result.add("C 2048M (32 GiB table)", **values)
+
+    # GPU-count scaling of the interleaved placement (the AC922 takes
+    # up to four GPUs, two per socket).
+    four_gpu = ibm_ac922(gpus=4, gpu_mesh=True)
+    values = {}
+    for count in (2, 4):
+        workers = tuple(f"gpu{i}" for i in range(count))
+        values[f"{count}-gpus"] = (
+            MultiGpuJoin(four_gpu, placement="interleaved")
+            .run(big.r, big.s, workers=workers)
+            .throughput_gtuples
+        )
+    result.add("C 2048M scaling", **values)
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

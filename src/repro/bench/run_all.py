@@ -1,0 +1,54 @@
+"""Run every figure reproduction and print paper-vs-simulated tables.
+
+Usage::
+
+    python -m repro.bench.run_all
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    ablations,
+    multi_gpu,
+    fig01_bandwidth,
+    fig11_placement,
+    fig03_microbench,
+    fig12_transfer_methods,
+    fig13_data_locality,
+    fig14_hashtable_locality,
+    fig15_tpch_q6,
+    fig16_probe_scaling,
+    fig17_build_scaling,
+    fig18_build_probe_ratio,
+    fig19_skew,
+    fig20_selectivity,
+    fig21_coprocessing,
+)
+
+MODULES = (
+    fig01_bandwidth,
+    fig03_microbench,
+    fig11_placement,
+    fig12_transfer_methods,
+    fig13_data_locality,
+    fig14_hashtable_locality,
+    fig15_tpch_q6,
+    fig16_probe_scaling,
+    fig17_build_scaling,
+    fig18_build_probe_ratio,
+    fig19_skew,
+    fig20_selectivity,
+    fig21_coprocessing,
+    ablations,
+    multi_gpu,
+)
+
+
+def main() -> None:
+    for module in MODULES:
+        module.main()
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Calibration sensitivity analysis.
+
+Perturbs each fitted calibration constant by ±20% and measures how much
+the headline reproduction anchors move.  This quantifies the claim in
+docs/calibration.md that the reproduced *shapes* are robust to modest
+recalibration — and identifies the stiff constants (the ones a user
+must re-fit first when porting the model to different hardware).
+
+Anchors used (cheap to evaluate, covering distinct regimes):
+
+* Figure 12 / Coherence on NVLink (interconnect-bound probe),
+* Figure 18 / 1:1 build share (atomic-bound build),
+* Figure 14 / workload A with a CPU-resident table (random-bound probe),
+* Figure 21 / CPU-only workload A (CPU-side model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Tuple
+
+from repro.bench.common import FigureResult
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.costmodel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.hardware.topology import ibm_ac922
+from repro.workloads.builders import workload_a, workload_ratio
+
+#: scalar constants to perturb (dict-valued constants are perturbed
+#: uniformly across their entries).
+SCALAR_CONSTANTS = (
+    "shared_build_contention",
+    "per_hop_random_penalty",
+    "l2_random_rate",
+    "llc_random_rate",
+    "random_sector_bytes",
+    "join_pipeline_overhead",
+)
+DICT_CONSTANTS = (
+    "independent_access_factor",
+    "atomic_rate",
+    "issue_efficiency",
+    "dram_concurrency",
+)
+
+
+def _perturbed(name: str, factor: float) -> Calibration:
+    """A calibration with one constant scaled by ``factor``."""
+    base = DEFAULT_CALIBRATION
+    value = getattr(base, name)
+    if isinstance(value, dict):
+        new_value = {k: v * factor for k, v in value.items()}
+    else:
+        new_value = value * factor
+    return dataclasses.replace(base, **{name: new_value})
+
+
+def _anchors(calibration: Calibration, scale: float) -> Dict[str, float]:
+    """The four anchor metrics under one calibration."""
+    machine = ibm_ac922()
+    wl_a = workload_a(scale=scale)
+    wl_ratio = workload_ratio(1, scale=scale)
+
+    coherence = NoPartitioningJoin(
+        machine, hash_table_placement="gpu", calibration=calibration
+    ).run(wl_a.r, wl_a.s)
+    ratio_run = NoPartitioningJoin(
+        machine, hash_table_placement="gpu", calibration=calibration
+    ).run(wl_ratio.r, wl_ratio.s)
+    cpu_table = NoPartitioningJoin(
+        machine, hash_table_placement="cpu", calibration=calibration
+    ).run(wl_a.r, wl_a.s)
+    cpu_only = NoPartitioningJoin(
+        machine, hash_table_placement="cpu", calibration=calibration
+    ).run(wl_a.r, wl_a.s, processor="cpu0")
+    return {
+        "fig12-coherence": coherence.throughput_gtuples,
+        "fig18-build-share": 100.0 * ratio_run.build_fraction,
+        "fig14-cpu-table": cpu_table.throughput_gtuples,
+        "fig21-cpu-only": cpu_only.throughput_gtuples,
+    }
+
+
+def run(scale: float = 2.0**-14, perturbation: float = 0.2) -> FigureResult:
+    """Max |relative anchor change| per constant, at ±perturbation."""
+    result = FigureResult(
+        figure="Sensitivity",
+        title=(
+            f"Anchor movement under ±{perturbation:.0%} calibration "
+            "perturbations"
+        ),
+        unit="max |Δ| (%)",
+        notes=(
+            "Small numbers = the reproduction does not hinge on that "
+            "constant; large numbers = a stiff constant that must be "
+            "re-fitted on different hardware."
+        ),
+    )
+    baseline = _anchors(DEFAULT_CALIBRATION, scale)
+    for name in SCALAR_CONSTANTS + DICT_CONSTANTS:
+        movements: Dict[str, float] = {}
+        for factor in (1.0 - perturbation, 1.0 + perturbation):
+            anchors = _anchors(_perturbed(name, factor), scale)
+            for anchor, value in anchors.items():
+                change = abs(value - baseline[anchor]) / abs(baseline[anchor])
+                movements[anchor] = max(movements.get(anchor, 0.0), change)
+        result.add(
+            name, **{anchor: 100.0 * v for anchor, v in movements.items()}
+        )
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Core library: the paper's primary contribution.
+
+* :mod:`repro.core.hashtable` — perfect / open-addressing / chaining
+  hash tables with SoA layout, access counting, and (hybrid) placement.
+* :mod:`repro.core.join` — the no-partitioning hash join (NOPA), the
+  radix-partitioned CPU baseline (PRA/PRO), and cooperative CPU+GPU
+  execution (Het, GPU+Het).
+* :mod:`repro.core.ops` — selection/aggregation operators and TPC-H Q6.
+* :mod:`repro.core.scheduler` — morsel-driven heterogeneous scheduling.
+* :mod:`repro.core.placement` — the hash-table placement decision tree.
+"""
+
+from repro.core.join.nopa import JoinResult, NoPartitioningJoin
+from repro.core.join.radix import RadixJoin
+from repro.core.join.coop import CoopJoin, CoopResult
+from repro.core.placement import PlacementDecision, decide_placement
+
+__all__ = [
+    "JoinResult",
+    "NoPartitioningJoin",
+    "RadixJoin",
+    "CoopJoin",
+    "CoopResult",
+    "PlacementDecision",
+    "decide_placement",
+]

@@ -1,0 +1,110 @@
+"""Hash table base: SoA storage, access counters, common validation.
+
+The join cost model consumes :class:`TableStats` — the exact numbers of
+insert, probe-key, and probe-value accesses the functional execution
+performed.  Because these counts are linear in tuple counts, they can
+be rescaled to the modeled (paper-scale) cardinality.
+
+The layout is struct-of-arrays: one key array and one value array.
+Probes always touch the key array; the value array is touched only on a
+match.  This is the layout behind Figure 20's observation that at low
+selectivity most value bytes are never loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class TableStats:
+    """Access counters maintained by the functional layer."""
+
+    inserts: int = 0
+    insert_probes: int = 0  # slot inspections during inserts (collisions)
+    lookups: int = 0
+    lookup_probes: int = 0  # slot inspections during lookups
+    value_reads: int = 0  # value-array accesses (matches only)
+
+    def reset(self) -> None:
+        self.inserts = 0
+        self.insert_probes = 0
+        self.lookups = 0
+        self.lookup_probes = 0
+        self.value_reads = 0
+
+    @property
+    def probe_factor(self) -> float:
+        """Average slot inspections per lookup (1.0 for perfect hashing)."""
+        if self.lookups == 0:
+            return 1.0
+        return self.lookup_probes / self.lookups
+
+    @property
+    def insert_factor(self) -> float:
+        """Average slot inspections per insert (1.0 for perfect hashing)."""
+        if self.inserts == 0:
+            return 1.0
+        return self.insert_probes / self.inserts
+
+
+class HashTableBase:
+    """Common state of the concrete hash tables."""
+
+    #: sentinel for empty slots; workload keys are non-negative.
+    EMPTY = -1
+
+    def __init__(self, capacity: int, key_dtype, value_dtype) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.keys = np.full(self.capacity, self.EMPTY, dtype=key_dtype)
+        self.values = np.zeros(self.capacity, dtype=value_dtype)
+        self.stats = TableStats()
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def entry_bytes(self) -> int:
+        return self.keys.dtype.itemsize + self.values.dtype.itemsize
+
+    @property
+    def table_bytes(self) -> int:
+        return self.capacity * self.entry_bytes
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.capacity
+
+    def modeled_bytes(self, modeled_build_tuples: int) -> int:
+        """Table size at paper scale, preserving this table's headroom.
+
+        A perfect table sized exactly |R| models to ``|R| * entry``;
+        an open-addressing table with 50% fill models to ~2x that.
+        """
+        if self.size == 0:
+            return self.capacity * self.entry_bytes
+        ratio = self.capacity / self.size
+        return int(modeled_build_tuples * ratio) * self.entry_bytes
+
+    # ------------------------------------------------------------------
+    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Insert a batch of unique (key, value) pairs."""
+        raise NotImplementedError
+
+    def lookup_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Returns (found_mask, values); values are valid where found."""
+        raise NotImplementedError
+
+    def _check_batch(self, keys: np.ndarray, values: np.ndarray = None) -> None:
+        if keys.ndim != 1:
+            raise ValueError("key batch must be one-dimensional")
+        if values is not None and len(values) != len(keys):
+            raise ValueError(
+                f"batch mismatch: {len(keys)} keys vs {len(values)} values"
+            )
+        if len(keys) and keys.min() < 0:
+            raise ValueError("keys must be non-negative (EMPTY sentinel is -1)")

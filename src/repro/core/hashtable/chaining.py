@@ -1,0 +1,97 @@
+"""Chaining hash table with array-backed buckets.
+
+Chains are represented with a ``next`` index array (the classic
+"bucket-chained" layout used by main-memory joins): ``heads[b]`` points
+at the newest entry of bucket ``b``, each entry stores key, value, and
+the index of the next entry.  Inserting prepends — exactly the atomic
+exchange a parallel chaining build performs on the head pointer.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.hashtable.base import HashTableBase
+from repro.core.hashtable.hash_functions import bucket_of, next_power_of_two
+
+
+class ChainingHashTable(HashTableBase):
+    """Bucket-chained table; one entry slot per expected build tuple."""
+
+    NIL = -1
+
+    def __init__(
+        self,
+        expected_size: int,
+        key_dtype=np.int64,
+        value_dtype=np.int64,
+        buckets_per_entry: float = 1.0,
+    ):
+        if buckets_per_entry <= 0:
+            raise ValueError("buckets_per_entry must be positive")
+        capacity = max(1, int(expected_size))
+        super().__init__(capacity, key_dtype, value_dtype)
+        n_buckets = next_power_of_two(max(2, int(capacity * buckets_per_entry)))
+        self.heads = np.full(n_buckets, self.NIL, dtype=np.int64)
+        self.next = np.full(capacity, self.NIL, dtype=np.int64)
+        self.n_buckets = n_buckets
+
+    @property
+    def table_bytes(self) -> int:
+        head_bytes = self.heads.nbytes
+        entry_bytes = self.keys.nbytes + self.values.nbytes + self.next.nbytes
+        return head_bytes + entry_bytes
+
+    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._check_batch(keys, values)
+        n = len(keys)
+        if n == 0:
+            return
+        if self.size + n > self.capacity:
+            raise ValueError(
+                f"batch of {n} does not fit: {self.size}/{self.capacity}"
+            )
+        rows = np.arange(self.size, self.size + n)
+        buckets = bucket_of(keys, self.n_buckets)
+        self.keys[rows] = keys
+        self.values[rows] = values
+        # Sequentialize head swaps per bucket: process in order, each new
+        # entry points at the previous head of its bucket.
+        order = np.argsort(buckets, kind="stable")
+        for i in order:
+            b = buckets[i]
+            self.next[rows[i]] = self.heads[b]
+            self.heads[b] = rows[i]
+        self.size += n
+        self.stats.inserts += n
+        self.stats.insert_probes += n
+
+    def lookup_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        self._check_batch(keys)
+        n = len(keys)
+        self.stats.lookups += n
+        found = np.zeros(n, dtype=bool)
+        values = np.zeros(n, dtype=self.values.dtype)
+        if n == 0:
+            return found, values
+        # Every lookup inspects its bucket head — chained tables pay one
+        # extra dependent read compared to open addressing.
+        self.stats.lookup_probes += n
+        cursor = self.heads[bucket_of(keys, self.n_buckets)]
+        pending = np.flatnonzero(cursor != self.NIL)
+        cursor = cursor[pending]
+        while len(pending):
+            self.stats.lookup_probes += len(pending)
+            hit = self.keys[cursor] == keys[pending]
+            if hit.any():
+                rows = pending[hit]
+                found[rows] = True
+                values[rows] = self.values[cursor[hit]]
+                self.stats.value_reads += int(hit.sum())
+            cursor = self.next[cursor]
+            keep = ~hit & (cursor != self.NIL)
+            pending = pending[keep]
+            cursor = cursor[keep]
+        return found, values

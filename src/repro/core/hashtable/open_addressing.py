@@ -1,0 +1,115 @@
+"""Open-addressing hash table with linear probing (vectorized).
+
+This is the general-purpose table for non-dense keys.  Batch inserts
+emulate the GPU's CAS loop: in each round, every pending key attempts
+its current slot; losers (occupied by a different key, or lost the
+within-batch race) advance to the next slot.  numpy resolves the
+within-round race deterministically ("last writer wins" per slot), and
+the fix-up pass re-queues overwritten keys exactly as a failed CAS
+would, so the result equals a sequential insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.hashtable.base import HashTableBase
+from repro.core.hashtable.hash_functions import bucket_of, next_power_of_two
+
+
+class OpenAddressingHashTable(HashTableBase):
+    """Linear-probing table; capacity is rounded up to a power of two."""
+
+    #: default fill target: capacity = 2x the expected build size.
+    DEFAULT_LOAD = 0.5
+
+    def __init__(
+        self,
+        expected_size: int,
+        key_dtype=np.int64,
+        value_dtype=np.int64,
+        load_factor: float = DEFAULT_LOAD,
+    ):
+        if not 0 < load_factor <= 0.9:
+            raise ValueError(f"load factor must be in (0, 0.9], got {load_factor}")
+        capacity = next_power_of_two(max(2, int(expected_size / load_factor)))
+        super().__init__(capacity, key_dtype, value_dtype)
+        self._mask = np.int64(self.capacity - 1)
+
+    def _home_slots(self, keys: np.ndarray) -> np.ndarray:
+        return bucket_of(keys, self.capacity)
+
+    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self._check_batch(keys, values)
+        if len(keys) == 0:
+            return
+        if self.size + len(keys) > self.capacity:
+            raise ValueError(
+                f"batch of {len(keys)} does not fit: {self.size}/{self.capacity}"
+            )
+        pending_keys = keys.astype(self.keys.dtype, copy=True)
+        pending_values = values.astype(self.values.dtype, copy=True)
+        slots = self._home_slots(pending_keys)
+        rounds = 0
+        while len(pending_keys):
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise RuntimeError("insert did not converge; table corrupted?")
+            self.stats.insert_probes += len(pending_keys)
+            empty = self.keys[slots] == self.EMPTY
+            duplicate = self.keys[slots] == pending_keys
+            if duplicate.any():
+                raise ValueError(
+                    "duplicate key insert (join build expects unique keys): "
+                    f"{int(pending_keys[duplicate][0])}"
+                )
+            # Claim empty slots; numpy scatter keeps the *last* writer per
+            # slot, so re-read to find the actual winners (emulated CAS).
+            claim = np.flatnonzero(empty)
+            if len(claim):
+                claim_slots = slots[claim]
+                self.keys[claim_slots] = pending_keys[claim]
+                self.values[claim_slots] = pending_values[claim]
+                won = self.keys[slots[claim]] == pending_keys[claim]
+                winners = claim[won]
+                self.size += len(winners)
+                self.stats.inserts += len(winners)
+                lost = np.ones(len(pending_keys), dtype=bool)
+                lost[winners] = False
+            else:
+                lost = np.ones(len(pending_keys), dtype=bool)
+            pending_keys = pending_keys[lost]
+            pending_values = pending_values[lost]
+            slots = (slots[lost] + 1) & self._mask
+
+    def lookup_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        self._check_batch(keys)
+        n = len(keys)
+        self.stats.lookups += n
+        found = np.zeros(n, dtype=bool)
+        values = np.zeros(n, dtype=self.values.dtype)
+        if n == 0:
+            return found, values
+        pending = np.arange(n)
+        probe_keys = keys.astype(self.keys.dtype)
+        slots = self._home_slots(probe_keys)
+        rounds = 0
+        while len(pending):
+            rounds += 1
+            if rounds > self.capacity + 1:
+                raise RuntimeError("lookup did not converge; table corrupted?")
+            self.stats.lookup_probes += len(pending)
+            slot_keys = self.keys[slots]
+            hit = slot_keys == probe_keys[pending]
+            miss = slot_keys == self.EMPTY
+            if hit.any():
+                hit_rows = pending[hit]
+                found[hit_rows] = True
+                values[hit_rows] = self.values[slots[hit]]
+                self.stats.value_reads += int(hit.sum())
+            keep = ~(hit | miss)
+            pending = pending[keep]
+            slots = (slots[keep] + 1) & self._mask
+        return found, values

@@ -1,0 +1,14 @@
+"""Join operators: NOPA, the radix baseline, and cooperative execution."""
+
+from repro.core.join.nopa import JoinResult, NoPartitioningJoin
+from repro.core.join.radix import RadixJoin, RadixJoinResult
+from repro.core.join.coop import CoopJoin, CoopResult
+
+__all__ = [
+    "JoinResult",
+    "NoPartitioningJoin",
+    "RadixJoin",
+    "RadixJoinResult",
+    "CoopJoin",
+    "CoopResult",
+]

@@ -1,0 +1,404 @@
+"""Cooperative CPU+GPU join execution (Section 6).
+
+Two strategies on top of the NOPA join:
+
+* **Het** — one globally shared hash table in CPU memory; CPU and GPU
+  build it together (contended atomics over the coherent interconnect)
+  and probe it together via morsel-driven scheduling (Figure 9a).
+* **GPU+Het** — for small build sides: one processor (the GPU) builds
+  the table in its local memory, the finished table is copied to every
+  other processor's local memory, and all processors probe their local
+  copy (Figure 9b).
+
+Per-worker throughputs come from the shared-resource solver (CPU cores
+and the GPU compete for CPU-memory bandwidth); the probe phase then runs
+as a discrete-event simulation of the morsel dispatcher — one morsel at
+a time for CPU workers, latency-amortizing batches for GPUs — which
+adds the end-of-input skew and batching effects of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.costmodel.access import (
+    AccessProfile,
+    atomic_stream,
+    random_stream,
+    seq_stream,
+)
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel
+from repro.core.hashtable import create_hash_table
+from repro.core.hashtable.placement import HashTablePlacement
+from repro.core.scheduler.batch import tune_batch_morsels
+from repro.core.scheduler.morsel import MorselDispatcher
+from repro.data.relation import Relation
+from repro.hardware.cache import HotSetProfile
+from repro.hardware.processor import Gpu
+from repro.hardware.topology import Machine
+from repro.memory.allocator import OutOfMemoryError
+from repro.sim.engine import Simulator
+from repro.sim.resources import solve_concurrent_rates
+from repro.sim.trace import Timeline
+
+STRATEGIES = ("het", "gpu+het")
+
+
+@dataclass
+class CoopResult:
+    """Functional result plus simulated performance of a cooperative join."""
+
+    matches: int
+    aggregate: int
+    strategy: str
+    build_seconds: float
+    probe_seconds: float
+    modeled_tuples: int
+    worker_rates: Dict[str, float]
+    worker_shares: Dict[str, float]
+    timeline: Timeline
+    workers: Tuple[str, ...]
+
+    @property
+    def runtime(self) -> float:
+        return self.build_seconds + self.probe_seconds
+
+    @property
+    def throughput_tuples(self) -> float:
+        if self.runtime == 0:
+            return float("inf")
+        return self.modeled_tuples / self.runtime
+
+    @property
+    def throughput_gtuples(self) -> float:
+        return self.throughput_tuples / 1e9
+
+    def __str__(self) -> str:
+        return (
+            f"CoopResult({self.strategy}: {self.throughput_gtuples:.2f} "
+            f"G Tuples/s, workers={self.workers})"
+        )
+
+
+class CoopJoin:
+    """Cooperative NOPA join across heterogeneous processors.
+
+    Args:
+        machine: the simulated machine (must have a coherent GPU link for
+            the shared-table Het strategy).
+        strategy: ``het`` or ``gpu+het``.
+        morsel_tuples: dispatcher morsel size (modeled tuples).
+        gpu_batch_morsels: morsels per GPU batch; ``None`` auto-tunes.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        strategy: str = "het",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        morsel_tuples: int = 1 << 22,
+        gpu_batch_morsels: Optional[int] = None,
+        hash_scheme: str = "perfect",
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; valid: {', '.join(STRATEGIES)}"
+            )
+        self.machine = machine
+        self.strategy = strategy
+        self.calibration = calibration
+        self.cost_model = CostModel(machine, calibration)
+        self.morsel_tuples = morsel_tuples
+        self.gpu_batch_morsels = gpu_batch_morsels
+        self.hash_scheme = hash_scheme
+
+    # ------------------------------------------------------------------
+    # Placement per strategy
+    # ------------------------------------------------------------------
+    def _shared_table_region(self, workers: Tuple[str, ...]) -> str:
+        """Het: the shared table lives in the CPU memory nearest the GPU.
+
+        "We avoid our hybrid hash table optimization and store the hash
+        table in CPU memory ... we avoid slowing down CPU processing
+        through remote GPU memory accesses" (Section 6.2).
+        """
+        gpus = [w for w in workers if isinstance(self.machine.processor(w), Gpu)]
+        anchor = gpus[0] if gpus else workers[0]
+        return self.machine.nearest_cpu_memory(anchor).name
+
+    def _local_table_region(self, worker: str) -> str:
+        """GPU+Het: every worker probes a copy in its local memory."""
+        return self.machine.processor(worker).local_memory.name
+
+    # ------------------------------------------------------------------
+    # Per-worker profiles
+    # ------------------------------------------------------------------
+    def _is_gpu(self, worker: str) -> bool:
+        return isinstance(self.machine.processor(worker), Gpu)
+
+    def _build_profile(
+        self,
+        worker: str,
+        r: Relation,
+        table_region: str,
+        table_bytes: float,
+        entry_bytes: float,
+        contended: bool,
+    ) -> AccessProfile:
+        is_gpu = self._is_gpu(worker)
+        accesses_per_tuple = 1.0 if is_gpu else 2.0
+        label = "ht insert [contended]" if contended else "ht insert"
+        work = self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"]
+        return AccessProfile(
+            streams=[
+                seq_stream(worker, r.location, r.modeled_bytes, "read R"),
+                atomic_stream(
+                    worker,
+                    table_region,
+                    r.modeled_tuples * accesses_per_tuple,
+                    entry_bytes,
+                    working_set_bytes=table_bytes,
+                    label=label,
+                ),
+            ],
+            compute_tuples=r.modeled_tuples * work,
+            label=f"build[{worker}]",
+        )
+
+    def _probe_profile(
+        self,
+        worker: str,
+        s: Relation,
+        table_region: str,
+        table_bytes: float,
+        key_bytes: float,
+        accesses_per_tuple: float,
+        lines_loaded: float,
+        hot_set: Optional[HotSetProfile],
+    ) -> AccessProfile:
+        is_gpu = self._is_gpu(worker)
+        work = self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"]
+        stream_bytes = s.modeled_tuples * (
+            s.key_bytes + s.payload_bytes * lines_loaded
+        )
+        return AccessProfile(
+            streams=[
+                seq_stream(worker, s.location, stream_bytes, "read S"),
+                random_stream(
+                    worker,
+                    table_region,
+                    s.modeled_tuples * accesses_per_tuple,
+                    key_bytes,
+                    working_set_bytes=table_bytes,
+                    hot_set=hot_set,
+                    label="ht probe",
+                ),
+            ],
+            compute_tuples=s.modeled_tuples * work,
+            label=f"probe[{worker}]",
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _build_phase(
+        self,
+        r: Relation,
+        workers: Tuple[str, ...],
+        table_bytes: float,
+        entry_bytes: float,
+    ) -> Tuple[float, Dict[str, str]]:
+        """Returns (build seconds, worker -> probe table region)."""
+        if self.strategy == "het":
+            region = self._shared_table_region(workers)
+            contended = len(workers) > 1
+            demands = {}
+            for worker in workers:
+                profile = self._build_profile(
+                    worker, r, region, table_bytes, entry_bytes, contended
+                )
+                demands[worker] = self.cost_model.occupancy_per_unit(
+                    profile, r.modeled_tuples
+                )
+            rates = solve_concurrent_rates(demands)
+            combined = sum(rates.values())
+            seconds = r.modeled_tuples / combined if combined > 0 else 0.0
+            return seconds, {worker: region for worker in workers}
+
+        # gpu+het: the GPU builds locally, then broadcasts the table.
+        # Every worker holds a private copy, so the table must fit the
+        # smallest GPU memory (this is the "small build-side relations"
+        # special case of Section 6.2).
+        gpus = [w for w in workers if self._is_gpu(w)]
+        if not gpus:
+            raise ValueError("gpu+het requires at least one GPU worker")
+        for worker in gpus:
+            capacity = self.machine.processor(worker).local_memory.capacity
+            if table_bytes > capacity:
+                raise OutOfMemoryError(
+                    f"gpu+het replicates the {table_bytes}-byte hash table "
+                    f"to every processor, but it exceeds {worker}'s memory; "
+                    "use the Het strategy for large build sides"
+                )
+        builder = gpus[0]
+        build_region = self._local_table_region(builder)
+        profile = self._build_profile(
+            builder, r, build_region, table_bytes, entry_bytes, contended=False
+        )
+        seconds = self.cost_model.phase_cost(profile).seconds
+        # Synchronous copy of the finished table to each other worker's
+        # local memory over the builder's link (Figure 9b, step 2).
+        others = [w for w in workers if w != builder]
+        copy_targets = {self._local_table_region(w) for w in others}
+        if copy_targets:
+            link = self.machine.gpu_link(builder)
+            copy_bw = link.spec.seq_bw * self.calibration.ht_copy_bandwidth_factor
+            seconds += len(copy_targets) * table_bytes / copy_bw
+        regions = {w: self._local_table_region(w) for w in workers}
+        return seconds, regions
+
+    def _probe_phase(
+        self,
+        s: Relation,
+        workers: Tuple[str, ...],
+        regions: Dict[str, str],
+        table_bytes: float,
+        key_bytes: float,
+        accesses_per_tuple: float,
+        lines_loaded: float,
+        hot_set: Optional[HotSetProfile],
+    ) -> Tuple[float, Dict[str, float], Dict[str, float], Timeline]:
+        demands = {}
+        for worker in workers:
+            profile = self._probe_profile(
+                worker,
+                s,
+                regions[worker],
+                table_bytes,
+                key_bytes,
+                accesses_per_tuple,
+                lines_loaded,
+                hot_set,
+            )
+            demands[worker] = self.cost_model.occupancy_per_unit(
+                profile, s.modeled_tuples
+            )
+        rates = solve_concurrent_rates(demands)
+
+        dispatcher = MorselDispatcher(s.modeled_tuples, self.morsel_tuples)
+        sim = Simulator()
+        timeline = Timeline()
+
+        def make_worker(name: str, rate: float, batch: int, latency: float):
+            def work(simulator: Simulator) -> None:
+                grant = dispatcher.next_batch(batch, worker=name)
+                if grant is None:
+                    return
+                duration = latency + grant.tuples / rate
+                timeline.record(name, "probe", simulator.now,
+                                simulator.now + duration, grant.tuples)
+                simulator.schedule(duration, work)
+
+            return work
+
+        for worker in workers:
+            rate = rates[worker]
+            if rate <= 0 or rate == float("inf"):
+                raise RuntimeError(f"degenerate probe rate for {worker}: {rate}")
+            if self._is_gpu(worker):
+                latency = self.calibration.gpu_batch_dispatch_latency
+                batch = self.gpu_batch_morsels or tune_batch_morsels(
+                    self.morsel_tuples, rate, latency
+                )
+            else:
+                latency = self.calibration.cpu_morsel_dispatch_latency
+                batch = 1
+            sim.schedule(0.0, make_worker(worker, rate, batch, latency))
+        seconds = sim.run()
+        shares = {
+            worker: dispatcher.dispatched_tuples(worker) / max(1, s.modeled_tuples)
+            for worker in workers
+        }
+        return seconds, rates, shares, timeline
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        r: Relation,
+        s: Relation,
+        workers: Tuple[str, ...] = ("cpu0", "gpu0"),
+        hot_set: Optional[HotSetProfile] = None,
+    ) -> CoopResult:
+        """Execute the cooperative join and price it on the machine."""
+        if not workers:
+            raise ValueError("need at least one worker")
+        for worker in workers:
+            self.machine.processor(worker)  # validate names early
+        if self.strategy == "het" and len(workers) > 1:
+            # A shared *mutable* hash table needs system-wide atomics,
+            # which only cache-coherent interconnects provide (L3 /
+            # Section 3: PCI-e lacks them).
+            gpu_workers = [w for w in workers if self._is_gpu(w)]
+            for worker in gpu_workers:
+                link = self.machine.gpu_link(worker)
+                if not link.spec.cache_coherent:
+                    raise ValueError(
+                        f"the Het strategy shares a mutable hash table and "
+                        f"requires a cache-coherent interconnect; {worker}'s "
+                        f"{link.spec.name} is not coherent — use 'gpu+het' "
+                        "or single-processor execution"
+                    )
+
+        # Functional execution: one shared table, full probe.
+        table = create_hash_table(
+            self.hash_scheme, r.executed_tuples, r.key.dtype, r.payload.dtype
+        )
+        table.insert_batch(r.key, r.payload)
+        found, values = table.lookup_batch(s.key)
+        matches = int(found.sum())
+        aggregate = int(values[found].astype(np.int64).sum())
+        lines_loaded = _line_fraction(found, s.payload_bytes)
+
+        table_bytes = table.modeled_bytes(r.modeled_tuples)
+        accesses_per_tuple = (
+            table.stats.lookup_probes + table.stats.value_reads
+        ) / max(1, table.stats.lookups)
+
+        build_seconds, regions = self._build_phase(
+            r, workers, table_bytes, table.entry_bytes
+        )
+        probe_seconds, rates, shares, timeline = self._probe_phase(
+            s,
+            workers,
+            regions,
+            table_bytes,
+            table.keys.dtype.itemsize,
+            accesses_per_tuple,
+            lines_loaded,
+            hot_set,
+        )
+        return CoopResult(
+            matches=matches,
+            aggregate=aggregate,
+            strategy=self.strategy,
+            build_seconds=build_seconds,
+            probe_seconds=probe_seconds,
+            modeled_tuples=r.modeled_tuples + s.modeled_tuples,
+            worker_rates=rates,
+            worker_shares=shares,
+            timeline=timeline,
+            workers=tuple(workers),
+        )
+
+
+def _line_fraction(match_mask: np.ndarray, payload_bytes: int) -> float:
+    """Payload-column line-load fraction (shared with the NOPA join)."""
+    from repro.core.join.nopa import payload_line_fraction
+
+    return payload_line_fraction(match_mask, payload_bytes)

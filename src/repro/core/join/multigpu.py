@@ -1,0 +1,306 @@
+"""Multi-GPU hash-table placement and execution (Section 6.3).
+
+"Systems with multiple GPUs are connected in a mesh topology similar to
+multi-socket CPU systems.  For small hash tables, we can use the
+GPU+Het execution strategy with multiple GPUs.  However, for large hash
+tables, multi-GPU systems can distribute the hash table over multiple
+GPUs, as GPUs are latency insensitive.  We distribute the table by
+interleaving the pages over all GPUs."
+
+Two placements:
+
+* ``replicated`` — every GPU holds its own copy of a small table (one
+  GPU builds, the copy is broadcast); each GPU probes locally.
+* ``interleaved`` — the table's pages are dealt round-robin over all
+  GPU memories; each GPU's probes hit every GPU's memory uniformly,
+  exploiting the full bidirectional bandwidth of the fast interconnect.
+
+The paper describes this strategy without a dedicated experiment; the
+bench in :mod:`repro.bench.multi_gpu` explores it as an extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.access import (
+    AccessProfile,
+    atomic_stream,
+    random_stream,
+    seq_stream,
+)
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel
+from repro.core.hashtable import create_hash_table
+from repro.data.relation import Relation
+from repro.hardware.processor import Gpu
+from repro.hardware.topology import Machine
+from repro.memory.allocator import Allocator, OutOfMemoryError
+from repro.memory.hybrid import allocate_interleaved
+from repro.sim.resources import solve_concurrent_rates
+
+PLACEMENTS = ("replicated", "interleaved")
+
+
+@dataclass
+class MultiGpuResult:
+    """Functional result plus simulated performance."""
+
+    matches: int
+    aggregate: int
+    placement: str
+    build_seconds: float
+    probe_seconds: float
+    modeled_tuples: int
+    gpu_rates: Dict[str, float]
+    table_bytes_per_gpu: Dict[str, int]
+
+    @property
+    def runtime(self) -> float:
+        return self.build_seconds + self.probe_seconds
+
+    @property
+    def throughput_tuples(self) -> float:
+        if self.runtime == 0:
+            return float("inf")
+        return self.modeled_tuples / self.runtime
+
+    @property
+    def throughput_gtuples(self) -> float:
+        return self.throughput_tuples / 1e9
+
+
+class MultiGpuJoin:
+    """NOPA join distributed over several GPUs.
+
+    The probe side is split over the GPUs by the morsel dispatcher at
+    the rates the contention solver assigns; the build is executed by
+    all GPUs in parallel (interleaved) or by one GPU plus a broadcast
+    (replicated).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        placement: str = "interleaved",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        hash_scheme: str = "perfect",
+    ) -> None:
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; valid: {', '.join(PLACEMENTS)}"
+            )
+        self.machine = machine
+        self.placement = placement
+        self.calibration = calibration
+        self.cost_model = CostModel(machine, calibration)
+        self.hash_scheme = hash_scheme
+
+    # ------------------------------------------------------------------
+    def _gpus(self, workers: Sequence[str]) -> List[Gpu]:
+        gpus = []
+        for name in workers:
+            proc = self.machine.processor(name)
+            if not isinstance(proc, Gpu):
+                raise ValueError(f"multi-GPU join accepts GPUs only, got {name}")
+            gpus.append(proc)
+        if not gpus:
+            raise ValueError("need at least one GPU")
+        return gpus
+
+    def _table_fractions(
+        self, gpus: Sequence[Gpu], table_bytes: int
+    ) -> Tuple[Dict[str, float], Dict[str, int]]:
+        """Region fractions + per-GPU bytes for the chosen placement."""
+        if self.placement == "replicated":
+            for gpu in gpus:
+                if table_bytes > gpu.local_memory.capacity:
+                    raise OutOfMemoryError(
+                        "replicated placement needs the table to fit every "
+                        f"GPU; {table_bytes} bytes exceed {gpu.name}"
+                    )
+            return (
+                {gpu.local_memory.name: 1.0 for gpu in gpus},
+                {gpu.local_memory.name: table_bytes for gpu in gpus},
+            )
+        # Interleaved: validate via the real allocator, then return the
+        # byte split it produced.
+        allocator = Allocator(self.machine)
+        allocation = allocate_interleaved(
+            allocator, [gpu.name for gpu in gpus], table_bytes
+        )
+        per_region = allocation.bytes_per_region()
+        allocation.free(allocator)
+        fractions = {
+            region: nbytes / table_bytes if table_bytes else 0.0
+            for region, nbytes in per_region.items()
+        }
+        return fractions, per_region
+
+    # ------------------------------------------------------------------
+    def _probe_profile(
+        self,
+        gpu: Gpu,
+        s: Relation,
+        fractions: Dict[str, float],
+        accesses_per_tuple: float,
+        key_bytes: float,
+        table_bytes: int,
+    ) -> AccessProfile:
+        work = self.calibration.join_work_per_tuple["gpu"]
+        streams = [seq_stream(gpu.name, s.location, s.modeled_bytes, "read S")]
+        if self.placement == "replicated":
+            streams.append(
+                random_stream(
+                    gpu.name,
+                    gpu.local_memory.name,
+                    s.modeled_tuples * accesses_per_tuple,
+                    key_bytes,
+                    working_set_bytes=table_bytes,
+                    label="ht probe",
+                )
+            )
+        else:
+            for region, fraction in fractions.items():
+                streams.append(
+                    random_stream(
+                        gpu.name,
+                        region,
+                        s.modeled_tuples * accesses_per_tuple * fraction,
+                        key_bytes,
+                        working_set_bytes=table_bytes * fraction,
+                        label="ht probe",
+                    )
+                )
+        return AccessProfile(
+            streams=streams,
+            compute_tuples=s.modeled_tuples * work,
+            label=f"probe[{gpu.name}]",
+        )
+
+    def _build_seconds(
+        self,
+        gpus: Sequence[Gpu],
+        r: Relation,
+        fractions: Dict[str, float],
+        entry_bytes: int,
+        table_bytes: int,
+    ) -> float:
+        if self.placement == "replicated":
+            builder = gpus[0]
+            profile = AccessProfile(
+                streams=[
+                    seq_stream(builder.name, r.location, r.modeled_bytes, "read R"),
+                    atomic_stream(
+                        builder.name,
+                        builder.local_memory.name,
+                        r.modeled_tuples,
+                        entry_bytes,
+                        working_set_bytes=table_bytes,
+                        label="ht insert",
+                    ),
+                ],
+                compute_tuples=r.modeled_tuples
+                * self.calibration.join_work_per_tuple["gpu"],
+            )
+            seconds = self.cost_model.phase_cost(profile).seconds
+            # Broadcast the finished table to the other GPUs over their
+            # links (peer-to-peer through the mesh).
+            others = len(gpus) - 1
+            if others:
+                link = self.machine.gpu_link(builder.name)
+                copy_bw = (
+                    link.spec.seq_bw * self.calibration.ht_copy_bandwidth_factor
+                )
+                seconds += others * table_bytes / copy_bw
+            return seconds
+        # Interleaved: all GPUs build concurrently; each GPU's inserts
+        # scatter over every GPU's memory by the byte fractions.
+        demands = {}
+        share = 1.0 / len(gpus)
+        for gpu in gpus:
+            streams = [
+                seq_stream(
+                    gpu.name, r.location, r.modeled_bytes * share, "read R"
+                )
+            ]
+            for region, fraction in fractions.items():
+                streams.append(
+                    atomic_stream(
+                        gpu.name,
+                        region,
+                        r.modeled_tuples * share * fraction,
+                        entry_bytes,
+                        working_set_bytes=table_bytes * fraction,
+                        label="ht insert",
+                    )
+                )
+            profile = AccessProfile(
+                streams=streams,
+                compute_tuples=r.modeled_tuples
+                * share
+                * self.calibration.join_work_per_tuple["gpu"],
+            )
+            demands[gpu.name] = self.cost_model.occupancy_per_unit(
+                profile, r.modeled_tuples * share
+            )
+        rates = solve_concurrent_rates(demands)
+        combined = sum(rates.values())
+        return r.modeled_tuples / combined if combined > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        r: Relation,
+        s: Relation,
+        workers: Optional[Sequence[str]] = None,
+    ) -> MultiGpuResult:
+        """Execute the join functionally and price it across the GPUs."""
+        workers = tuple(workers or (gpu.name for gpu in self.machine.gpus()))
+        gpus = self._gpus(workers)
+
+        table = create_hash_table(
+            self.hash_scheme, r.executed_tuples, r.key.dtype, r.payload.dtype
+        )
+        table.insert_batch(r.key, r.payload)
+        found, values = table.lookup_batch(s.key)
+        matches = int(found.sum())
+        aggregate = int(values[found].astype(np.int64).sum())
+        accesses_per_tuple = (
+            table.stats.lookup_probes + table.stats.value_reads
+        ) / max(1, table.stats.lookups)
+        table_bytes = table.modeled_bytes(r.modeled_tuples)
+
+        fractions, per_region = self._table_fractions(gpus, table_bytes)
+        build_seconds = self._build_seconds(
+            gpus, r, fractions, table.entry_bytes, table_bytes
+        )
+        demands = {}
+        for gpu in gpus:
+            profile = self._probe_profile(
+                gpu,
+                s,
+                fractions,
+                accesses_per_tuple,
+                float(table.keys.dtype.itemsize),
+                table_bytes,
+            )
+            demands[gpu.name] = self.cost_model.occupancy_per_unit(
+                profile, s.modeled_tuples
+            )
+        rates = solve_concurrent_rates(demands)
+        combined = sum(rates.values())
+        probe_seconds = s.modeled_tuples / combined if combined > 0 else 0.0
+        return MultiGpuResult(
+            matches=matches,
+            aggregate=aggregate,
+            placement=self.placement,
+            build_seconds=build_seconds,
+            probe_seconds=probe_seconds,
+            modeled_tuples=r.modeled_tuples + s.modeled_tuples,
+            gpu_rates=rates,
+            table_bytes_per_gpu={k: int(v) for k, v in per_region.items()},
+        )

@@ -1,0 +1,315 @@
+"""Multi-way (star schema) joins — the Section 6.2 extension.
+
+"Our strategy could be extended to multi-way joins (e.g., for a star
+schema) by building hash tables on a different processor in parallel,
+and then copying all hash tables to all processors."
+
+A :class:`StarJoin` joins one fact relation against several dimension
+relations on independent foreign keys.  Execution:
+
+* **build** — each dimension's hash table is built by a processor
+  (assigned round-robin over the workers; tables build in parallel),
+  then every finished table is broadcast to each worker's local memory
+  (GPU+Het generalized).
+* **probe** — the fact relation streams through the workers via morsel
+  dispatch; every fact tuple probes all dimension tables, and only
+  tuples matching *every* dimension survive (conjunctive star query).
+
+The functional layer computes the true survivor count and aggregate;
+the performance layer prices k probes per tuple plus the broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.costmodel.access import AccessProfile, atomic_stream, random_stream, seq_stream
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel
+from repro.core.hashtable import create_hash_table
+from repro.data.relation import Relation
+from repro.hardware.processor import Gpu
+from repro.hardware.topology import Machine
+from repro.memory.allocator import OutOfMemoryError
+from repro.sim.resources import solve_concurrent_rates
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One dimension table plus the fact column that references it."""
+
+    relation: Relation
+    fact_key: str  # name of the fact key column referencing this table
+
+    def __post_init__(self) -> None:
+        if not self.fact_key:
+            raise ValueError("dimension needs the fact key column name")
+
+
+@dataclass
+class StarJoinResult:
+    """Functional result plus simulated performance."""
+
+    survivors: int
+    aggregate: int
+    build_seconds: float
+    broadcast_seconds: float
+    probe_seconds: float
+    modeled_tuples: int
+    builder_of: Dict[str, str]
+    workers: Tuple[str, ...]
+
+    @property
+    def runtime(self) -> float:
+        return self.build_seconds + self.broadcast_seconds + self.probe_seconds
+
+    @property
+    def throughput_tuples(self) -> float:
+        if self.runtime == 0:
+            return float("inf")
+        return self.modeled_tuples / self.runtime
+
+    @property
+    def throughput_gtuples(self) -> float:
+        return self.throughput_tuples / 1e9
+
+
+class StarJoin:
+    """Join a fact relation against several dimensions (Section 6.2)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        hash_scheme: str = "perfect",
+        gpu_reserve: int = 512 << 20,
+    ) -> None:
+        self.machine = machine
+        self.calibration = calibration
+        self.cost_model = CostModel(machine, calibration)
+        self.hash_scheme = hash_scheme
+        self.gpu_reserve = gpu_reserve
+
+    # ------------------------------------------------------------------
+    def _validate_capacity(
+        self, dimensions: Sequence[Dimension], workers: Sequence[str]
+    ) -> None:
+        """All dimension tables (replicated) must fit every GPU worker."""
+        total = sum(
+            d.relation.modeled_tuples * d.relation.tuple_bytes
+            for d in dimensions
+        )
+        for worker in workers:
+            proc = self.machine.processor(worker)
+            if isinstance(proc, Gpu):
+                available = proc.local_memory.capacity - self.gpu_reserve
+                if total > available:
+                    raise OutOfMemoryError(
+                        f"replicating {total} bytes of dimension tables "
+                        f"exceeds {worker}'s memory; reduce dimensions or "
+                        "use the Het strategy"
+                    )
+
+    def _is_gpu(self, worker: str) -> bool:
+        return isinstance(self.machine.processor(worker), Gpu)
+
+    # ------------------------------------------------------------------
+    def _build_phase(
+        self, dimensions: Sequence[Dimension], workers: Sequence[str]
+    ) -> Tuple[float, float, Dict[str, str]]:
+        """Parallel builds (round-robin) + broadcast of every table.
+
+        Returns (build seconds, broadcast seconds, fact_key -> builder).
+        """
+        builder_of: Dict[str, str] = {}
+        demands: Dict[str, Dict[str, float]] = {}
+        tuples_of: Dict[str, float] = {}
+        for i, dimension in enumerate(dimensions):
+            builder = workers[i % len(workers)]
+            builder_of[dimension.fact_key] = builder
+            rel = dimension.relation
+            table_bytes = rel.modeled_tuples * rel.tuple_bytes
+            is_gpu = self._is_gpu(builder)
+            accesses = rel.modeled_tuples * (1.0 if is_gpu else 2.0)
+            local = self.machine.processor(builder).local_memory.name
+            profile = AccessProfile(
+                streams=[
+                    seq_stream(builder, rel.location, rel.modeled_bytes, "read dim"),
+                    atomic_stream(
+                        builder, local, accesses, rel.tuple_bytes,
+                        working_set_bytes=table_bytes, label="ht insert",
+                    ),
+                ],
+                compute_tuples=rel.modeled_tuples
+                * self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"],
+            )
+            key = f"{builder}#{dimension.fact_key}"
+            demands[key] = self.cost_model.occupancy_per_unit(
+                profile, rel.modeled_tuples
+            )
+            tuples_of[key] = rel.modeled_tuples
+        rates = solve_concurrent_rates(demands)
+        build_seconds = max(
+            tuples_of[key] / rates[key] for key in demands
+        )
+        # Broadcast every table to every *other* worker over the
+        # builder's link.
+        broadcast = 0.0
+        for dimension in dimensions:
+            builder = builder_of[dimension.fact_key]
+            rel = dimension.relation
+            table_bytes = rel.modeled_tuples * rel.tuple_bytes
+            others = len(workers) - 1
+            if others == 0:
+                continue
+            if self._is_gpu(builder):
+                link_bw = self.machine.gpu_link(builder).spec.seq_bw
+            else:
+                link_bw = self.machine.processor(builder).local_memory.spec.seq_bw
+            broadcast += others * table_bytes / (
+                link_bw * self.calibration.ht_copy_bandwidth_factor
+            )
+        return build_seconds, broadcast, builder_of
+
+    def _probe_phase(
+        self,
+        fact_columns: Dict[str, np.ndarray],
+        fact_location: str,
+        modeled_fact: int,
+        dimensions: Sequence[Dimension],
+        workers: Sequence[str],
+        survival_per_dim: List[float],
+    ) -> float:
+        demands = {}
+        for worker in workers:
+            is_gpu = self._is_gpu(worker)
+            local = self.machine.processor(worker).local_memory.name
+            streams = [
+                seq_stream(
+                    worker,
+                    fact_location,
+                    modeled_fact * sum(c.dtype.itemsize for c in fact_columns.values()),
+                    "read fact",
+                )
+            ]
+            alive = 1.0
+            for dimension, survival in zip(dimensions, survival_per_dim):
+                rel = dimension.relation
+                table_bytes = rel.modeled_tuples * rel.tuple_bytes
+                # Short-circuit: only tuples still alive probe the next
+                # dimension; each probe is key + (on match) value.
+                accesses = modeled_fact * alive * (1.0 + survival)
+                streams.append(
+                    random_stream(
+                        worker, local, accesses, rel.key_bytes,
+                        working_set_bytes=table_bytes, label="dim probe",
+                    )
+                )
+                alive *= survival
+            work = self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"]
+            profile = AccessProfile(
+                streams=streams,
+                compute_tuples=modeled_fact * work * len(dimensions),
+            )
+            demands[worker] = self.cost_model.occupancy_per_unit(
+                profile, modeled_fact
+            )
+        rates = solve_concurrent_rates(demands)
+        combined = sum(rates.values())
+        return modeled_fact / combined if combined > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fact: Dict[str, np.ndarray],
+        dimensions: Sequence[Dimension],
+        measure: Optional[np.ndarray] = None,
+        workers: Sequence[str] = ("cpu0", "gpu0"),
+        modeled_fact: Optional[int] = None,
+        fact_location: str = "cpu0-mem",
+    ) -> StarJoinResult:
+        """Execute the star join.
+
+        Args:
+            fact: fact-table foreign-key columns, keyed by name; every
+                dimension's ``fact_key`` must be present.
+            dimensions: the dimension tables.
+            measure: optional fact measure column to aggregate over the
+                surviving tuples (defaults to counting matched dimension
+                payloads).
+            modeled_fact: paper-scale fact cardinality (defaults to the
+                executed row count).
+        """
+        if not dimensions:
+            raise ValueError("star join needs at least one dimension")
+        rows = {len(col) for col in fact.values()}
+        if len(rows) != 1:
+            raise ValueError("ragged fact columns")
+        executed_fact = rows.pop()
+        modeled_fact = modeled_fact or executed_fact
+        for dimension in dimensions:
+            if dimension.fact_key not in fact:
+                raise ValueError(
+                    f"fact table lacks key column {dimension.fact_key!r}"
+                )
+        self._validate_capacity(dimensions, workers)
+
+        # Functional execution: conjunctive probe with short-circuiting.
+        alive = np.ones(executed_fact, dtype=bool)
+        payload_sum = np.zeros(executed_fact, dtype=np.int64)
+        survival_per_dim: List[float] = []
+        for dimension in dimensions:
+            rel = dimension.relation
+            table = create_hash_table(
+                self.hash_scheme, rel.executed_tuples, rel.key.dtype,
+                rel.payload.dtype,
+            )
+            table.insert_batch(rel.key, rel.payload)
+            keys = fact[dimension.fact_key]
+            found = np.zeros(executed_fact, dtype=bool)
+            values = np.zeros(executed_fact, dtype=rel.payload.dtype)
+            if alive.any():
+                sub_found, sub_values = table.lookup_batch(keys[alive])
+                found[alive] = sub_found
+                values_alive = np.zeros(int(alive.sum()), dtype=rel.payload.dtype)
+                values_alive[sub_found] = sub_values[sub_found]
+                values[alive] = values_alive
+            before = int(alive.sum())
+            alive &= found
+            survival_per_dim.append(
+                (int(alive.sum()) / before) if before else 0.0
+            )
+            payload_sum[alive] += values[alive].astype(np.int64)
+        survivors = int(alive.sum())
+        if measure is not None:
+            aggregate = int(measure[alive].astype(np.int64).sum())
+        else:
+            aggregate = int(payload_sum[alive].sum())
+
+        build_seconds, broadcast_seconds, builder_of = self._build_phase(
+            dimensions, workers
+        )
+        probe_seconds = self._probe_phase(
+            fact,
+            fact_location,
+            modeled_fact,
+            dimensions,
+            workers,
+            survival_per_dim,
+        )
+        modeled_tuples = modeled_fact + sum(
+            d.relation.modeled_tuples for d in dimensions
+        )
+        return StarJoinResult(
+            survivors=survivors,
+            aggregate=aggregate,
+            build_seconds=build_seconds,
+            broadcast_seconds=broadcast_seconds,
+            probe_seconds=probe_seconds,
+            modeled_tuples=modeled_tuples,
+            builder_of=builder_of,
+            workers=tuple(workers),
+        )

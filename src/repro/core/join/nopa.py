@@ -1,0 +1,452 @@
+"""The no-partitioning hash join (NOPA) on the simulated machine.
+
+The operator (Sections 2.1 and 5):
+
+* **build** — populate the hash table with the inner relation R,
+* **probe** — look every outer tuple of S up and aggregate matches.
+
+The functional layer executes the join on real numpy columns; the
+measured traffic (scaled to the modeled cardinality) is priced by the
+cost model with the configured transfer method and hash-table placement:
+
+* placement ``gpu``  — the non-scalable fast path (Figure 6b),
+* placement ``cpu``  — build-side scalable, spilled table (Figure 7a),
+* placement ``hybrid`` — the hybrid hash table (Figures 7b and 8),
+* any region name — the locality experiments (Figures 13 and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.costmodel.access import (
+    AccessProfile,
+    Stream,
+    atomic_stream,
+    random_stream,
+    seq_stream,
+)
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel, PhaseCost
+from repro.core.hashtable import create_hash_table
+from repro.core.hashtable.base import HashTableBase
+from repro.core.hashtable.placement import HashTablePlacement, place_hash_table
+from repro.data.relation import Relation
+from repro.hardware.cache import HotSetProfile
+from repro.hardware.processor import Gpu
+from repro.hardware.topology import Machine
+from repro.transfer.methods import TransferMethod, get_method
+
+#: coherence/cache-line granularity used for payload-column line skipping.
+LINE_BYTES = 128
+
+
+def payload_line_fraction(match_mask: np.ndarray, payload_bytes: int) -> float:
+    """Fraction of payload-column cache lines with at least one match.
+
+    The probe loads a payload value only for matching tuples; at 128-byte
+    line granularity a line is transferred when *any* of its entries
+    matches (Section 7.2.9: "at 10% selectivity, 81.5% of values are
+    loaded").
+    """
+    n = len(match_mask)
+    if n == 0:
+        return 0.0
+    per_line = max(1, LINE_BYTES // payload_bytes)
+    full_lines = n // per_line
+    if full_lines == 0:
+        return float(match_mask.any())
+    head = match_mask[: full_lines * per_line].reshape(full_lines, per_line)
+    line_hits = head.any(axis=1).sum()
+    tail = match_mask[full_lines * per_line :]
+    lines = full_lines + (1 if len(tail) else 0)
+    line_hits += 1 if (len(tail) and tail.any()) else 0
+    return float(line_hits / lines)
+
+
+@dataclass
+class JoinResult:
+    """Functional result plus simulated performance of one join."""
+
+    matches: int
+    aggregate: int
+    build_cost: PhaseCost
+    probe_cost: PhaseCost
+    modeled_tuples: int
+    placement: HashTablePlacement
+    payload_lines_loaded: float
+    table_stats_probe_factor: float
+    processor: str
+    materialized: Optional[Dict[str, "np.ndarray"]] = None
+
+    @property
+    def runtime(self) -> float:
+        """Simulated end-to-end seconds at modeled (paper) scale."""
+        return self.build_cost.seconds + self.probe_cost.seconds
+
+    @property
+    def throughput_tuples(self) -> float:
+        """(|R| + |S|) / runtime — the paper's throughput metric."""
+        if self.runtime == 0:
+            return float("inf")
+        return self.modeled_tuples / self.runtime
+
+    @property
+    def throughput_gtuples(self) -> float:
+        return self.throughput_tuples / 1e9
+
+    @property
+    def build_fraction(self) -> float:
+        """Share of runtime spent in the build phase (Figure 18b)."""
+        if self.runtime == 0:
+            return 0.0
+        return self.build_cost.seconds / self.runtime
+
+    def __str__(self) -> str:
+        return (
+            f"JoinResult({self.matches} matches, "
+            f"{self.throughput_gtuples:.2f} G Tuples/s on {self.processor})"
+        )
+
+
+class NoPartitioningJoin:
+    """Configurable NOPA join operator.
+
+    Args:
+        machine: the simulated machine.
+        hash_table_placement: ``gpu`` | ``cpu`` | ``hybrid`` | region name.
+        transfer_method: Table 1 method used by a GPU to reach CPU-memory
+            relations; ignored for CPU execution and local data.
+        hash_scheme: ``perfect`` (paper default) | ``open_addressing`` |
+            ``chaining``.
+        layout: ``soa`` (paper default; separate key/value arrays, value
+            traffic only on matches — Figure 20) or ``aos`` (interleaved
+            entries; every probe pulls the full entry).
+        output: ``aggregate`` (paper default: the probe emits a running
+            sum) or ``materialize`` (write <probe payload, build payload>
+            result tuples to the processor's local memory — Section 5.1:
+            "emit the join result (i.e., an aggregate or a
+            materialization)").
+        calibration: cost-model constants.
+        gpu_reserve: GPU bytes kept free when placing the table.
+    """
+
+    #: calibrated accounting: a GPU insert is one 16-byte CAS; a CPU
+    #: insert is a compare-exchange plus a store (two accesses).
+    GPU_BUILD_ACCESSES = 1.0
+    CPU_BUILD_ACCESSES = 2.0
+
+    def __init__(
+        self,
+        machine: Machine,
+        hash_table_placement: str = "gpu",
+        transfer_method: str = "coherence",
+        hash_scheme: str = "perfect",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        gpu_reserve: int = 512 << 20,
+        gpu_name: str = "gpu0",
+        layout: str = "soa",
+        output: str = "aggregate",
+    ) -> None:
+        if layout not in ("soa", "aos"):
+            raise ValueError(f"layout must be 'soa' or 'aos', got {layout!r}")
+        if output not in ("aggregate", "materialize"):
+            raise ValueError(
+                f"output must be 'aggregate' or 'materialize', got {output!r}"
+            )
+        self.machine = machine
+        self.cost_model = CostModel(machine, calibration)
+        self.hash_table_placement = hash_table_placement
+        self.transfer_method = transfer_method
+        self.hash_scheme = hash_scheme
+        self.gpu_reserve = gpu_reserve
+        self.gpu_name = gpu_name
+        self.layout = layout
+        self.output = output
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+    def _execute(self, r: Relation, s: Relation) -> tuple:
+        table = create_hash_table(
+            self.hash_scheme,
+            r.executed_tuples,
+            r.key.dtype,
+            r.payload.dtype,
+        )
+        table.insert_batch(r.key, r.payload)
+        found, values = table.lookup_batch(s.key)
+        matches = int(found.sum())
+        aggregate = int(values[found].astype(np.int64).sum())
+        lines = payload_line_fraction(found, s.payload_bytes)
+        materialized = None
+        if self.output == "materialize":
+            materialized = {
+                "key": s.key[found],
+                "s_payload": s.payload[found],
+                "r_payload": values[found],
+            }
+        return table, matches, aggregate, lines, materialized
+
+    # ------------------------------------------------------------------
+    # Traffic assembly
+    # ------------------------------------------------------------------
+    def _resolve_placement(
+        self, table: HashTableBase, r: Relation, processor: str
+    ) -> HashTablePlacement:
+        modeled_bytes = table.modeled_bytes(r.modeled_tuples)
+        strategy = self.hash_table_placement
+        proc = self.machine.processor(processor)
+        if not isinstance(proc, Gpu) and strategy in ("gpu", "hybrid"):
+            # A CPU-only join keeps its table in local CPU memory.
+            return HashTablePlacement(
+                total_bytes=modeled_bytes,
+                fractions={proc.local_memory.name: 1.0},
+                label="cpu-local",
+            )
+        return place_hash_table(
+            self.machine,
+            modeled_bytes,
+            strategy,
+            gpu_name=processor if isinstance(proc, Gpu) else self.gpu_name,
+            gpu_reserve=self.gpu_reserve,
+        )
+
+    def _ingest_streams(
+        self,
+        processor: str,
+        relation: Relation,
+        nbytes: float,
+        label: str,
+    ) -> tuple:
+        """Streams + makespan factor for reading relation bytes.
+
+        Local data (or CPU execution) reads directly; a GPU reading
+        CPU memory goes through the configured transfer method.
+        """
+        proc = self.machine.processor(processor)
+        local = self.machine.memory(relation.location).owner == processor
+        if local or not isinstance(proc, Gpu):
+            return [seq_stream(processor, relation.location, nbytes, label)], 1.0
+        method = get_method(self.transfer_method)
+        method.check_supported(self.machine, processor, relation.location)
+        ingest_bw = method.ingest_bandwidth(self.cost_model, processor, relation.location)
+        route_bw = self.cost_model.sequential_bandwidth(processor, relation.location)
+        factor = min(1.0, ingest_bw / route_bw)
+        streams = [
+            seq_stream(
+                processor,
+                relation.location,
+                nbytes,
+                label=f"{label} [{method.name}]",
+                bandwidth_factor=factor,
+            )
+        ]
+        streams.extend(
+            method.side_streams(self.machine, processor, relation.location, nbytes)
+        )
+        if method.lands_in_gpu_memory():
+            landing = proc.local_memory.name
+            streams.append(
+                seq_stream(processor, landing, nbytes, label=f"{label} landing write")
+            )
+            streams.append(
+                seq_stream(processor, landing, nbytes, label=f"{label} kernel read")
+            )
+        makespan = method.pipeline_overlap_factor(self.cost_model.calibration)
+        return streams, makespan
+
+    def _table_streams(
+        self,
+        processor: str,
+        placement: HashTablePlacement,
+        accesses: float,
+        access_bytes: float,
+        atomic: bool,
+        hot_set: Optional[HotSetProfile],
+        label: str,
+    ) -> List[Stream]:
+        """Hash-table traffic split across the placement's regions."""
+        streams: List[Stream] = []
+        for region, share in placement.split_accesses(accesses).items():
+            if share <= 0:
+                continue
+            working_set = placement.total_bytes * placement.fraction(region)
+            if atomic:
+                streams.append(
+                    atomic_stream(
+                        processor,
+                        region,
+                        share,
+                        access_bytes,
+                        working_set_bytes=working_set,
+                        label=label,
+                    )
+                )
+            else:
+                streams.append(
+                    random_stream(
+                        processor,
+                        region,
+                        share,
+                        access_bytes,
+                        working_set_bytes=working_set,
+                        hot_set=hot_set,
+                        label=label,
+                    )
+                )
+        return streams
+
+    def build_profile(
+        self,
+        r: Relation,
+        processor: str,
+        table: HashTableBase,
+        placement: HashTablePlacement,
+    ) -> AccessProfile:
+        """Access profile of the build phase at modeled scale."""
+        proc = self.machine.processor(processor)
+        is_gpu = isinstance(proc, Gpu)
+        per_tuple = (
+            self.GPU_BUILD_ACCESSES if is_gpu else self.CPU_BUILD_ACCESSES
+        ) * table.stats.insert_factor
+        modeled_inserts = r.modeled_tuples * per_tuple
+        streams, makespan = self._ingest_streams(
+            processor, r, r.modeled_bytes, "read R"
+        )
+        streams += self._table_streams(
+            processor,
+            placement,
+            modeled_inserts,
+            table.entry_bytes,
+            atomic=True,
+            hot_set=None,
+            label="ht insert",
+        )
+        overhead = proc.kernel_launch_latency if is_gpu else 0.0
+        work = self.cost_model.calibration.join_work_per_tuple[
+            "gpu" if is_gpu else "cpu"
+        ]
+        return AccessProfile(
+            streams=streams,
+            fixed_overhead=overhead,
+            compute_tuples=r.modeled_tuples * work,
+            makespan_factor=makespan,
+            label="build",
+        )
+
+    def probe_profile(
+        self,
+        s: Relation,
+        processor: str,
+        table: HashTableBase,
+        placement: HashTablePlacement,
+        lines_loaded: float,
+        hot_set: Optional[HotSetProfile],
+    ) -> AccessProfile:
+        """Access profile of the probe phase at modeled scale."""
+        proc = self.machine.processor(processor)
+        is_gpu = isinstance(proc, Gpu)
+        # The probe always streams S's key column; the payload column is
+        # loaded at line granularity only where matches occur.
+        key_bytes = s.modeled_tuples * s.key_bytes
+        value_bytes = s.modeled_tuples * s.payload_bytes * lines_loaded
+        streams, makespan = self._ingest_streams(
+            processor, s, key_bytes + value_bytes, "read S"
+        )
+        model_factor = s.model_factor
+        key_lookups = table.stats.lookup_probes * model_factor
+        value_reads = table.stats.value_reads * model_factor
+        if self.layout == "aos":
+            # Interleaved entries: the value rides in the same access as
+            # the key, so matches add no extra table traffic — but every
+            # probe moves the full entry.
+            accesses = key_lookups
+            access_bytes = float(table.entry_bytes)
+        else:
+            accesses = key_lookups + value_reads
+            access_bytes = float(table.keys.dtype.itemsize)
+        streams += self._table_streams(
+            processor,
+            placement,
+            accesses,
+            access_bytes,
+            atomic=False,
+            hot_set=hot_set,
+            label="ht probe",
+        )
+        if self.output == "materialize":
+            # Result tuples (<key, s payload, r payload>) are written
+            # sequentially to the processor's local memory.
+            result_bytes = value_reads * (
+                s.key_bytes + s.payload_bytes + table.values.dtype.itemsize
+            )
+            streams.append(
+                seq_stream(
+                    processor,
+                    proc.local_memory.name,
+                    result_bytes,
+                    label="materialize result",
+                )
+            )
+        overhead = proc.kernel_launch_latency if is_gpu else 0.0
+        work = self.cost_model.calibration.join_work_per_tuple[
+            "gpu" if is_gpu else "cpu"
+        ]
+        return AccessProfile(
+            streams=streams,
+            fixed_overhead=overhead,
+            compute_tuples=s.modeled_tuples * work,
+            makespan_factor=makespan,
+            label="probe",
+        )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        r: Relation,
+        s: Relation,
+        processor: str = "gpu0",
+        hot_set: Optional[HotSetProfile] = None,
+        placement_fractions: Optional[Dict[str, float]] = None,
+    ) -> JoinResult:
+        """Execute the join functionally and price it on the machine.
+
+        ``placement_fractions`` overrides the placement strategy with an
+        explicit region->fraction split (Figure 19 sweeps the hybrid
+        table's GPU/CPU ratio directly).
+        """
+        table, matches, aggregate, lines_loaded, materialized = self._execute(
+            r, s
+        )
+        if placement_fractions is not None:
+            placement = HashTablePlacement(
+                total_bytes=table.modeled_bytes(r.modeled_tuples),
+                fractions=dict(placement_fractions),
+                label="explicit",
+            )
+        else:
+            placement = self._resolve_placement(table, r, processor)
+        build = self.build_profile(r, processor, table, placement)
+        probe = self.probe_profile(
+            s, processor, table, placement, lines_loaded, hot_set
+        )
+        build_cost = self.cost_model.phase_cost(build)
+        probe_cost = self.cost_model.phase_cost(probe)
+        return JoinResult(
+            matches=matches,
+            aggregate=aggregate,
+            build_cost=build_cost,
+            probe_cost=probe_cost,
+            modeled_tuples=r.modeled_tuples + s.modeled_tuples,
+            placement=placement,
+            payload_lines_loaded=lines_loaded,
+            table_stats_probe_factor=table.stats.probe_factor,
+            processor=processor,
+            materialized=materialized,
+        )

@@ -1,0 +1,207 @@
+"""TPC-H query 6 on the simulated machine (Figure 15).
+
+Two kernel variants (Section 7.2.4):
+
+* **predicated** — branch-free SIMD evaluation; every column is loaded
+  in full, so throughput is bounded by the data path (interconnect for
+  the GPU, memory bandwidth for the CPU);
+* **branching** — short-circuit predicate cascade; later columns are
+  loaded only for cache lines with surviving rows.  With the query's
+  ~1.9% combined selectivity and dbgen's shipdate clustering this skips
+  most of the input, which is why branching wins on the GPU where the
+  interconnect is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.costmodel.access import AccessProfile, seq_stream
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel, PhaseCost
+from repro.core.ops.selection import selection_line_fractions
+from repro.hardware.processor import Gpu
+from repro.hardware.topology import Machine
+from repro.transfer.methods import get_method
+from repro.workloads.tpch import (
+    Q6_DISCOUNT_HI,
+    Q6_DISCOUNT_LO,
+    Q6_QUANTITY_LT,
+    Q6_SHIPDATE_HI,
+    Q6_SHIPDATE_LO,
+    Q6Workload,
+)
+
+VARIANTS = ("branching", "predicated")
+
+
+@dataclass
+class Q6Result:
+    """Functional revenue plus simulated performance."""
+
+    revenue: float
+    qualifying_rows: int
+    selectivity: float
+    cost: PhaseCost
+    modeled_rows: int
+    variant: str
+    processor: str
+    column_line_fractions: List[float]
+
+    @property
+    def runtime(self) -> float:
+        return self.cost.seconds
+
+    @property
+    def throughput_tuples(self) -> float:
+        if self.runtime == 0:
+            return float("inf")
+        return self.modeled_rows / self.runtime
+
+    @property
+    def throughput_gtuples(self) -> float:
+        return self.throughput_tuples / 1e9
+
+
+class TpchQ6:
+    """Q6 operator with branching and predicated variants."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        variant: str = "predicated",
+        transfer_method: str = "coherence",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r}; valid: {', '.join(VARIANTS)}"
+            )
+        self.machine = machine
+        self.variant = variant
+        self.transfer_method = transfer_method
+        self.calibration = calibration
+        self.cost_model = CostModel(machine, calibration)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _predicate_masks(workload: Q6Workload) -> List[np.ndarray]:
+        return [
+            (workload.shipdate >= Q6_SHIPDATE_LO)
+            & (workload.shipdate < Q6_SHIPDATE_HI),
+            (workload.discount >= np.float32(Q6_DISCOUNT_LO - 1e-6))
+            & (workload.discount <= np.float32(Q6_DISCOUNT_HI + 1e-6)),
+            workload.quantity < Q6_QUANTITY_LT,
+        ]
+
+    def _execute(self, workload: Q6Workload):
+        masks = self._predicate_masks(workload)
+        qualifies = masks[0] & masks[1] & masks[2]
+        revenue = float(
+            (
+                workload.extendedprice[qualifies].astype(np.float64)
+                * workload.discount[qualifies].astype(np.float64)
+            ).sum()
+        )
+        return revenue, qualifies, masks
+
+    # ------------------------------------------------------------------
+    def _column_fractions(self, masks: List[np.ndarray]) -> List[float]:
+        """Per-column line-load fractions for this variant.
+
+        Column order: shipdate, discount, quantity, extendedprice.
+        Predication loads everything; branching cascades.
+        """
+        if self.variant == "predicated":
+            return [1.0, 1.0, 1.0, 1.0]
+        fractions = selection_line_fractions(masks, value_bytes=4)
+        # fractions = [shipdate, discount-after-shipdate, quantity-after-
+        # shipdate&discount, extendedprice-after-all]. Divergence and
+        # prefetch still pull part of every skippable column.
+        residual = self.calibration.branching_residual_load
+        return [fractions[0]] + [
+            residual + (1.0 - residual) * f for f in fractions[1:]
+        ]
+
+    def _profile(
+        self, workload: Q6Workload, processor: str, fractions: List[float]
+    ) -> AccessProfile:
+        proc = self.machine.processor(processor)
+        is_gpu = isinstance(proc, Gpu)
+        col_bytes = [c.dtype.itemsize for c in workload.columns().values()]
+        total_bytes = workload.modeled_rows * sum(
+            width * frac for width, frac in zip(col_bytes, fractions)
+        )
+        local = self.machine.memory(workload.location).owner == processor
+        makespan = 1.0
+        if local or not is_gpu:
+            streams = [
+                seq_stream(processor, workload.location, total_bytes, "scan lineitem")
+            ]
+        else:
+            method = get_method(self.transfer_method)
+            method.check_supported(self.machine, processor, workload.location)
+            ingest = method.ingest_bandwidth(
+                self.cost_model, processor, workload.location
+            )
+            route = self.cost_model.sequential_bandwidth(
+                processor, workload.location
+            )
+            streams = [
+                seq_stream(
+                    processor,
+                    workload.location,
+                    total_bytes,
+                    label=f"scan lineitem [{method.name}]",
+                    bandwidth_factor=min(1.0, ingest / route),
+                )
+            ]
+            streams.extend(
+                method.side_streams(
+                    self.machine, processor, workload.location, total_bytes
+                )
+            )
+            if method.lands_in_gpu_memory():
+                landing = proc.local_memory.name
+                streams.append(
+                    seq_stream(processor, landing, total_bytes, "landing write")
+                )
+                streams.append(
+                    seq_stream(processor, landing, total_bytes, "kernel read")
+                )
+            makespan = method.pipeline_overlap_factor(self.calibration)
+        work = self.calibration.scan_work_per_tuple["gpu" if is_gpu else "cpu"]
+        if self.variant == "branching" and not is_gpu:
+            # Branchy scalar code cannot use SIMD predication; the CPU
+            # pays more per-row work but the same skipping benefit.
+            work *= 2.0
+        overhead = proc.kernel_launch_latency if is_gpu else 0.0
+        return AccessProfile(
+            streams=streams,
+            compute_tuples=workload.modeled_rows * work,
+            fixed_overhead=overhead,
+            makespan_factor=makespan,
+            label=f"q6-{self.variant}",
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, workload: Q6Workload, processor: str = "gpu0") -> Q6Result:
+        """Execute Q6 functionally and price it."""
+        revenue, qualifies, masks = self._execute(workload)
+        fractions = self._column_fractions(masks)
+        profile = self._profile(workload, processor, fractions)
+        cost = self.cost_model.phase_cost(profile)
+        executed = max(1, workload.executed_rows)
+        return Q6Result(
+            revenue=revenue,
+            qualifying_rows=int(qualifies.sum()),
+            selectivity=float(qualifies.sum() / executed),
+            cost=cost,
+            modeled_rows=workload.modeled_rows,
+            variant=self.variant,
+            processor=processor,
+            column_line_fractions=fractions,
+        )

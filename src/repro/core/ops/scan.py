@@ -1,0 +1,197 @@
+"""Generic selection-scan operator (the machinery behind Q6).
+
+A :class:`SelectionScan` evaluates a conjunctive predicate cascade over
+arbitrary columns and aggregates an expression over the survivors, in
+branching or predicated variants.  Q6 is one instance; the examples and
+ablations can build others (different predicate orders, widths, and
+clusterings) to explore when branching pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.costmodel.access import AccessProfile, seq_stream
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel, PhaseCost
+from repro.core.ops.selection import selection_line_fractions
+from repro.hardware.processor import Gpu
+from repro.hardware.topology import Machine
+from repro.transfer.methods import get_method
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One predicate of the cascade: a column and a row-mask function."""
+
+    column: str
+    evaluate: Callable[[np.ndarray], np.ndarray]
+    label: str = ""
+
+
+@dataclass
+class ScanResult:
+    """Functional aggregate plus simulated performance."""
+
+    aggregate: float
+    qualifying_rows: int
+    selectivity: float
+    cost: PhaseCost
+    modeled_rows: int
+    column_line_fractions: List[float]
+    variant: str
+    processor: str
+
+    @property
+    def runtime(self) -> float:
+        return self.cost.seconds
+
+    @property
+    def throughput_tuples(self) -> float:
+        if self.runtime == 0:
+            return float("inf")
+        return self.modeled_rows / self.runtime
+
+    @property
+    def throughput_gtuples(self) -> float:
+        return self.throughput_tuples / 1e9
+
+
+class SelectionScan:
+    """Conjunctive predicate cascade + aggregation over columns.
+
+    Args:
+        predicates: evaluated in order; the branching variant loads a
+            later predicate's column only where earlier predicates left
+            surviving rows in the cache line.
+        aggregate_columns: extra columns read only for fully-surviving
+            rows (the aggregate inputs).
+        aggregate: function from the surviving rows' columns to a float.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        predicates: Sequence[Predicate],
+        aggregate_columns: Sequence[str],
+        aggregate: Callable[[Dict[str, np.ndarray]], float],
+        variant: str = "predicated",
+        transfer_method: str = "coherence",
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        if not predicates:
+            raise ValueError("need at least one predicate")
+        if variant not in ("branching", "predicated"):
+            raise ValueError(f"unknown variant {variant!r}")
+        self.machine = machine
+        self.predicates = list(predicates)
+        self.aggregate_columns = list(aggregate_columns)
+        self.aggregate = aggregate
+        self.variant = variant
+        self.transfer_method = transfer_method
+        self.calibration = calibration
+        self.cost_model = CostModel(machine, calibration)
+
+    # ------------------------------------------------------------------
+    def _execute(self, columns: Dict[str, np.ndarray]):
+        masks = [p.evaluate(columns[p.column]) for p in self.predicates]
+        survivors = masks[0].copy()
+        for mask in masks[1:]:
+            survivors &= mask
+        surviving = {
+            name: columns[name][survivors] for name in self.aggregate_columns
+        }
+        value = float(self.aggregate(surviving)) if survivors.any() else 0.0
+        return value, survivors, masks
+
+    def _fractions(self, masks: List[np.ndarray], value_bytes: int) -> List[float]:
+        n_columns = len(self.predicates) + len(self.aggregate_columns)
+        if self.variant == "predicated":
+            return [1.0] * n_columns
+        fractions = selection_line_fractions(masks, value_bytes=value_bytes)
+        residual = self.calibration.branching_residual_load
+        damped = [fractions[0]] + [
+            residual + (1.0 - residual) * f for f in fractions[1:]
+        ]
+        # One fraction per predicate column, then the tail fraction for
+        # every aggregate column.
+        return damped[: len(self.predicates)] + [damped[-1]] * len(
+            self.aggregate_columns
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        columns: Dict[str, np.ndarray],
+        processor: str = "gpu0",
+        location: str = "cpu0-mem",
+        modeled_rows: Optional[int] = None,
+    ) -> ScanResult:
+        """Execute the scan functionally and price it."""
+        needed = [p.column for p in self.predicates] + self.aggregate_columns
+        missing = [name for name in needed if name not in columns]
+        if missing:
+            raise KeyError(f"missing columns: {', '.join(missing)}")
+        rows = {len(columns[name]) for name in needed}
+        if len(rows) != 1:
+            raise ValueError("ragged input columns")
+        executed_rows = rows.pop()
+        modeled_rows = modeled_rows or executed_rows
+
+        value, survivors, masks = self._execute(columns)
+        widths = [columns[name].dtype.itemsize for name in needed]
+        fractions = self._fractions(masks, value_bytes=min(widths))
+        total_bytes = modeled_rows * sum(
+            w * f for w, f in zip(widths, fractions)
+        )
+
+        proc = self.machine.processor(processor)
+        is_gpu = isinstance(proc, Gpu)
+        local = self.machine.memory(location).owner == processor
+        makespan = 1.0
+        if local or not is_gpu:
+            streams = [seq_stream(processor, location, total_bytes, "scan")]
+        else:
+            method = get_method(self.transfer_method)
+            method.check_supported(self.machine, processor, location)
+            ingest = method.ingest_bandwidth(self.cost_model, processor, location)
+            route = self.cost_model.sequential_bandwidth(processor, location)
+            streams = [
+                seq_stream(
+                    processor, location, total_bytes,
+                    label=f"scan [{method.name}]",
+                    bandwidth_factor=min(1.0, ingest / route),
+                )
+            ]
+            streams.extend(
+                method.side_streams(self.machine, processor, location, total_bytes)
+            )
+            if method.lands_in_gpu_memory():
+                landing = proc.local_memory.name
+                streams.append(seq_stream(processor, landing, total_bytes))
+                streams.append(seq_stream(processor, landing, total_bytes))
+            makespan = method.pipeline_overlap_factor(self.calibration)
+        work = self.calibration.scan_work_per_tuple["gpu" if is_gpu else "cpu"]
+        if self.variant == "branching" and not is_gpu:
+            work *= 2.0
+        profile = AccessProfile(
+            streams=streams,
+            compute_tuples=modeled_rows * work,
+            fixed_overhead=proc.kernel_launch_latency if is_gpu else 0.0,
+            makespan_factor=makespan,
+            label=f"scan-{self.variant}",
+        )
+        cost = self.cost_model.phase_cost(profile)
+        return ScanResult(
+            aggregate=value,
+            qualifying_rows=int(survivors.sum()),
+            selectivity=float(survivors.mean()) if executed_rows else 0.0,
+            cost=cost,
+            modeled_rows=modeled_rows,
+            column_line_fractions=fractions,
+            variant=self.variant,
+            processor=processor,
+        )

@@ -1,0 +1,69 @@
+"""Cache-line-granular column skipping for cascaded selections.
+
+A branching (short-circuit) scan evaluates predicates in sequence and
+only loads a later column's cache line when some row in that line is
+still alive.  With clustered data (TPC-H shipdates), long runs of rows
+fail the first predicate together and entire lines of the remaining
+columns are skipped — the effect behind Figure 15's counterintuitive
+"branching beats predication on the GPU" result.
+
+:func:`selection_line_fractions` measures, for a conjunctive predicate
+cascade, the fraction of each column's cache lines a branching scan
+must load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+LINE_BYTES = 128
+
+
+def line_any(mask: np.ndarray, values_per_line: int) -> np.ndarray:
+    """Per-line OR of a row mask (which lines have a surviving row)."""
+    if values_per_line <= 0:
+        raise ValueError(f"values per line must be positive: {values_per_line}")
+    n = len(mask)
+    full = n // values_per_line
+    lines: List[np.ndarray] = []
+    if full:
+        head = mask[: full * values_per_line].reshape(full, values_per_line)
+        lines.append(head.any(axis=1))
+    tail = mask[full * values_per_line :]
+    if len(tail):
+        lines.append(np.array([tail.any()]))
+    if not lines:
+        return np.zeros(0, dtype=bool)
+    return np.concatenate(lines)
+
+
+def selection_line_fractions(
+    masks: Sequence[np.ndarray],
+    value_bytes: int = 4,
+    line_bytes: int = LINE_BYTES,
+) -> List[float]:
+    """Line-load fraction of each column in a branching cascade.
+
+    ``masks[i]`` is the row mask of predicate ``i`` alone.  Column 0 is
+    always fully read; column ``i`` is read at line granularity where
+    any row of the line survived predicates ``0..i-1``.
+
+    Returns one fraction per column (len(masks) columns are predicate
+    columns; append the returned tail fraction for any aggregate-only
+    columns read after the full cascade).
+    """
+    if not masks:
+        raise ValueError("need at least one predicate mask")
+    per_line = max(1, line_bytes // value_bytes)
+    fractions: List[float] = [1.0]
+    alive = masks[0]
+    for mask in masks[1:]:
+        lines = line_any(alive, per_line)
+        fractions.append(float(lines.mean()) if len(lines) else 0.0)
+        alive = alive & mask
+    # Fraction for columns read only by fully-surviving rows (aggregates).
+    lines = line_any(alive, per_line)
+    fractions.append(float(lines.mean()) if len(lines) else 0.0)
+    return fractions

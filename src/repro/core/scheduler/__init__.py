@@ -1,0 +1,6 @@
+"""Morsel-driven scheduling (Section 6.1)."""
+
+from repro.core.scheduler.morsel import MorselDispatcher
+from repro.core.scheduler.batch import tune_batch_morsels
+
+__all__ = ["MorselDispatcher", "tune_batch_morsels"]

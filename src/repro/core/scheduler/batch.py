@@ -1,0 +1,54 @@
+"""GPU morsel-batch tuning (Section 6.1).
+
+"Instead of dispatching one morsel at-a-time, we dispatch batches of
+morsels to the GPU.  Batching morsels amortizes the latency of launching
+a GPU kernel over more data.  We empirically tune the batch size to our
+hardware."
+
+The trade-off: large batches amortize dispatch latency but increase
+end-of-input skew (the last batch may leave other processors idle).
+:func:`tune_batch_morsels` picks the smallest batch whose dispatch
+overhead stays below a target fraction of the batch's processing time.
+"""
+
+from __future__ import annotations
+
+
+def batch_overhead_fraction(
+    batch_morsels: int,
+    morsel_tuples: int,
+    worker_rate: float,
+    dispatch_latency: float,
+) -> float:
+    """Dispatch latency as a fraction of one batch's total time."""
+    if batch_morsels <= 0 or morsel_tuples <= 0:
+        raise ValueError("batch and morsel sizes must be positive")
+    if worker_rate <= 0:
+        raise ValueError(f"worker rate must be positive: {worker_rate}")
+    process_time = batch_morsels * morsel_tuples / worker_rate
+    return dispatch_latency / (dispatch_latency + process_time)
+
+
+def tune_batch_morsels(
+    morsel_tuples: int,
+    worker_rate: float,
+    dispatch_latency: float,
+    target_overhead: float = 0.02,
+    max_batch: int = 1024,
+) -> int:
+    """Smallest batch keeping dispatch overhead under ``target_overhead``.
+
+    Doubles the batch until the overhead target is met (the shape of an
+    empirical tuning sweep); capped to bound end-of-input skew.
+    """
+    if not 0 < target_overhead < 1:
+        raise ValueError(f"target overhead must be in (0, 1): {target_overhead}")
+    batch = 1
+    while batch < max_batch:
+        overhead = batch_overhead_fraction(
+            batch, morsel_tuples, worker_rate, dispatch_latency
+        )
+        if overhead <= target_overhead:
+            return batch
+        batch *= 2
+    return max_batch

@@ -1,0 +1,69 @@
+"""The central morsel dispatcher (Section 6.1).
+
+"Cores balance load by requesting fixed-sized chunks of data (i.e.,
+morsels) from a central dispatcher, that is implemented as a read
+cursor."  The dispatcher hands out ranges of the probe (or build)
+relation; GPUs request *batches* of morsels to amortize kernel-launch
+latency over more data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WorkRange:
+    """A half-open tuple range [start, end)."""
+
+    start: int
+    end: int
+
+    @property
+    def tuples(self) -> int:
+        return self.end - self.start
+
+
+class MorselDispatcher:
+    """A read cursor over ``total_tuples`` handing out fixed morsels."""
+
+    def __init__(self, total_tuples: int, morsel_tuples: int) -> None:
+        if total_tuples < 0:
+            raise ValueError(f"total tuples must be non-negative: {total_tuples}")
+        if morsel_tuples <= 0:
+            raise ValueError(f"morsel size must be positive: {morsel_tuples}")
+        self.total_tuples = total_tuples
+        self.morsel_tuples = morsel_tuples
+        self._cursor = 0
+        self.dispatched: List[Tuple[str, WorkRange]] = []
+
+    @property
+    def remaining(self) -> int:
+        return self.total_tuples - self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= self.total_tuples
+
+    def next_batch(self, morsels: int = 1, worker: str = "") -> Optional[WorkRange]:
+        """Hand out up to ``morsels`` consecutive morsels (one range).
+
+        Returns None once the input is exhausted.  The final range may be
+        shorter than requested — the source of end-of-input skew the
+        batching trade-off has to balance.
+        """
+        if morsels <= 0:
+            raise ValueError(f"must request at least one morsel: {morsels}")
+        if self.exhausted:
+            return None
+        start = self._cursor
+        end = min(self.total_tuples, start + morsels * self.morsel_tuples)
+        self._cursor = end
+        work = WorkRange(start=start, end=end)
+        self.dispatched.append((worker, work))
+        return work
+
+    def dispatched_tuples(self, worker: str) -> int:
+        """Total tuples handed to one worker so far."""
+        return sum(w.tuples for name, w in self.dispatched if name == worker)

@@ -1,0 +1,38 @@
+"""Analytical cost model: prices memory traffic on a simulated machine.
+
+Operators describe the traffic they generate as :class:`AccessProfile`
+objects — bundles of :class:`Stream` s (sequential scans, random probes,
+atomic updates) between a processor and a memory region.  The
+:class:`CostModel` resolves each stream over the machine's interconnect
+topology and computes phase times with bottleneck semantics: concurrent
+streams overlap, each shared resource accumulates occupancy, and the
+phase takes as long as its most-loaded resource.
+
+The primitive bandwidth/latency numbers come from the paper's Figure 3
+microbenchmarks (see :mod:`repro.hardware.specs`); a small set of derived
+constants lives in :mod:`repro.costmodel.calibration`.
+"""
+
+from repro.costmodel.access import (
+    AccessPattern,
+    AccessProfile,
+    Stream,
+    atomic_stream,
+    random_stream,
+    seq_stream,
+)
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.costmodel.model import CostModel, PhaseCost
+
+__all__ = [
+    "AccessPattern",
+    "AccessProfile",
+    "Stream",
+    "atomic_stream",
+    "random_stream",
+    "seq_stream",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "CostModel",
+    "PhaseCost",
+]

@@ -1,0 +1,342 @@
+"""The cost model: translates access profiles into phase times.
+
+Semantics
+---------
+
+* Streams of one profile are concurrent.  Every stream deposits
+  *occupancy* (busy seconds) on each resource it crosses; the phase
+  takes as long as its most-occupied resource (bottleneck / roofline
+  semantics), times the profile's makespan factor, plus fixed overheads.
+  Two streams crossing the same link serialize on it; streams on
+  disjoint resources overlap fully.
+* Sequential streams are priced at measured streaming bandwidths (times
+  the stream's ``bandwidth_factor`` for software-limited transfers).
+* Random streams involve three capacities, each its own resource:
+
+  - the **initiator** (``issue:<proc>``): MLP over end-to-end latency,
+    scaled by a calibrated issue efficiency;
+  - every **link** crossed: the Figure-3 random rate with the
+    independent-access uplift, plus sector-granular wire bytes;
+  - the **target memory**: its random rate, uplifted and multiplied by
+    the DRAM concurrency (a DDR4 socket absorbs both its own cores' and
+    the GPU's requests — this is what makes Het co-processing pay off).
+
+* Atomics use the slower calibrated atomic rates (they serialize in
+  memory controllers and the NVLink NPU); ``[contended]`` streams are
+  further penalized (Figure 21b's Het build).
+* Cache effects: the initiating processor's caches absorb a fraction of
+  random accesses when the working set or the skew hot set fits; the
+  V100 L2 is memory-side and never caches remote data (Figure 14).
+
+For co-processing, :meth:`CostModel.occupancy_per_unit` exposes a
+worker's per-tuple occupancy vector, which feeds the max-min fair
+concurrent-rate solver in :mod:`repro.sim.resources`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.costmodel.access import AccessPattern, AccessProfile, Stream
+from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hardware.cache import CacheModel
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.memory import MemoryRegion
+from repro.hardware.processor import Cpu, Gpu, Processor
+from repro.hardware.topology import Machine
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Result of pricing one phase."""
+
+    seconds: float
+    bottleneck: str
+    occupancy: Dict[str, float]
+    label: str = ""
+
+    def __str__(self) -> str:
+        return f"PhaseCost({self.seconds:.4f}s, bottleneck={self.bottleneck})"
+
+
+class CostModel:
+    """Prices access profiles on one machine."""
+
+    def __init__(
+        self, machine: Machine, calibration: Calibration = DEFAULT_CALIBRATION
+    ) -> None:
+        self.machine = machine
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    # Primitive queries
+    # ------------------------------------------------------------------
+    def sequential_bandwidth(self, processor: str, memory: str) -> float:
+        """End-to-end streaming bandwidth from processor to memory region."""
+        region = self.machine.memory(memory)
+        path = self.machine.path(processor, memory)
+        bandwidth = region.spec.seq_bw
+        for link in path:
+            bandwidth = min(bandwidth, link.spec.seq_bw)
+        return bandwidth
+
+    def path_latency(self, processor: str, memory: str) -> float:
+        """End-to-end access latency: memory plus every link crossed."""
+        region = self.machine.memory(memory)
+        path = self.machine.path(processor, memory)
+        return region.spec.latency + sum(link.spec.latency for link in path)
+
+    def issue_rate(self, processor: str, memory: str) -> float:
+        """Random accesses/s the *initiator* can keep in flight."""
+        proc = self.machine.processor(processor)
+        kind = "gpu" if isinstance(proc, Gpu) else "cpu"
+        efficiency = self.calibration.issue_efficiency.get(kind, 1.0)
+        rate = proc.memory_parallelism() / self.path_latency(processor, memory)
+        hops = len(self.machine.path(processor, memory))
+        if hops > 1:
+            rate *= self.calibration.per_hop_random_penalty ** (hops - 1)
+        return rate * efficiency
+
+    def memory_random_capacity(self, memory: str) -> float:
+        """Random accesses/s the target memory absorbs across initiators."""
+        region = self.machine.memory(memory)
+        return (
+            region.spec.random_access_rate
+            * self.calibration.independent_factor(region.spec.name)
+            * self.calibration.dram_concurrency.get(region.spec.name, 1.0)
+        )
+
+    def link_random_rate(self, link: Interconnect) -> float:
+        """Independent random accesses/s one link instance sustains."""
+        return link.spec.random_access_rate * self.calibration.independent_factor(
+            link.spec.name
+        )
+
+    def random_access_rate(self, processor: str, memory: str) -> float:
+        """Solo end-to-end random access rate (min of all capacities)."""
+        rate = min(
+            self.issue_rate(processor, memory),
+            self.memory_random_capacity(memory),
+        )
+        for link in self.machine.path(processor, memory):
+            rate = min(rate, self.link_random_rate(link))
+        return rate
+
+    def atomic_rate(
+        self, processor: str, memory: str, contended: bool = False
+    ) -> float:
+        """Atomic updates/s from processor into memory.
+
+        An atomic is at least as expensive as a plain random access (it
+        is a read-modify-write), so the read path's rate is an upper
+        bound; memory controllers and link protocol engines lower it
+        further (the calibrated per-technology atomic rates).
+        """
+        region = self.machine.memory(memory)
+        path = self.machine.path(processor, memory)
+        rate = self.calibration.atomic_rate_for(region.spec.name)
+        for link in path:
+            rate = min(rate, self.calibration.atomic_rate_for(link.spec.name))
+        if len(path) > 1:
+            rate *= self.calibration.per_hop_random_penalty ** (len(path) - 1)
+        rate = min(rate, self.random_access_rate(processor, memory))
+        if contended:
+            rate *= self.calibration.shared_build_contention
+        return rate
+
+    # ------------------------------------------------------------------
+    # Cache resolution
+    # ------------------------------------------------------------------
+    def _serving_cache(
+        self,
+        proc: Processor,
+        region: MemoryRegion,
+        path: List[Interconnect],
+        skewed: bool,
+    ) -> Tuple[Optional[CacheModel], float, str]:
+        """Cache that may absorb random accesses, its rate, and its name.
+
+        GPUs: local data is served by the memory-side L2; remote data is
+        only cacheable over a coherent link, in the L1, and only with a
+        small effective capacity (Figure 14 workload B vs. Figure 19).
+
+        CPUs: LLC-resident working sets are served at the core-bound
+        random rate (no faster than DRAM probes — Figure 13); skewed hot
+        sets small enough for the per-core L1s are served fast.
+        """
+        remote = region.owner != proc.name
+        if isinstance(proc, Gpu):
+            if not remote:
+                return proc.l2, self.calibration.l2_random_rate, f"{proc.name}:l2"
+            coherent = all(link.spec.cache_coherent for link in path)
+            if coherent:
+                l1 = CacheModel(
+                    proc.l1.spec,
+                    capacity_override=int(self.calibration.l1_remote_capacity),
+                )
+                return l1, self.calibration.l1_random_rate, f"{proc.name}:l1"
+            if skewed:
+                # Non-coherent links get partial relief from Unified
+                # Memory: hot pages migrate into GPU memory, but fault
+                # handling bounds the service rate (Figure 19, PCI-e).
+                um = CacheModel(
+                    proc.l1.spec,
+                    capacity_override=int(self.calibration.l1_remote_capacity),
+                )
+                return um, self.calibration.um_hot_page_rate, f"{proc.name}:um"
+            return None, 0.0, ""
+        if isinstance(proc, Cpu):
+            if skewed:
+                l1 = CacheModel(
+                    proc.llc.spec,
+                    capacity_override=int(self.calibration.cpu_l1_capacity),
+                )
+                return l1, self.calibration.cpu_l1_random_rate, f"{proc.name}:l1"
+            return proc.llc, self.calibration.llc_random_rate, f"{proc.name}:llc"
+        return None, 0.0, ""
+
+    def cache_hit_rate(self, stream: Stream) -> Tuple[float, float, str]:
+        """(hit_rate, cache_rate, cache_resource) for a random stream."""
+        proc = self.machine.processor(stream.processor)
+        region = self.machine.memory(stream.memory)
+        path = self.machine.path(stream.processor, stream.memory)
+        cache, rate, name = self._serving_cache(
+            proc, region, path, skewed=stream.hot_set is not None
+        )
+        if cache is None or stream.working_set_bytes <= 0:
+            return 0.0, rate, name
+        remote = region.owner != proc.name
+        # Without a skew profile, only whole-working-set fits count as
+        # cacheable; a uniformly probed over-capacity set thrashes.
+        if stream.hot_set is None and stream.working_set_bytes > cache.capacity:
+            return 0.0, rate, name
+        hit = cache.hit_rate(
+            stream.working_set_bytes,
+            data_is_remote=remote,
+            hot_set=stream.hot_set,
+            entry_bytes=max(stream.access_bytes, 1.0),
+        )
+        return hit, rate, name
+
+    # ------------------------------------------------------------------
+    # Stream pricing
+    # ------------------------------------------------------------------
+    def stream_occupancy(self, stream: Stream) -> Dict[str, float]:
+        """Busy-seconds deposited by one stream on each resource."""
+        if stream.pattern is AccessPattern.SEQUENTIAL:
+            return self._sequential_occupancy(stream)
+        return self._random_occupancy(stream)
+
+    def _sequential_occupancy(self, stream: Stream) -> Dict[str, float]:
+        region = self.machine.memory(stream.memory)
+        path = self.machine.path(stream.processor, stream.memory)
+        factor = stream.bandwidth_factor
+        occupancy: Dict[str, float] = {}
+        occupancy[f"mem:{region.name}"] = stream.total_bytes / (
+            region.spec.seq_bw * factor
+        )
+        for link in path:
+            occupancy[f"link:{link.name}"] = stream.total_bytes / (
+                link.spec.seq_bw * factor
+            )
+        return occupancy
+
+    def _random_occupancy(self, stream: Stream) -> Dict[str, float]:
+        region = self.machine.memory(stream.memory)
+        path = self.machine.path(stream.processor, stream.memory)
+        contended = "[contended]" in stream.label
+        occupancy: Dict[str, float] = defaultdict(float)
+
+        if stream.pattern is AccessPattern.ATOMIC:
+            rate = self.atomic_rate(stream.processor, stream.memory, contended)
+            if stream.accesses > 0:
+                occupancy[f"mem:{region.name}"] = stream.accesses / rate
+                sector = max(
+                    stream.access_bytes, self.calibration.random_sector_bytes
+                )
+                for link in path:
+                    wire = stream.accesses * (sector + link.spec.header_bytes)
+                    occupancy[f"link:{link.name}"] = max(
+                        stream.accesses / rate, wire / link.spec.seq_bw
+                    )
+            return dict(occupancy)
+
+        hit, cache_rate, cache_name = self.cache_hit_rate(stream)
+        misses = stream.accesses * (1.0 - hit)
+        hits = stream.accesses * hit
+        sector = max(stream.access_bytes, self.calibration.random_sector_bytes)
+        if misses > 0:
+            occupancy[f"issue:{stream.processor}"] = misses / self.issue_rate(
+                stream.processor, stream.memory
+            )
+            occupancy[f"mem:{region.name}"] = max(
+                misses / self.memory_random_capacity(stream.memory),
+                misses * sector / region.spec.seq_bw,
+            )
+            for link in path:
+                wire = misses * (sector + link.spec.header_bytes)
+                occupancy[f"link:{link.name}"] = max(
+                    misses / self.link_random_rate(link),
+                    wire / link.spec.seq_bw,
+                )
+        if hits > 0 and cache_name:
+            occupancy[f"cache:{cache_name}"] += hits / cache_rate
+        return dict(occupancy)
+
+    # ------------------------------------------------------------------
+    # Phase pricing
+    # ------------------------------------------------------------------
+    def profile_occupancy(self, profile: AccessProfile) -> Dict[str, float]:
+        """Summed occupancy of a whole profile, including compute."""
+        occupancy: Dict[str, float] = defaultdict(float)
+        for stream in profile.streams:
+            for resource, busy in self.stream_occupancy(stream).items():
+                occupancy[resource] += busy
+        if profile.compute_tuples > 0:
+            processors = sorted({s.processor for s in profile.streams})
+            for name in processors:
+                proc = self.machine.processor(name)
+                occupancy[f"compute:{name}"] += (
+                    profile.compute_tuples / max(1, len(processors))
+                ) / proc.tuple_throughput()
+        return dict(occupancy)
+
+    def occupancy_per_unit(
+        self, profile: AccessProfile, units: float
+    ) -> Dict[str, float]:
+        """Per-work-unit occupancy vector (for the concurrency solver)."""
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        return {
+            resource: busy / units
+            for resource, busy in self.profile_occupancy(profile).items()
+        }
+
+    def phase_cost(self, profile: AccessProfile) -> PhaseCost:
+        """Price one phase: bottleneck over all resources plus overheads."""
+        occupancy = self.profile_occupancy(profile)
+        if not occupancy:
+            return PhaseCost(
+                seconds=profile.fixed_overhead,
+                bottleneck="(none)",
+                occupancy={},
+                label=profile.label,
+            )
+        bottleneck = max(occupancy, key=lambda r: occupancy[r])
+        seconds = occupancy[bottleneck] * (
+            1.0 + self.calibration.join_pipeline_overhead
+        )
+        seconds *= profile.makespan_factor
+        seconds += profile.fixed_overhead
+        return PhaseCost(
+            seconds=seconds,
+            bottleneck=bottleneck,
+            occupancy=occupancy,
+            label=profile.label,
+        )
+
+    def phases_cost(self, profiles: List[AccessProfile]) -> List[PhaseCost]:
+        """Price several sequential phases (build, then probe, ...)."""
+        return [self.phase_cost(p) for p in profiles]

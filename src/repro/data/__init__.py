@@ -1,0 +1,5 @@
+"""Column-oriented relations and morsels (the functional data layer)."""
+
+from repro.data.relation import Morsel, Relation
+
+__all__ = ["Morsel", "Relation"]

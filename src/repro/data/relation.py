@@ -1,0 +1,160 @@
+"""Column-oriented relations with dual cardinality.
+
+Relations hold real numpy columns (the functional layer executes on
+them) plus a *modeled* cardinality: the paper-scale tuple count that the
+cost model prices.  All operators in this library generate traffic that
+is linear in the tuple count, so traffic measured at execution scale is
+scaled by ``modeled_tuples / executed_tuples`` before pricing — this is
+validated by tests (see ``tests/costmodel/test_scaling_linearity.py``).
+
+The storage model is columnar (<key, payload> columns), as in the paper
+(Section 7.1: "We store the relations in a column-oriented storage
+model") — which is what makes the payload-column line-skipping effects
+of Figures 15 and 20 possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.hardware.memory import MemoryKind
+
+
+@dataclass
+class Relation:
+    """A two-column (key, payload) relation.
+
+    Attributes:
+        name: relation name ("R", "S", "lineitem", ...).
+        key: the join-key column.
+        payload: the value column (same length as ``key``).
+        modeled_tuples: paper-scale cardinality priced by the cost model;
+            defaults to the executed cardinality.
+        location: memory region holding the relation's columns.
+        kind: memory kind (pageable/pinned/unified), which constrains
+            the usable transfer methods (Table 1).
+    """
+
+    name: str
+    key: np.ndarray
+    payload: np.ndarray
+    modeled_tuples: Optional[int] = None
+    location: str = "cpu0-mem"
+    kind: MemoryKind = MemoryKind.PAGEABLE
+
+    def __post_init__(self) -> None:
+        if self.key.ndim != 1 or self.payload.ndim != 1:
+            raise ValueError("relation columns must be one-dimensional")
+        if len(self.key) != len(self.payload):
+            raise ValueError(
+                f"column length mismatch in {self.name}: "
+                f"{len(self.key)} keys vs {len(self.payload)} payloads"
+            )
+        if self.modeled_tuples is None:
+            self.modeled_tuples = len(self.key)
+        if self.modeled_tuples < len(self.key):
+            raise ValueError(
+                f"modeled cardinality {self.modeled_tuples} below executed "
+                f"cardinality {len(self.key)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Cardinalities and sizes
+    # ------------------------------------------------------------------
+    @property
+    def executed_tuples(self) -> int:
+        return len(self.key)
+
+    @property
+    def tuple_bytes(self) -> int:
+        return self.key.dtype.itemsize + self.payload.dtype.itemsize
+
+    @property
+    def key_bytes(self) -> int:
+        return self.key.dtype.itemsize
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.payload.dtype.itemsize
+
+    @property
+    def modeled_bytes(self) -> int:
+        return self.modeled_tuples * self.tuple_bytes
+
+    @property
+    def scale(self) -> float:
+        """Executed fraction of the modeled cardinality (<= 1)."""
+        if self.modeled_tuples == 0:
+            return 1.0
+        return self.executed_tuples / self.modeled_tuples
+
+    @property
+    def model_factor(self) -> float:
+        """Multiplier from executed traffic to modeled traffic."""
+        if self.executed_tuples == 0:
+            return 1.0
+        return self.modeled_tuples / self.executed_tuples
+
+    # ------------------------------------------------------------------
+    # Placement and slicing
+    # ------------------------------------------------------------------
+    def placed(self, location: str, kind: Optional[MemoryKind] = None) -> "Relation":
+        """A view of this relation placed in another memory region."""
+        return replace(self, location=location, kind=kind or self.kind)
+
+    def slice(self, part: slice) -> "Relation":
+        """A zero-copy view of a tuple range (used by morsel dispatch)."""
+        return Relation(
+            name=self.name,
+            key=self.key[part],
+            payload=self.payload[part],
+            modeled_tuples=max(1, len(self.key[part])),
+            location=self.location,
+            kind=self.kind,
+        )
+
+    def morsels(self, morsel_tuples: int) -> Iterator["Morsel"]:
+        """Fixed-size morsels over the executed tuples (Section 6.1)."""
+        if morsel_tuples <= 0:
+            raise ValueError(f"morsel size must be positive: {morsel_tuples}")
+        for start in range(0, self.executed_tuples, morsel_tuples):
+            end = min(start + morsel_tuples, self.executed_tuples)
+            yield Morsel(relation=self, start=start, end=end)
+
+    def __str__(self) -> str:
+        return (
+            f"Relation({self.name}: {self.executed_tuples} executed / "
+            f"{self.modeled_tuples} modeled tuples, {self.tuple_bytes} B/tuple, "
+            f"in {self.location})"
+        )
+
+
+@dataclass(frozen=True)
+class Morsel:
+    """A fixed-size chunk of a relation handed out by the dispatcher."""
+
+    relation: Relation
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start <= self.end <= self.relation.executed_tuples:
+            raise ValueError(
+                f"morsel [{self.start}, {self.end}) out of bounds for "
+                f"{self.relation.executed_tuples} tuples"
+            )
+
+    @property
+    def tuples(self) -> int:
+        return self.end - self.start
+
+    @property
+    def keys(self) -> np.ndarray:
+        return self.relation.key[self.start : self.end]
+
+    @property
+    def payloads(self) -> np.ndarray:
+        return self.relation.payload[self.start : self.end]

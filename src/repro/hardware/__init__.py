@@ -1,0 +1,72 @@
+"""Simulated hardware substrate: processors, memories, interconnects.
+
+This package models the two evaluation platforms of the paper:
+
+* an IBM AC922-like machine — 2x POWER9 CPUs linked by X-Bus, each with a
+  V100-SXM2 GPU attached over 3x NVLink 2.0 (cache-coherent), and
+* a dual-socket Intel Xeon machine linked by UPI with one V100-PCIE GPU
+  behind 16x PCI-e 3.0 (not cache-coherent).
+
+All performance primitives (bandwidths, latencies, packet overheads) come
+from the paper's Figures 1-3 and Section 2.2, and are recorded on the spec
+dataclasses in :mod:`repro.hardware.specs`.
+"""
+
+from repro.hardware.specs import (
+    CacheSpec,
+    CpuSpec,
+    GpuSpec,
+    LinkSpec,
+    MemorySpec,
+    INTERCONNECTS,
+    MEMORIES,
+    NVLINK2,
+    PCIE3,
+    UPI,
+    XBUS,
+    DDR4_POWER9,
+    DDR4_XEON,
+    HBM2_V100,
+    POWER9,
+    XEON_6126,
+    V100_SXM2,
+    V100_PCIE,
+)
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.memory import MemoryKind, MemoryRegion
+from repro.hardware.processor import Cpu, Gpu, Processor, ProcessorKind
+from repro.hardware.cache import CacheModel, HotSetProfile
+from repro.hardware.topology import Machine, ibm_ac922, intel_xeon_v100
+
+__all__ = [
+    "CacheSpec",
+    "CpuSpec",
+    "GpuSpec",
+    "LinkSpec",
+    "MemorySpec",
+    "INTERCONNECTS",
+    "MEMORIES",
+    "NVLINK2",
+    "PCIE3",
+    "UPI",
+    "XBUS",
+    "DDR4_POWER9",
+    "DDR4_XEON",
+    "HBM2_V100",
+    "POWER9",
+    "XEON_6126",
+    "V100_SXM2",
+    "V100_PCIE",
+    "Interconnect",
+    "MemoryKind",
+    "MemoryRegion",
+    "Cpu",
+    "Gpu",
+    "Processor",
+    "ProcessorKind",
+    "CacheModel",
+    "HotSetProfile",
+    "Machine",
+    "ibm_ac922",
+    "intel_xeon_v100",
+]

@@ -1,0 +1,147 @@
+"""Cache models used by the cost model.
+
+Two effects from the paper are captured here:
+
+1. **Working-set caching** (Figure 13, workload B): a hash table that fits
+   into the GPU L2 (or CPU L3) is served at cache bandwidth instead of
+   memory bandwidth.  The V100 L2 is *memory-side* and cannot cache remote
+   data (Figure 14, workload B), which the ``caches_remote`` flag encodes.
+
+2. **Hot-set caching under skew** (Figure 19): a Zipf-distributed probe
+   stream concentrates accesses on few hash-table entries; the fraction of
+   accesses that hit the cacheable hot set is served locally.  The
+   :class:`HotSetProfile` describes an access distribution as "the top-k
+   distinct targets receive mass(k) of all accesses".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class HotSetProfile:
+    """Access-frequency profile over distinct targets of random accesses.
+
+    ``mass_of_top(k)`` returns the fraction of all accesses that land on
+    the ``k`` most frequently accessed distinct targets.  For a uniform
+    distribution over ``n`` targets that is ``k / n``; for Zipf it is the
+    partial sum of the (normalized) Zipf pmf, which the workload layer
+    computes empirically from generated keys.
+    """
+
+    distinct_targets: int
+    mass_of_top: Callable[[int], float]
+
+    @staticmethod
+    def uniform(distinct_targets: int) -> "HotSetProfile":
+        if distinct_targets <= 0:
+            raise ValueError("need at least one target")
+
+        def mass(k: int) -> float:
+            return min(1.0, max(0.0, k / distinct_targets))
+
+        return HotSetProfile(distinct_targets, mass)
+
+    @staticmethod
+    def zipf(distinct_targets: int, exponent: float) -> "HotSetProfile":
+        """Analytic Zipf profile: pmf(i) ~ 1 / i**exponent.
+
+        ``exponent == 0`` degenerates to uniform.  The partial sums use the
+        generalized-harmonic approximation, accurate to <1% for the sizes
+        used by the benchmarks.
+        """
+        if distinct_targets <= 0:
+            raise ValueError("need at least one target")
+        if exponent < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        if exponent == 0:
+            return HotSetProfile.uniform(distinct_targets)
+
+        def harmonic(k: int) -> float:
+            # Generalized harmonic number H_{k,s} via Euler-Maclaurin.
+            if k <= 0:
+                return 0.0
+            if k <= 64:
+                return sum(1.0 / i**exponent for i in range(1, k + 1))
+            head = sum(1.0 / i**exponent for i in range(1, 65))
+            if abs(exponent - 1.0) < 1e-12:
+                tail = math.log(k / 64.0)
+            else:
+                tail = (k ** (1 - exponent) - 64 ** (1 - exponent)) / (1 - exponent)
+            return head + tail
+
+        total = harmonic(distinct_targets)
+
+        def mass(k: int) -> float:
+            k = max(0, min(k, distinct_targets))
+            if k == 0:
+                return 0.0
+            return harmonic(k) / total
+
+        return HotSetProfile(distinct_targets, mass)
+
+
+class CacheModel:
+    """Hit-rate estimation for one cache level.
+
+    This is an analytical model, not a line-by-line simulation: for the
+    streaming/probing workloads in the paper, hit rates are determined by
+    whether the working set (or the skewed hot set) fits, which the model
+    evaluates in O(1).
+    """
+
+    def __init__(self, spec, capacity_override: Optional[int] = None) -> None:
+        self.spec = spec
+        self.capacity = capacity_override if capacity_override else spec.capacity
+
+    @property
+    def line_bytes(self) -> int:
+        return self.spec.line_bytes
+
+    @property
+    def bandwidth(self) -> float:
+        return self.spec.bandwidth
+
+    def can_cache(self, data_is_remote: bool) -> bool:
+        """Whether this cache may hold the data at all.
+
+        The V100 L2 sits on the memory side of the crossbar and only caches
+        lines homed in local GPU memory.
+        """
+        if data_is_remote and not self.spec.caches_remote:
+            return False
+        return True
+
+    def hit_rate(
+        self,
+        working_set_bytes: float,
+        data_is_remote: bool = False,
+        hot_set: Optional[HotSetProfile] = None,
+        entry_bytes: float = 16.0,
+    ) -> float:
+        """Estimated hit rate of random accesses into ``working_set_bytes``.
+
+        With a ``hot_set`` profile, the cache retains the hottest entries
+        (LRU converges to this for heavy-tailed access streams) and the hit
+        rate is the access mass of as many entries as fit.  Without one,
+        the working set either fits (hit rate ~1 after warm-up) or random
+        accesses sample it uniformly and the hit rate is capacity/set.
+        """
+        if working_set_bytes < 0:
+            raise ValueError("working set must be non-negative")
+        if not self.can_cache(data_is_remote):
+            return 0.0
+        if working_set_bytes == 0:
+            return 1.0
+        if hot_set is not None:
+            # One cached entry occupies a full line (conservative).
+            lines = int(self.capacity // self.spec.line_bytes)
+            entries_per_line = max(1, int(self.spec.line_bytes // entry_bytes))
+            cacheable_entries = lines * entries_per_line
+            return hot_set.mass_of_top(cacheable_entries)
+        if working_set_bytes <= self.capacity:
+            return 1.0
+        return self.capacity / working_set_bytes

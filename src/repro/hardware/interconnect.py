@@ -1,0 +1,80 @@
+"""Behavioural model of a point-to-point interconnect link.
+
+A :class:`LinkSpec` is a data sheet; an :class:`Interconnect` is one
+*instance* of a link in a machine (e.g. "the 3x NVLink 2.0 bundle between
+CPU0 and GPU0").  It computes effective bandwidths for a given access
+pattern and access size, applying the packet-overhead model of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.specs import LinkSpec
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """One physical link instance between two endpoints of a machine.
+
+    Endpoints are identified by the names of the components they join
+    (processor or memory names); the topology owns routing.
+    """
+
+    spec: LinkSpec
+    endpoint_a: str
+    endpoint_b: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}[{self.endpoint_a}<->{self.endpoint_b}]"
+
+    def connects(self, a: str, b: str) -> bool:
+        """Whether this link joins components ``a`` and ``b`` (any order)."""
+        return {self.endpoint_a, self.endpoint_b} == {a, b}
+
+    def sequential_bandwidth(self) -> float:
+        """Measured streaming bandwidth in bytes/s (one direction)."""
+        return self.spec.seq_bw
+
+    def duplex_bandwidth(self) -> float:
+        """Aggregate bandwidth with traffic in both directions.
+
+        Full-duplex links (both PCI-e and NVLink) carry each direction at
+        full speed; protocol acknowledgements cost a few percent, which is
+        already folded into the measured per-direction number.
+        """
+        if self.spec.duplex:
+            return 2.0 * self.spec.seq_bw
+        return self.spec.seq_bw
+
+    def random_access_rate(self, parallelism: float) -> float:
+        """Sustainable independent random accesses per second.
+
+        Random accesses are latency-bound: an initiator with ``parallelism``
+        outstanding requests achieves ``parallelism / latency`` accesses/s,
+        capped by the link's measured random-access capability (which
+        reflects the NPU / root-complex queue depths).
+        """
+        if parallelism <= 0:
+            raise ValueError(f"parallelism must be positive, got {parallelism}")
+        latency_bound = parallelism / self.spec.latency
+        return min(latency_bound, self.spec.random_access_rate)
+
+    def random_bandwidth(self, access_bytes: int, parallelism: float) -> float:
+        """Useful bytes/s for random accesses of ``access_bytes`` each.
+
+        An access of up to one coherence packet occupies a single request
+        slot, so byte throughput grows with access size until payload
+        efficiency and the sequential bandwidth cap take over.
+        """
+        rate = self.random_access_rate(parallelism)
+        per_access = min(access_bytes, self.spec.payload_bytes)
+        raw = rate * per_access
+        return min(raw, self.spec.seq_bw * self.spec.packet_efficiency(access_bytes))
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Latency + streaming time for one bulk transfer of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {nbytes}")
+        return self.spec.latency + nbytes / self.spec.seq_bw

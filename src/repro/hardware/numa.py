@@ -1,0 +1,71 @@
+"""NUMA distance queries over a machine topology.
+
+The paper's allocation policies are NUMA-aware (Figure 8 spills to the
+*nearest* CPU, Section 5.3 recursively searches next-nearest nodes;
+Section 3 notes the OS optimizes "NUMA locality through page
+migration").  This module exposes the distance structure behind those
+policies: hop counts and effective bandwidths between every processor
+and every memory region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.costmodel.model import CostModel
+from repro.hardware.topology import Machine
+
+
+@dataclass(frozen=True)
+class NumaDistance:
+    """Distance from one processor to one memory region."""
+
+    processor: str
+    memory: str
+    hops: int
+    bandwidth: float  # end-to-end sequential bytes/s
+    latency: float  # end-to-end seconds
+
+
+def distance_matrix(machine: Machine) -> Dict[Tuple[str, str], NumaDistance]:
+    """All (processor, memory) distances of a machine."""
+    cost_model = CostModel(machine)
+    matrix: Dict[Tuple[str, str], NumaDistance] = {}
+    for proc_name in machine.processors:
+        for mem_name in machine.memories:
+            matrix[(proc_name, mem_name)] = NumaDistance(
+                processor=proc_name,
+                memory=mem_name,
+                hops=machine.hops(proc_name, mem_name),
+                bandwidth=cost_model.sequential_bandwidth(proc_name, mem_name),
+                latency=cost_model.path_latency(proc_name, mem_name),
+            )
+    return matrix
+
+
+def memories_by_distance(machine: Machine, processor: str) -> List[NumaDistance]:
+    """All memory regions ordered by (hops, latency) from a processor."""
+    matrix = distance_matrix(machine)
+    distances = [
+        d for (proc, _), d in matrix.items() if proc == processor
+    ]
+    distances.sort(key=lambda d: (d.hops, d.latency, d.memory))
+    return distances
+
+
+def render_matrix(machine: Machine) -> str:
+    """ASCII rendering: hops for every (processor, memory) pair."""
+    from repro.utils.tables import Table
+
+    memories = sorted(machine.memories)
+    table = Table(
+        ["processor \\ memory"] + memories,
+        title=f"NUMA hop distances — {machine.name}",
+    )
+    matrix = distance_matrix(machine)
+    for proc in sorted(machine.processors):
+        table.add_row(
+            [proc] + [str(matrix[(proc, mem)].hops) for mem in memories]
+        )
+    return table.render()

@@ -1,0 +1,105 @@
+"""Processor models: CPUs and GPUs.
+
+Processors are the initiators of memory traffic.  The attributes that the
+cost model consumes are:
+
+* the local memory region,
+* the memory-level parallelism (outstanding requests) the processor can
+  sustain, which bounds latency-bound random access rates, and
+* compute throughput for cache-resident phases (hash computation, branch
+  evaluation), so that compute can become the bottleneck once bandwidth
+  ceases to be (Discussion point (2)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.cache import CacheModel
+from repro.hardware.memory import MemoryRegion
+from repro.hardware.specs import CpuSpec, GpuSpec
+
+
+class ProcessorKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass
+class Processor:
+    """Common base for CPUs and GPUs placed in a machine topology."""
+
+    name: str
+    kind: ProcessorKind
+    local_memory: MemoryRegion
+
+    def memory_parallelism(self) -> float:
+        raise NotImplementedError
+
+    def tuple_throughput(self) -> float:
+        """Compute-bound tuples/s for hash-join style per-tuple work."""
+        raise NotImplementedError
+
+
+@dataclass
+class Cpu(Processor):
+    """One CPU socket."""
+
+    spec: CpuSpec = None  # type: ignore[assignment]
+    llc: Optional[CacheModel] = None
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            raise ValueError("Cpu requires a CpuSpec")
+        if self.kind is not ProcessorKind.CPU:
+            raise ValueError(f"Cpu must have kind CPU, got {self.kind}")
+        if self.llc is None:
+            self.llc = CacheModel(self.spec.llc)
+
+    def memory_parallelism(self) -> float:
+        """Outstanding misses across all cores (line-fill buffers)."""
+        return self.spec.cores * self.spec.mlp_per_core
+
+    def tuple_throughput(self) -> float:
+        return self.spec.cores * self.spec.tuple_rate_per_core
+
+    @property
+    def threads(self) -> int:
+        return self.spec.threads
+
+
+@dataclass
+class Gpu(Processor):
+    """One discrete GPU."""
+
+    spec: GpuSpec = None  # type: ignore[assignment]
+    l2: Optional[CacheModel] = None
+    l1: Optional[CacheModel] = None
+
+    def __post_init__(self) -> None:
+        if self.spec is None:
+            raise ValueError("Gpu requires a GpuSpec")
+        if self.kind is not ProcessorKind.GPU:
+            raise ValueError(f"Gpu must have kind GPU, got {self.kind}")
+        if self.l2 is None:
+            self.l2 = CacheModel(self.spec.l2)
+        if self.l1 is None:
+            self.l1 = CacheModel(
+                self.spec.l1_per_sm, capacity_override=self.spec.l1_total_capacity
+            )
+
+    def memory_parallelism(self) -> float:
+        return self.spec.mlp
+
+    def tuple_throughput(self) -> float:
+        return self.spec.tuple_rate
+
+    @property
+    def kernel_launch_latency(self) -> float:
+        return self.spec.kernel_launch_latency
+
+    @property
+    def atomic_rate_local(self) -> float:
+        return self.spec.atomic_rate_local

@@ -1,0 +1,370 @@
+"""Hardware data sheets for the paper's two evaluation platforms.
+
+Every number here is taken from the paper:
+
+* Figure 1 — theoretical vs. measured bandwidth of CPU memory, NVLink 2.0,
+  and PCI-e 3.0 on the IBM system.
+* Figure 2 — electrical bandwidths of the interconnect topology.
+* Figure 3 — measured sequential bandwidth, random (4-byte) bandwidth, and
+  latency of NVLink 2.0, PCI-e 3.0, UPI, X-Bus, Xeon memory, POWER9 memory,
+  and V100 GPU memory.
+* Section 2.2 — packet header/payload sizes of PCI-e 3.0 and NVLink 2.0.
+* Section 7.1 — core counts, clocks, and memory capacities of the machines.
+
+The specs are *immutable descriptions*.  Behavioural models live in
+:mod:`repro.hardware.interconnect`, :mod:`repro.hardware.cache`, and
+:mod:`repro.costmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.utils.units import GIB, GB, KIB, MIB, NS
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An interconnect link technology.
+
+    Attributes:
+        name: technology name, e.g. ``"nvlink2"``.
+        electrical_bw: aggregate electrical bandwidth per direction in
+            bytes/s (Figure 2 annotations).
+        seq_bw: measured sequential read bandwidth in bytes/s (Figure 3).
+        random_bw_4b: measured bandwidth of dependent 4-byte random reads
+            in bytes/s (Figure 3).
+        latency: measured small-read latency in seconds (Figure 3).
+        payload_bytes: maximum packet payload in bytes (Section 2.2).
+        header_bytes: packet header size in bytes (Section 2.2).
+        cache_coherent: whether the link supports system-wide cache
+            coherence and atomics (NVLink 2.0: yes; PCI-e 3.0: no).
+        duplex: full duplex links carry both directions at full speed.
+        pageable_access: whether a device behind this link can directly
+            read/write pageable memory (NVLink 2.0 address translation).
+    """
+
+    name: str
+    electrical_bw: float
+    seq_bw: float
+    random_bw_4b: float
+    latency: float
+    payload_bytes: int
+    header_bytes: int
+    cache_coherent: bool
+    duplex: bool = True
+    pageable_access: bool = False
+
+    @property
+    def random_access_rate(self) -> float:
+        """Independent random accesses per second sustainable on the link.
+
+        The microbenchmark in Figure 3 issues 4-byte reads; the sustained
+        *rate* (accesses/s) rather than the byte bandwidth is the invariant
+        quantity for accesses up to one cache line, because each access
+        occupies one request slot regardless of its size.
+        """
+        return self.random_bw_4b / 4.0
+
+    def packet_efficiency(self, access_bytes: int) -> float:
+        """Fraction of electrical bandwidth left after packet headers.
+
+        Small payloads pay proportionally more header overhead
+        (Section 2.2: PCI-e headers are "significant for the small
+        payloads of irregular memory accesses").
+        """
+        if access_bytes <= 0:
+            raise ValueError(f"access size must be positive, got {access_bytes}")
+        payload = min(access_bytes, self.payload_bytes)
+        return payload / (payload + self.header_bytes)
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """A memory technology attached to one processor.
+
+    Attributes mirror :class:`LinkSpec`; bandwidths are local accesses by
+    the owning processor (Figure 3b for CPU memory, 3c for GPU memory).
+    """
+
+    name: str
+    capacity: int
+    seq_bw: float
+    random_bw_4b: float
+    latency: float
+    channels: int
+    page_bytes: int
+
+    @property
+    def random_access_rate(self) -> float:
+        """Independent random accesses per second (see LinkSpec)."""
+        return self.random_bw_4b / 4.0
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level.
+
+    ``memory_side`` marks the V100 L2, which sits in front of GPU memory
+    and therefore *cannot* cache remote (CPU-memory) data — the paper uses
+    this to explain Figure 14's workload-B behaviour.  ``caches_remote``
+    marks caches that can hold lines homed in another processor's memory
+    (GPU L1 over NVLink 2.0 coherence, CPU L3 for any address).
+    """
+
+    name: str
+    capacity: int
+    line_bytes: int
+    bandwidth: float
+    memory_side: bool = False
+    caches_remote: bool = True
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU socket.
+
+    ``mlp_per_core`` is the number of outstanding misses a core sustains
+    (line-fill buffers); together with memory latency it bounds the random
+    access rate of join probes.
+    """
+
+    name: str
+    cores: int
+    smt: int
+    clock_hz: float
+    mlp_per_core: float
+    memory: MemorySpec
+    llc: CacheSpec
+    # Throughput of hashing + probing instructions, tuples/s per core, for
+    # compute-bound (cache-resident) phases.
+    tuple_rate_per_core: float = 250e6
+
+    @property
+    def threads(self) -> int:
+        return self.cores * self.smt
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A discrete GPU.
+
+    ``mlp`` is the aggregate number of outstanding memory requests across
+    all SMs; GPUs hide latency with massive parallelism (Section 3:
+    "GPUs are designed to handle such high-latency memory accesses").
+    ``atomic_rate_local`` bounds hash-table builds: CAS/atomic updates to
+    GPU memory are slower than plain reads and dominate the build phase in
+    Figure 18's time breakdown.
+    """
+
+    name: str
+    sms: int
+    clock_hz: float
+    mlp: float
+    memory: MemorySpec
+    l2: CacheSpec
+    l1_per_sm: CacheSpec
+    copy_engines: int
+    atomic_rate_local: float
+    kernel_launch_latency: float = 10e-6
+    tuple_rate: float = 40e9
+
+    @property
+    def l1_total_capacity(self) -> int:
+        return self.sms * self.l1_per_sm.capacity
+
+
+# ---------------------------------------------------------------------------
+# Interconnect technologies (Figures 2 and 3a, Section 2.2)
+# ---------------------------------------------------------------------------
+
+NVLINK2 = LinkSpec(
+    name="nvlink2",
+    electrical_bw=75 * GB,  # 3 bundled links x 25 GB/s (Figure 2)
+    seq_bw=63 * GIB,  # Figure 3a
+    random_bw_4b=2.8 * GIB,  # Figure 3a
+    latency=434 * NS,  # Figure 3a
+    payload_bytes=256,  # Section 2.2.2
+    header_bytes=16,  # Section 2.2.2
+    cache_coherent=True,
+    pageable_access=True,
+)
+
+PCIE3 = LinkSpec(
+    name="pcie3",
+    electrical_bw=16 * GB,  # 16 lanes (Figure 2)
+    seq_bw=12 * GIB,  # Figure 3a
+    random_bw_4b=0.2 * GIB,  # Figure 3a
+    latency=790 * NS,  # Figure 3a
+    payload_bytes=512,  # Section 2.2.1 (up to 512 byte payload)
+    header_bytes=24,  # Section 2.2.1 (20-26 byte header)
+    cache_coherent=False,
+    pageable_access=False,
+)
+
+UPI = LinkSpec(
+    name="upi",
+    electrical_bw=41.6 * GB,
+    seq_bw=32 * GIB,  # Figure 3a
+    random_bw_4b=2.0 * GIB,  # Figure 3a (NVLink is "35% faster")
+    latency=121 * NS,  # Figure 3a (NVLink is "3.6x higher")
+    payload_bytes=64,
+    header_bytes=8,
+    cache_coherent=True,
+)
+
+XBUS = LinkSpec(
+    name="xbus",
+    electrical_bw=64 * GB,  # per link (Figure 2)
+    seq_bw=31 * GIB,  # Figure 3a (NVLink has "twice as much")
+    random_bw_4b=1.1 * GIB,  # Figure 3a
+    latency=211 * NS,  # Figure 3a (NVLink is "2x higher")
+    payload_bytes=128,
+    header_bytes=8,
+    cache_coherent=True,
+)
+
+INTERCONNECTS: Dict[str, LinkSpec] = {
+    spec.name: spec for spec in (NVLINK2, PCIE3, UPI, XBUS)
+}
+
+
+# ---------------------------------------------------------------------------
+# Memory technologies (Figures 1, 3b, 3c; Section 7.1)
+# ---------------------------------------------------------------------------
+
+DDR4_POWER9 = MemorySpec(
+    name="ddr4-power9",
+    capacity=128 * GIB,  # 256 GiB across two sockets (Section 7.1)
+    seq_bw=117 * GIB,  # Figure 3b (8 channels DDR4-2666)
+    random_bw_4b=3.6 * GIB,  # Figure 3b
+    latency=68 * NS,  # Figure 3b
+    channels=8,
+    page_bytes=64 * KIB,  # POWER9 uses 64 KiB pages (Section 4.2)
+)
+
+DDR4_XEON = MemorySpec(
+    name="ddr4-xeon",
+    capacity=768 * GIB,  # 1.5 TiB across two sockets (Section 7.1)
+    seq_bw=81 * GIB,  # Figure 3b (6 channels DDR4-2666)
+    random_bw_4b=2.7 * GIB,  # Figure 3b
+    latency=70 * NS,  # Figure 3b
+    channels=6,
+    page_bytes=4 * KIB,  # Intel uses 4 KiB pages (Section 4.2)
+)
+
+HBM2_V100 = MemorySpec(
+    name="hbm2-v100",
+    capacity=16 * GIB,  # Section 7.1: both GPUs have 16 GB memory
+    seq_bw=729 * GIB,  # Figure 3c
+    random_bw_4b=22.3 * GIB,  # Figure 3c
+    latency=282 * NS,  # Figure 3c
+    channels=32,
+    page_bytes=64 * KIB,
+)
+
+MEMORIES: Dict[str, MemorySpec] = {
+    spec.name: spec for spec in (DDR4_POWER9, DDR4_XEON, HBM2_V100)
+}
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+
+POWER9_L3 = CacheSpec(
+    name="power9-l3",
+    capacity=120 * MIB,  # 10 MiB per core-pair x 16 cores
+    line_bytes=128,
+    bandwidth=400 * GIB,
+    caches_remote=True,
+)
+
+XEON_L3 = CacheSpec(
+    name="xeon-l3",
+    capacity=19 * MIB + 256 * KIB,  # 19.25 MiB on the Gold 6126
+    line_bytes=64,
+    bandwidth=300 * GIB,
+    caches_remote=True,
+)
+
+V100_L2 = CacheSpec(
+    name="v100-l2",
+    capacity=6 * MIB,
+    line_bytes=128,  # NVLink coherence granularity (Section 2.2.2)
+    bandwidth=2150 * GIB,
+    memory_side=True,  # Section 7.2.3: "The L2 cache is memory-side
+    caches_remote=False,  # and cannot cache remote data."
+)
+
+V100_L1 = CacheSpec(
+    name="v100-l1",
+    capacity=128 * KIB,  # per SM, unified with shared memory
+    line_bytes=128,
+    bandwidth=12000 * GIB,
+    caches_remote=True,  # coherence lets L1 cache CPU memory (Section 2.2.2)
+)
+
+
+# ---------------------------------------------------------------------------
+# Processors (Section 7.1)
+# ---------------------------------------------------------------------------
+
+POWER9 = CpuSpec(
+    name="power9",
+    cores=16,
+    smt=4,
+    clock_hz=3.3e9,
+    mlp_per_core=8.0,
+    memory=DDR4_POWER9,
+    llc=POWER9_L3,
+)
+
+XEON_6126 = CpuSpec(
+    name="xeon-6126",
+    cores=12,
+    smt=2,
+    clock_hz=2.6e9,
+    mlp_per_core=10.0,
+    memory=DDR4_XEON,
+    llc=XEON_L3,
+)
+
+V100_SXM2 = GpuSpec(
+    name="v100-sxm2",
+    sms=80,
+    clock_hz=1.53e9,
+    mlp=6400.0,  # 80 SMs x ~80 outstanding requests
+    memory=HBM2_V100,
+    l2=V100_L2,
+    l1_per_sm=V100_L1,
+    copy_engines=6,
+    atomic_rate_local=1.7e9,  # calibrated: Figure 18 build-phase share
+)
+
+V100_PCIE = GpuSpec(
+    name="v100-pcie",
+    sms=80,
+    clock_hz=1.38e9,
+    mlp=6400.0,
+    memory=HBM2_V100,
+    l2=V100_L2,
+    l1_per_sm=V100_L1,
+    copy_engines=6,
+    atomic_rate_local=1.7e9,
+)
+
+
+def theoretical_vs_measured() -> Dict[str, Tuple[float, float]]:
+    """Figure 1's bars: (theoretical, measured) bandwidth in bytes/s.
+
+    CPU memory is the POWER9's 8 DDR4-2666 channels; NVLink 2.0 and
+    PCI-e 3.0 are the GPU interconnects of the two platforms.
+    """
+    ddr4_2666_channel = 21.3 * GB  # 2666 MT/s x 8 bytes
+    return {
+        "memory": (8 * ddr4_2666_channel, DDR4_POWER9.seq_bw),
+        "nvlink2": (NVLINK2.electrical_bw, NVLINK2.seq_bw),
+        "pcie3": (PCIE3.electrical_bw, PCIE3.seq_bw),
+    }

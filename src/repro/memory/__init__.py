@@ -1,0 +1,27 @@
+"""Memory management substrate: allocator, virtual address space, hybrid
+and interleaved placement policies.
+
+The hybrid hash-table allocation (Figure 8) is the paper's key memory
+idea: allocate GPU memory first, spill the remainder to the nearest CPU
+memory (recursively across NUMA nodes), and expose the result as one
+contiguous virtual array whose pages live in different physical regions.
+"""
+
+from repro.memory.allocator import Allocation, Allocator, OutOfMemoryError
+from repro.memory.address_space import AddressSpace, PageMapping
+from repro.memory.hybrid import (
+    HybridAllocation,
+    allocate_hybrid,
+    allocate_interleaved,
+)
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "OutOfMemoryError",
+    "AddressSpace",
+    "PageMapping",
+    "HybridAllocation",
+    "allocate_hybrid",
+    "allocate_interleaved",
+]

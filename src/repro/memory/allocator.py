@@ -1,0 +1,119 @@
+"""Capacity-tracking allocator over a machine's memory regions.
+
+Allocations carry their :class:`~repro.hardware.memory.MemoryKind`
+because transfer methods are constrained by it (Table 1): Zero-Copy
+needs pinned memory, UM methods need unified memory, and only the
+Coherence method reaches pageable memory from the GPU.
+
+Pinning also has a *time* cost (Section 4.1, Dynamic Pinning), which the
+transfer-method models consume; the allocator records enough metadata
+for them to do so.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.memory import MemoryKind, MemoryRegion
+from repro.hardware.topology import Machine
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when a region (or region chain) cannot satisfy a request."""
+
+
+@dataclass
+class Allocation:
+    """A contiguous allocation in one memory region."""
+
+    id: int
+    region: MemoryRegion
+    nbytes: int
+    kind: MemoryKind
+    label: str = ""
+    freed: bool = False
+
+    @property
+    def region_name(self) -> str:
+        return self.region.name
+
+    @property
+    def is_gpu_memory(self) -> bool:
+        return self.kind is MemoryKind.DEVICE
+
+    def __str__(self) -> str:
+        return (
+            f"Allocation#{self.id}({self.label or 'anon'}, {self.nbytes} B, "
+            f"{self.kind.value} in {self.region.name})"
+        )
+
+
+class Allocator:
+    """Allocates from the memory regions of one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._ids = itertools.count(1)
+        self.live: Dict[int, Allocation] = {}
+
+    def alloc(
+        self,
+        region_name: str,
+        nbytes: int,
+        kind: MemoryKind = MemoryKind.PAGEABLE,
+        label: str = "",
+    ) -> Allocation:
+        """Allocate ``nbytes`` in a named region; raises OutOfMemoryError."""
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative: {nbytes}")
+        region = self.machine.memory(region_name)
+        self._validate_kind(region, kind)
+        try:
+            region.reserve(nbytes)
+        except MemoryError as exc:
+            raise OutOfMemoryError(str(exc)) from exc
+        allocation = Allocation(
+            id=next(self._ids), region=region, nbytes=nbytes, kind=kind, label=label
+        )
+        self.live[allocation.id] = allocation
+        return allocation
+
+    @staticmethod
+    def _validate_kind(region: MemoryRegion, kind: MemoryKind) -> None:
+        gpu_region = region.spec.name.startswith("hbm")
+        if gpu_region and kind is not MemoryKind.DEVICE:
+            raise ValueError(
+                f"GPU memory {region.name} only holds device allocations, "
+                f"got {kind.value}"
+            )
+        if not gpu_region and kind is MemoryKind.DEVICE:
+            raise ValueError(
+                f"device allocations must live in GPU memory, not {region.name}"
+            )
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation's bytes; double frees raise."""
+        if allocation.freed:
+            raise ValueError(f"double free of {allocation}")
+        if allocation.id not in self.live:
+            raise ValueError(f"{allocation} was not made by this allocator")
+        allocation.region.release(allocation.nbytes)
+        allocation.freed = True
+        del self.live[allocation.id]
+
+    def used_bytes(self, region_name: str) -> int:
+        """Bytes currently allocated in one region."""
+        return self.machine.memory(region_name).allocated
+
+    def free_bytes(self, region_name: str) -> int:
+        """Bytes still available in one region."""
+        return self.machine.memory(region_name).free_bytes
+
+    def live_allocations(self, region_name: Optional[str] = None) -> List[Allocation]:
+        """Outstanding allocations, optionally filtered by region."""
+        allocations = list(self.live.values())
+        if region_name is not None:
+            allocations = [a for a in allocations if a.region.name == region_name]
+        return allocations

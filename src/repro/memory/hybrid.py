@@ -1,0 +1,160 @@
+"""Hybrid and interleaved allocation policies.
+
+:func:`allocate_hybrid` implements the greedy algorithm of Figure 8:
+
+1. allocate GPU memory by default;
+2. if the GPU is full, spill to the CPU memory *nearest* to the GPU;
+3. if that CPU is full too, recursively search the next-nearest CPUs of
+   the multi-socket NUMA system.
+
+The result is a single contiguous virtual array (``AddressSpace``) whose
+leading bytes live in GPU memory — exactly what the hybrid hash table
+needs for graceful degradation (Section 5.3).
+
+:func:`allocate_interleaved` implements the multi-GPU placement of
+Section 6.3: pages interleaved round-robin over all GPU memories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.memory import MemoryKind
+from repro.hardware.topology import Machine
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import Allocation, Allocator, OutOfMemoryError
+
+
+@dataclass
+class HybridAllocation:
+    """A contiguous virtual allocation spanning several physical regions."""
+
+    nbytes: int
+    address_space: AddressSpace
+    pieces: List[Allocation] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def gpu_fraction(self) -> float:
+        """Fraction of bytes resident in GPU memory (A_GPU of Section 5.3)."""
+        gpu_bytes = sum(p.nbytes for p in self.pieces if p.is_gpu_memory)
+        if self.nbytes == 0:
+            return 0.0
+        return gpu_bytes / self.nbytes
+
+    def bytes_per_region(self) -> Dict[str, int]:
+        """Mapped bytes per memory region."""
+        return self.address_space.bytes_per_region()
+
+    def free(self, allocator: Allocator) -> None:
+        """Release every physical piece of the allocation."""
+        for piece in self.pieces:
+            allocator.free(piece)
+        self.pieces.clear()
+
+
+def allocate_hybrid(
+    allocator: Allocator,
+    gpu_name: str,
+    nbytes: int,
+    spill_kind: MemoryKind = MemoryKind.PAGEABLE,
+    gpu_reserve: int = 0,
+    label: str = "hybrid",
+) -> HybridAllocation:
+    """Greedy GPU-first allocation with NUMA-recursive CPU spill (Fig. 8).
+
+    Args:
+        allocator: the machine's allocator.
+        gpu_name: the GPU whose memory is preferred.
+        nbytes: total bytes of the contiguous virtual array.
+        spill_kind: memory kind for spilled CPU pages (Coherence works on
+            pageable memory; Zero-Copy would need pinned).
+        gpu_reserve: GPU bytes to leave free (for staging buffers etc.).
+
+    Raises:
+        OutOfMemoryError: when GPU plus all CPU regions cannot hold it.
+    """
+    if nbytes < 0:
+        raise ValueError(f"allocation size must be non-negative: {nbytes}")
+    machine = allocator.machine
+    gpu = machine.processor(gpu_name)
+    space = AddressSpace()
+    pieces: List[Allocation] = []
+    remaining = nbytes
+
+    def take(region_name: str, amount: int, kind: MemoryKind) -> None:
+        nonlocal remaining
+        if amount <= 0:
+            return
+        piece = allocator.alloc(region_name, amount, kind=kind, label=label)
+        pieces.append(piece)
+        space.append(amount, region_name)
+        remaining -= amount
+
+    # Step 1: GPU memory first.
+    gpu_region = gpu.local_memory
+    gpu_available = max(0, gpu_region.free_bytes - gpu_reserve)
+    take(gpu_region.name, min(remaining, gpu_available), MemoryKind.DEVICE)
+
+    # Step 2: nearest CPU, then recursively the next-nearest (NUMA).
+    if remaining > 0:
+        for cpu_region in machine.cpu_memories_by_distance(gpu_name):
+            if remaining == 0:
+                break
+            take(cpu_region.name, min(remaining, cpu_region.free_bytes), spill_kind)
+
+    if remaining > 0:
+        for piece in pieces:
+            allocator.free(piece)
+        raise OutOfMemoryError(
+            f"hybrid allocation of {nbytes} bytes does not fit: "
+            f"{remaining} bytes left after exhausting GPU and CPU memory"
+        )
+    return HybridAllocation(
+        nbytes=nbytes, address_space=space, pieces=pieces, label=label
+    )
+
+
+def allocate_interleaved(
+    allocator: Allocator,
+    gpu_names: Sequence[str],
+    nbytes: int,
+    page_bytes: int = 2 * 1024 * 1024,
+    label: str = "interleaved",
+) -> HybridAllocation:
+    """Interleave pages over several GPUs' memories (Section 6.3).
+
+    Multi-GPU systems distribute large hash tables by interleaving pages
+    over all GPUs, the same strategy NUMA systems use; GPUs tolerate the
+    remote-access latency. Pages are dealt round-robin at ``page_bytes``
+    granularity.
+    """
+    if not gpu_names:
+        raise ValueError("need at least one GPU to interleave over")
+    if nbytes < 0:
+        raise ValueError(f"allocation size must be non-negative: {nbytes}")
+    machine = allocator.machine
+    regions = [machine.processor(name).local_memory for name in gpu_names]
+    space = AddressSpace()
+    pieces: List[Allocation] = []
+    remaining = nbytes
+    index = 0
+    while remaining > 0:
+        region = regions[index % len(regions)]
+        amount = min(page_bytes, remaining)
+        if region.free_bytes < amount:
+            for piece in pieces:
+                allocator.free(piece)
+            raise OutOfMemoryError(
+                f"interleaved allocation: {region.name} is full with "
+                f"{remaining} bytes still to place"
+            )
+        piece = allocator.alloc(region.name, amount, MemoryKind.DEVICE, label=label)
+        pieces.append(piece)
+        space.append(amount, region.name)
+        remaining -= amount
+        index += 1
+    return HybridAllocation(
+        nbytes=nbytes, address_space=space, pieces=pieces, label=label
+    )

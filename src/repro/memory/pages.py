@@ -1,0 +1,145 @@
+"""Functional Unified Memory page-migration simulator.
+
+The UM transfer methods (Table 1) move data at *page* granularity: a
+GPU access to a non-resident page faults, the OS migrates the page into
+GPU memory, and — when GPU memory is full — evicts another page back.
+This module simulates that mechanism directly: a :class:`UnifiedSpace`
+tracks per-page residency under a clock (second-chance) replacement
+policy and counts faults, evictions, and hits for an access trace.
+
+The cost model's UM constants (fault cost, thrash behaviour behind
+Figure 17's PCI-e cliff) can thus be cross-checked against a mechanism
+simulation instead of being taken on faith; see
+``tests/memory/test_pages.py`` and the ``um_thrashing`` ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MigrationStats:
+    """Outcome of replaying an access trace."""
+
+    accesses: int
+    faults: int
+    evictions: int
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.faults
+
+    @property
+    def fault_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.faults / self.accesses
+
+    def migrated_bytes(self, page_bytes: int) -> int:
+        """Bytes moved over the interconnect (faults + write-backs)."""
+        return (self.faults + self.evictions) * page_bytes
+
+
+class UnifiedSpace:
+    """A unified allocation of ``total_pages``, at most ``resident_pages``
+    of which fit in GPU memory at a time.
+
+    Replacement is the clock (second-chance) algorithm — what the
+    driver's LRU approximation amounts to.
+    """
+
+    def __init__(self, total_pages: int, resident_pages: int) -> None:
+        if total_pages <= 0:
+            raise ValueError(f"need at least one page, got {total_pages}")
+        if resident_pages <= 0:
+            raise ValueError(
+                f"need at least one resident frame, got {resident_pages}"
+            )
+        self.total_pages = total_pages
+        self.resident_pages = min(resident_pages, total_pages)
+        self.resident = np.zeros(total_pages, dtype=bool)
+        self.referenced = np.zeros(total_pages, dtype=bool)
+        self._frames: list = []  # resident pages in clock order
+        self._hand = 0
+        self.faults = 0
+        self.evictions = 0
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+    def _evict_one(self) -> None:
+        """Advance the clock hand until a non-referenced page is found."""
+        while True:
+            if self._hand >= len(self._frames):
+                self._hand = 0
+            page = self._frames[self._hand]
+            if self.referenced[page]:
+                self.referenced[page] = False
+                self._hand += 1
+                continue
+            self.resident[page] = False
+            self._frames.pop(self._hand)
+            self.evictions += 1
+            return
+
+    def access(self, page: int) -> bool:
+        """Access one page; returns True on a fault (migration)."""
+        if not 0 <= page < self.total_pages:
+            raise IndexError(f"page {page} out of range [0, {self.total_pages})")
+        self.accesses += 1
+        if self.resident[page]:
+            self.referenced[page] = True
+            return False
+        self.faults += 1
+        if len(self._frames) >= self.resident_pages:
+            self._evict_one()
+        self.resident[page] = True
+        self.referenced[page] = True
+        self._frames.append(page)
+        return True
+
+    def access_trace(self, pages: Iterable[int]) -> MigrationStats:
+        """Replay a page trace; returns cumulative stats *deltas*."""
+        faults0, evictions0, accesses0 = self.faults, self.evictions, self.accesses
+        for page in pages:
+            self.access(int(page))
+        return MigrationStats(
+            accesses=self.accesses - accesses0,
+            faults=self.faults - faults0,
+            evictions=self.evictions - evictions0,
+        )
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._frames)
+
+
+def sequential_trace(total_pages: int, passes: int = 1) -> np.ndarray:
+    """Page trace of a sequential scan repeated ``passes`` times."""
+    if passes <= 0:
+        raise ValueError("need at least one pass")
+    return np.tile(np.arange(total_pages, dtype=np.int64), passes)
+
+
+def uniform_random_trace(
+    total_pages: int, accesses: int, seed: int = 0
+) -> np.ndarray:
+    """Page trace of uniform random accesses (a hash table's pattern)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, total_pages, size=accesses, dtype=np.int64)
+
+
+def expected_fault_rate_uniform(total_pages: int, resident_pages: int) -> float:
+    """Analytic steady-state fault rate for uniform random accesses.
+
+    With uniform accesses, residency converges to an arbitrary subset of
+    ``resident_pages`` pages, so the miss probability is simply the
+    non-resident fraction — the model behind the cost model's UM
+    thrashing term (Figure 17's PCI-e out-of-core floor).
+    """
+    if total_pages <= 0:
+        raise ValueError("need at least one page")
+    return max(0.0, 1.0 - min(resident_pages, total_pages) / total_pages)

@@ -1,0 +1,20 @@
+"""Discrete-event simulation engine for virtual-time execution.
+
+The analytical cost model prices single-processor phases; co-processing
+(Section 6) additionally needs *dynamics*: a morsel dispatcher handing
+work to processors that drain at different rates, batched GPU dispatch
+latency, and end-of-input load imbalance.  This package provides a small
+deterministic event engine plus a shared-resource throughput solver.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import solve_concurrent_rates
+from repro.sim.trace import Span, Timeline
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "solve_concurrent_rates",
+    "Span",
+    "Timeline",
+]

@@ -1,0 +1,72 @@
+"""Shared-resource throughput solver for concurrent workers.
+
+When a CPU and a GPU process the same join cooperatively (Section 6),
+they compete for shared resources — most importantly the CPU memory
+channels feeding both the CPU cores and the GPU's interconnect reads.
+Given each worker's per-work-unit occupancy vector (seconds of busy time
+deposited on each resource per tuple), the solver finds sustainable
+per-worker rates under max-min fairness with proportional scaling:
+
+* every worker starts at its solo rate (bounded by its own bottleneck),
+* any resource whose total demand exceeds 1 busy-second per second
+  scales its users down proportionally,
+* repeat until feasible.
+
+This waterfilling converges quickly (monotone decrease, fixed point at
+feasibility) and reproduces the paper's observation that co-processing
+must "avoid resource contention ... to prevent slowing down the overall
+execution" (Section 6, requirement (c)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+ResourceVector = Mapping[str, float]
+
+
+def solo_rate(occupancy_per_unit: ResourceVector) -> float:
+    """Units/s a worker sustains alone: 1 / max resource occupancy."""
+    if not occupancy_per_unit:
+        return float("inf")
+    worst = max(occupancy_per_unit.values())
+    if worst <= 0:
+        return float("inf")
+    return 1.0 / worst
+
+
+def solve_concurrent_rates(
+    demands: Mapping[str, ResourceVector],
+    tolerance: float = 1e-9,
+    max_iterations: int = 1000,
+) -> Dict[str, float]:
+    """Sustainable units/s per worker under shared-resource contention.
+
+    Args:
+        demands: worker name -> {resource name: occupancy seconds/unit}.
+
+    Returns:
+        worker name -> rate (units/s).  Workers with no demands get inf.
+    """
+    rates = {worker: solo_rate(vector) for worker, vector in demands.items()}
+    finite = {w for w, r in rates.items() if r != float("inf")}
+    for _ in range(max_iterations):
+        # Find the most oversubscribed resource.
+        loads: Dict[str, float] = {}
+        for worker in finite:
+            for resource, occupancy in demands[worker].items():
+                loads[resource] = loads.get(resource, 0.0) + occupancy * rates[worker]
+        worst_resource = None
+        worst_load = 1.0 + tolerance
+        for resource, load in loads.items():
+            if load > worst_load:
+                worst_load = load
+                worst_resource = resource
+        if worst_resource is None:
+            return rates
+        # Scale down every user of the oversubscribed resource.
+        scale = 1.0 / worst_load
+        for worker in finite:
+            if demands[worker].get(worst_resource, 0.0) > 0:
+                rates[worker] *= scale
+    raise RuntimeError("concurrent rate solver failed to converge")

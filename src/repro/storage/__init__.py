@@ -1,0 +1,14 @@
+"""Columnar storage and catalog: the database substrate.
+
+The paper's premise is a main-memory database: "databases typically
+store data in pageable memory" (Section 5.1), and background tasks like
+NUMA page migration must keep working (Section 3).  This package
+provides that substrate: a :class:`Catalog` of columnar
+:class:`StoredTable` s whose bytes are *really reserved* in the
+machine's memory regions (modeled capacity), with memory-kind tracking
+(pageable/pinned/unified) and priced inter-region migration.
+"""
+
+from repro.storage.catalog import Catalog, StoredTable, TableExistsError
+
+__all__ = ["Catalog", "StoredTable", "TableExistsError"]

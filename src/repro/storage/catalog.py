@@ -1,0 +1,189 @@
+"""A catalog of columnar tables with real capacity accounting.
+
+Creating a table reserves its *modeled* bytes in a memory region via
+the allocator; dropping releases them; migrating a table between
+regions (the OS's NUMA page migration, Section 3) re-reserves at the
+destination and returns the priced transfer time.  Tables expose their
+columns for the functional layer and convert to
+:class:`~repro.data.relation.Relation` views for the join operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.costmodel.model import CostModel
+from repro.data.relation import Relation
+from repro.hardware.memory import MemoryKind
+from repro.hardware.topology import Machine
+from repro.memory.allocator import Allocation, Allocator
+
+
+class TableExistsError(ValueError):
+    """Raised when creating a table whose name is taken."""
+
+
+@dataclass
+class StoredTable:
+    """One columnar table resident in one memory region."""
+
+    name: str
+    columns: Dict[str, np.ndarray]
+    modeled_rows: int
+    kind: MemoryKind
+    allocation: Allocation
+
+    def __post_init__(self) -> None:
+        lengths = {len(col) for col in self.columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged columns in table {self.name}")
+        if self.modeled_rows < self.executed_rows:
+            raise ValueError(
+                f"modeled rows {self.modeled_rows} below executed rows "
+                f"{self.executed_rows}"
+            )
+
+    @property
+    def executed_rows(self) -> int:
+        return len(next(iter(self.columns.values())))
+
+    @property
+    def row_bytes(self) -> int:
+        return sum(col.dtype.itemsize for col in self.columns.values())
+
+    @property
+    def modeled_bytes(self) -> int:
+        return self.modeled_rows * self.row_bytes
+
+    @property
+    def location(self) -> str:
+        return self.allocation.region.name
+
+    def column(self, name: str) -> np.ndarray:
+        """Look a column up by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name} has no column {name!r}; "
+                f"columns: {', '.join(self.columns)}"
+            ) from None
+
+    def as_relation(self, key: str, payload: str) -> Relation:
+        """A Relation view over two columns (for the join operators)."""
+        return Relation(
+            name=self.name,
+            key=self.column(key),
+            payload=self.column(payload),
+            modeled_tuples=self.modeled_rows,
+            location=self.location,
+            kind=self.kind,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"StoredTable({self.name}: {self.executed_rows} rows executed / "
+            f"{self.modeled_rows} modeled, {self.row_bytes} B/row, "
+            f"{self.kind.value} in {self.location})"
+        )
+
+
+class Catalog:
+    """Named tables over one machine's memory regions."""
+
+    def __init__(self, machine: Machine, allocator: Optional[Allocator] = None):
+        self.machine = machine
+        self.allocator = allocator or Allocator(machine)
+        self.cost_model = CostModel(machine)
+        self._tables: Dict[str, StoredTable] = {}
+
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Mapping[str, np.ndarray],
+        location: str = "cpu0-mem",
+        kind: MemoryKind = MemoryKind.PAGEABLE,
+        modeled_rows: Optional[int] = None,
+    ) -> StoredTable:
+        """Create a table and reserve its modeled bytes in ``location``."""
+        if name in self._tables:
+            raise TableExistsError(f"table {name!r} already exists")
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        columns = dict(columns)
+        rows = {len(col) for col in columns.values()}
+        if len(rows) != 1:
+            raise ValueError(f"ragged columns for table {name!r}")
+        executed = rows.pop()
+        modeled = modeled_rows if modeled_rows is not None else executed
+        row_bytes = sum(col.dtype.itemsize for col in columns.values())
+        allocation = self.allocator.alloc(
+            location, modeled * row_bytes, kind=kind, label=f"table:{name}"
+        )
+        table = StoredTable(
+            name=name,
+            columns=columns,
+            modeled_rows=modeled,
+            kind=kind,
+            allocation=allocation,
+        )
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and release its reserved capacity."""
+        table = self.table(name)
+        self.allocator.free(table.allocation)
+        del self._tables[name]
+
+    def table(self, name: str) -> StoredTable:
+        """Look a table up by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r}; tables: {', '.join(sorted(self._tables))}"
+            ) from None
+
+    def tables(self) -> List[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    def migrate(self, name: str, destination: str, mover: str = "cpu0") -> float:
+        """Move a table to another region (NUMA page migration).
+
+        Returns the priced migration time: the table's modeled bytes
+        streamed from source to destination at the slower of the two
+        routes from the moving processor.  The capacity moves with it.
+        """
+        table = self.table(name)
+        source = table.location
+        if source == destination:
+            return 0.0
+        new_allocation = self.allocator.alloc(
+            destination,
+            table.allocation.nbytes,
+            kind=table.kind,
+            label=f"table:{name}",
+        )
+        self.allocator.free(table.allocation)
+        table.allocation = new_allocation
+        read_bw = self.cost_model.sequential_bandwidth(mover, source)
+        write_bw = self.cost_model.sequential_bandwidth(mover, destination)
+        return table.modeled_bytes / min(read_bw, write_bw)
+
+    def used_bytes(self, location: str) -> int:
+        """Bytes allocated in one region (tables and anything else)."""
+        return self.machine.memory(location).allocated
+
+    def total_modeled_bytes(self) -> int:
+        """Sum of all tables' modeled sizes."""
+        return sum(t.modeled_bytes for t in self._tables.values())

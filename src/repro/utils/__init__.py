@@ -1,0 +1,49 @@
+"""Shared utilities: units, statistics, and table rendering."""
+
+from repro.utils.units import (
+    KIB,
+    MIB,
+    GIB,
+    KB,
+    MB,
+    GB,
+    NS,
+    US,
+    MS,
+    SECOND,
+    format_bytes,
+    format_time,
+    format_throughput,
+    gib_per_s,
+)
+from repro.utils.stats import (
+    RunStats,
+    geometric_mean,
+    harmonic_mean,
+    mean,
+    standard_error,
+)
+from repro.utils.tables import Table
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "NS",
+    "US",
+    "MS",
+    "SECOND",
+    "format_bytes",
+    "format_time",
+    "format_throughput",
+    "gib_per_s",
+    "RunStats",
+    "geometric_mean",
+    "harmonic_mean",
+    "mean",
+    "standard_error",
+    "Table",
+]

@@ -1,0 +1,102 @@
+"""Terminal bar charts for the benchmark harness.
+
+The paper's figures are bar and line charts; the harness can render a
+rough ASCII version of each reproduced figure next to its table so the
+*shape* is visible at a glance without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """One horizontal bar scaled to ``maximum``."""
+    if maximum <= 0:
+        return ""
+    if value < 0:
+        raise ValueError(f"bar values must be non-negative, got {value}")
+    cells = value / maximum * width
+    full = int(cells)
+    return _BAR * full + (_HALF if cells - full >= 0.5 else "")
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A labelled horizontal bar chart.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a 2 ████
+    b 1 ██
+    """
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    maximum = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    number_width = max(len(f"{v:.3g}") for v in values.values())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        lines.append(
+            f"{str(label):<{label_width}} "
+            f"{value:>{number_width}.3g}{unit} "
+            f"{bar(value, maximum, width)}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[Mapping],
+    label_key: str,
+    series: Sequence[str],
+    title: str = "",
+    width: int = 30,
+) -> str:
+    """Grouped bars: one block per row, one bar per series.
+
+    ``rows`` are mappings with a label plus one value per series name
+    (missing series are skipped) — the shape of a FigureResult row.
+    """
+    values = [
+        row[name]
+        for row in rows
+        for name in series
+        if name in row and row[name] is not None
+    ]
+    if not values:
+        raise ValueError("no values to chart")
+    maximum = max(values)
+    series_width = max(len(s) for s in series)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        lines.append(f"{row[label_key]}")
+        for name in series:
+            if name not in row or row[name] is None:
+                continue
+            value = row[name]
+            lines.append(
+                f"  {name:<{series_width}} {value:>8.3g} "
+                f"{bar(value, maximum, width)}"
+            )
+    return "\n".join(lines)
+
+
+def figure_chart(result, width: int = 30) -> str:
+    """Chart a FigureResult (simulated series only)."""
+    rows = [dict(row.values, **{"__label__": row.label}) for row in result.rows]
+    return grouped_bar_chart(
+        rows,
+        label_key="__label__",
+        series=result.series_names(),
+        title=f"{result.figure}: {result.title} [{result.unit}]",
+        width=width,
+    )

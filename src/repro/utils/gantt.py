@@ -1,0 +1,55 @@
+"""ASCII Gantt rendering of simulation timelines.
+
+Visualizes the morsel-driven co-processing dynamics (Section 6.1): one
+lane per worker, one block per dispatch span — making end-of-input skew
+and batching effects visible in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.trace import Timeline
+from repro.utils.units import format_time
+
+_BLOCK = "▇"
+_IDLE = "·"
+
+
+def render_gantt(timeline: Timeline, width: int = 72) -> str:
+    """Render a timeline as one ASCII lane per worker.
+
+    Each character cell covers ``makespan / width`` seconds; a cell is
+    filled when the worker is busy for the majority of it.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if not timeline.spans:
+        return "(empty timeline)"
+    start = min(span.start for span in timeline.spans)
+    end = max(span.end for span in timeline.spans)
+    makespan = end - start
+    if makespan <= 0:
+        return "(zero-length timeline)"
+    cell = makespan / width
+    lines: List[str] = [
+        f"timeline: {format_time(makespan)} total, "
+        f"{format_time(cell)} per cell"
+    ]
+    label_width = max(len(worker) for worker in timeline.by_worker())
+    for worker, spans in sorted(timeline.by_worker().items()):
+        busy = [0.0] * width
+        for span in spans:
+            first = int((span.start - start) / cell)
+            last = min(width - 1, int((span.end - start - 1e-12) / cell))
+            for i in range(max(0, first), last + 1):
+                cell_start = start + i * cell
+                cell_end = cell_start + cell
+                overlap = min(span.end, cell_end) - max(span.start, cell_start)
+                busy[i] += max(0.0, overlap)
+        lane = "".join(
+            _BLOCK if b >= 0.5 * cell else _IDLE for b in busy
+        )
+        utilization = timeline.busy_time(worker) / makespan
+        lines.append(f"{worker:<{label_width}} |{lane}| {utilization:.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Small statistics helpers for benchmark reporting.
+
+The paper reports "the mean and standard error over 10 runs".  The simulator
+is deterministic, but the functional layer re-runs with different seeds and
+the harness reports the same statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def standard_error(values: Sequence[float]) -> float:
+    """Standard error of the mean (sample standard deviation / sqrt(n))."""
+    if not values:
+        raise ValueError("standard error of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    variance = sum((v - mu) ** 2 for v in values) / (len(values) - 1)
+    return math.sqrt(variance) / math.sqrt(len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, appropriate for averaging throughputs."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, appropriate for averaging speedup ratios."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Mean and standard error over repeated runs of one measurement."""
+
+    mean: float
+    stderr: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "RunStats":
+        return cls(mean=mean(values), stderr=standard_error(values), n=len(values))
+
+    @property
+    def relative_stderr(self) -> float:
+        """Standard error as a fraction of the mean (paper keeps this <5%)."""
+        if self.mean == 0:
+            return 0.0
+        return self.stderr / abs(self.mean)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.stderr:.2g} (n={self.n})"

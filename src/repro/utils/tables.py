@@ -1,0 +1,62 @@
+"""Minimal ASCII table renderer for the benchmark harness.
+
+The benchmark harness prints the same rows/series the paper reports, side by
+side with the paper's published value.  A tiny dependency-free renderer keeps
+the output readable both under pytest and when the bench modules are run as
+scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """Accumulates rows and renders them with aligned columns.
+
+    >>> t = Table(["method", "throughput"])
+    >>> t.add_row(["Coherence", "3.83"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    method    | throughput
+    ----------+-----------
+    Coherence | 3.83
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [self._format(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3g}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

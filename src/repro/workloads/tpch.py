@@ -1,0 +1,130 @@
+"""TPC-H lineitem generator for query 6 (Figure 15).
+
+Q6 is the paper's selection–aggregation workload::
+
+    SELECT sum(l_extendedprice * l_discount)
+    FROM lineitem
+    WHERE l_shipdate >= date '1994-01-01'
+      AND l_shipdate < date '1995-01-01'
+      AND l_discount BETWEEN 0.05 AND 0.07
+      AND l_quantity < 24;
+
+The generator follows dbgen's essentials: ~6M rows per scale factor,
+quantity uniform in [1, 50], discount in {0.00 .. 0.10}, and shipdates
+spread over 1992–1998.  Like dbgen output (which is ordered by order
+date), shipdates are *clustered*: generated sorted with bounded jitter.
+That clustering is what lets the branching variant skip whole cache
+lines of the other columns (Section 7.2.4), because the shipdate
+predicate fails for long runs of consecutive rows.
+
+Four 4-byte columns give 16 bytes/row: SF100 = 8.9 GiB, SF1000 =
+89.4 GiB, matching the paper's working-set sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hardware.memory import MemoryKind
+
+ROWS_PER_SF = 6_000_000
+BYTES_PER_ROW = 16  # 4 columns x 4 bytes
+
+#: Days since 1992-01-01; shipdates span about seven years.
+SHIPDATE_DAYS = 7 * 365
+Q6_SHIPDATE_LO = 2 * 365  # 1994-01-01
+Q6_SHIPDATE_HI = 3 * 365  # 1995-01-01
+Q6_DISCOUNT_LO = 0.05
+Q6_DISCOUNT_HI = 0.07
+Q6_QUANTITY_LT = 24
+
+Q6_PREDICATE = (
+    "l_shipdate in [1994-01-01, 1995-01-01) and "
+    "l_discount in [0.05, 0.07] and l_quantity < 24"
+)
+
+
+@dataclass
+class Q6Workload:
+    """Generated lineitem columns plus modeled cardinality."""
+
+    shipdate: np.ndarray  # int32 days since 1992-01-01
+    discount: np.ndarray  # float32, {0.00, 0.01, ..., 0.10}
+    quantity: np.ndarray  # int32 in [1, 50]
+    extendedprice: np.ndarray  # float32
+    scale_factor: float
+    modeled_rows: int
+    location: str = "cpu0-mem"
+    kind: MemoryKind = MemoryKind.PAGEABLE
+
+    @property
+    def executed_rows(self) -> int:
+        return len(self.shipdate)
+
+    @property
+    def modeled_bytes(self) -> int:
+        return self.modeled_rows * BYTES_PER_ROW
+
+    @property
+    def model_factor(self) -> float:
+        if self.executed_rows == 0:
+            return 1.0
+        return self.modeled_rows / self.executed_rows
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The four lineitem columns, keyed by TPC-H name."""
+        return {
+            "l_shipdate": self.shipdate,
+            "l_discount": self.discount,
+            "l_quantity": self.quantity,
+            "l_extendedprice": self.extendedprice,
+        }
+
+
+def lineitem_q6(
+    scale_factor: float,
+    scale: float = 2.0**-9,
+    seed: int = 7,
+    shipdate_jitter_days: int = 60,
+) -> Q6Workload:
+    """Generate a Q6 lineitem table.
+
+    Args:
+        scale_factor: TPC-H scale factor; modeled rows = 6M x SF.
+        scale: executed fraction of the modeled rows.
+        shipdate_jitter_days: window of the shipdate clustering; 0 means
+            perfectly sorted shipdates, larger values weaken clustering
+            (and with it the branching variant's skip opportunity).
+    """
+    if scale_factor <= 0:
+        raise ValueError(f"scale factor must be positive: {scale_factor}")
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    modeled_rows = int(ROWS_PER_SF * scale_factor)
+    executed_rows = max(4096, min(modeled_rows, int(round(modeled_rows * scale))))
+    rng = np.random.default_rng(seed)
+
+    base = np.sort(rng.integers(0, SHIPDATE_DAYS, size=executed_rows))
+    if shipdate_jitter_days > 0:
+        jitter = rng.integers(
+            -shipdate_jitter_days, shipdate_jitter_days + 1, size=executed_rows
+        )
+        shipdate = np.clip(base + jitter, 0, SHIPDATE_DAYS - 1).astype(np.int32)
+    else:
+        shipdate = base.astype(np.int32)
+
+    discount = (rng.integers(0, 11, size=executed_rows) / 100.0).astype(np.float32)
+    quantity = rng.integers(1, 51, size=executed_rows).astype(np.int32)
+    extendedprice = (rng.random(executed_rows, dtype=np.float32) * 90000.0) + 900.0
+
+    return Q6Workload(
+        shipdate=shipdate,
+        discount=discount,
+        quantity=quantity,
+        extendedprice=extendedprice.astype(np.float32),
+        scale_factor=scale_factor,
+        modeled_rows=modeled_rows,
+    )

@@ -1,0 +1,121 @@
+"""Workload integrity validation.
+
+The evaluation's conclusions depend on the generators honouring their
+contracts (dense unique primary keys, exact foreign-key matching,
+controlled selectivity and skew).  :func:`validate_workload` checks
+those contracts and returns a :class:`ValidationReport`; generators'
+tests and the benchmark harness use it, and downstream users can run it
+over their own data before joining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.workloads.builders import JoinWorkload
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of workload validation."""
+
+    workload: str
+    checks: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    match_rate: float = 0.0
+    top_1000_mass: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append(name)
+        if not passed:
+            message = f"{name}: FAILED"
+            if detail:
+                message += f" ({detail})"
+            self.failures.append(message)
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else f"{len(self.failures)} failures"
+        return f"ValidationReport({self.workload}: {len(self.checks)} checks, {status})"
+
+
+def validate_workload(
+    workload: JoinWorkload,
+    selectivity_tolerance: float = 0.03,
+) -> ValidationReport:
+    """Check a join workload's generator contracts."""
+    report = ValidationReport(workload=workload.name)
+    r, s = workload.r, workload.s
+
+    # Primary keys: unique.
+    unique_keys = len(np.unique(r.key)) == r.executed_tuples
+    report.record("r-keys-unique", unique_keys)
+
+    # Primary keys: dense domain [0, |R|) — the perfect-hash contract.
+    dense = bool(
+        r.executed_tuples == 0
+        or (int(r.key.min()) == 0 and int(r.key.max()) == r.executed_tuples - 1)
+    )
+    report.record("r-keys-dense", dense and unique_keys)
+
+    # Cardinalities: modeled >= executed, positive.
+    report.record(
+        "cardinalities",
+        r.modeled_tuples >= r.executed_tuples > 0
+        and s.modeled_tuples >= s.executed_tuples > 0,
+    )
+
+    # Selectivity: measured match rate near the declared one.
+    matches = np.isin(s.key, r.key)
+    report.match_rate = float(matches.mean()) if s.executed_tuples else 0.0
+    report.record(
+        "selectivity",
+        abs(report.match_rate - workload.selectivity) <= selectivity_tolerance,
+        detail=(
+            f"declared {workload.selectivity:.3f}, "
+            f"measured {report.match_rate:.3f}"
+        ),
+    )
+
+    # Skew: the top-1000 key mass must be consistent with the exponent.
+    if s.executed_tuples:
+        _, counts = np.unique(s.key[matches], return_counts=True)
+        if len(counts):
+            top = np.sort(counts)[::-1][:1000].sum()
+            report.top_1000_mass = float(top / matches.sum()) if matches.any() else 0.0
+    if workload.zipf_exponent >= 1.5:
+        report.record(
+            "skew-concentration",
+            report.top_1000_mass > 0.5,
+            detail=f"top-1000 mass {report.top_1000_mass:.3f}",
+        )
+    elif workload.zipf_exponent == 0.0 and workload.selectivity == 1.0:
+        expected = min(1.0, 1000 / max(1, r.executed_tuples))
+        report.record(
+            "skew-uniformity",
+            report.top_1000_mass <= max(3 * expected, 0.05),
+            detail=f"top-1000 mass {report.top_1000_mass:.3f}",
+        )
+
+    # Dtypes: key and payload widths match (Table 2's layouts).
+    report.record(
+        "dtype-widths",
+        r.key_bytes in (4, 8) and r.key_bytes == s.key_bytes,
+    )
+    return report
+
+
+def assert_valid(workload: JoinWorkload) -> None:
+    """Raise AssertionError with the failure list if validation fails."""
+    report = validate_workload(workload)
+    if not report.ok:
+        raise AssertionError(
+            f"workload {workload.name} failed validation: "
+            + "; ".join(report.failures)
+        )

@@ -1,0 +1,21 @@
+"""ASCII figure charts."""
+
+import pytest
+
+from repro.bench.charts import render
+
+
+def test_render_one_figure():
+    text = render(["18"])
+    assert "Figure 18" in text
+    assert "█" in text
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(ValueError, match="available"):
+        render(["99"])
+
+
+def test_multiple_figures_concatenated():
+    text = render(["18", "14"])
+    assert "Figure 18" in text and "Figure 14" in text

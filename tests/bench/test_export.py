@@ -1,0 +1,58 @@
+"""JSON/CSV export of reproduced figures."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench.common import FigureResult
+from repro.bench.export import (
+    export_csv_files,
+    export_json,
+    figure_to_csv,
+    figure_to_dict,
+)
+
+
+@pytest.fixture
+def figure():
+    result = FigureResult(
+        figure="Figure 12",
+        title="transfer methods",
+        paper={"coherence": {"nvlink2": 3.83}},
+    )
+    result.add("coherence", nvlink2=3.83)
+    result.add("zero_copy", nvlink2=3.81, pcie3=0.79)
+    return result
+
+
+class TestJson:
+    def test_dict_shape(self, figure):
+        data = figure_to_dict(figure)
+        assert data["figure"] == "Figure 12"
+        assert data["rows"][0]["simulated"]["nvlink2"] == 3.83
+        assert data["rows"][0]["paper"]["nvlink2"] == 3.83
+        assert data["rows"][1]["paper"] == {}
+
+    def test_export_json_roundtrips(self, figure):
+        text = export_json([figure])
+        parsed = json.loads(text)
+        assert len(parsed) == 1
+        assert parsed[0]["series"] == ["nvlink2", "pcie3"]
+
+
+class TestCsv:
+    def test_csv_rows(self, figure):
+        reader = csv.reader(io.StringIO(figure_to_csv(figure)))
+        rows = list(reader)
+        assert rows[0] == ["label", "series", "simulated", "paper"]
+        assert ["coherence", "nvlink2", "3.83", "3.83"] in rows
+        # zero_copy has no paper anchor -> empty paper cell.
+        assert any(r[0] == "zero_copy" and r[3] == "" for r in rows[1:])
+
+    def test_export_csv_files(self, figure, tmp_path):
+        paths = export_csv_files([figure], tmp_path)
+        assert len(paths) == 1
+        assert paths[0].name == "figure_12.csv"
+        assert paths[0].read_text().startswith("label,series")

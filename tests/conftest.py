@@ -1,0 +1,42 @@
+"""Shared fixtures: machines and small workloads.
+
+Machines are function-scoped (allocators mutate region bookkeeping);
+workloads are session-scoped and must be treated as read-only.
+"""
+
+import pytest
+
+from repro.hardware.topology import ibm_ac922, intel_xeon_v100
+from repro.workloads.builders import workload_a, workload_b, workload_c
+
+#: tiny execution scale for fast tests.
+TEST_SCALE = 2.0**-14
+
+
+@pytest.fixture
+def ibm():
+    return ibm_ac922()
+
+@pytest.fixture
+def ibm_one_gpu():
+    return ibm_ac922(gpus=1)
+
+
+@pytest.fixture
+def intel():
+    return intel_xeon_v100()
+
+
+@pytest.fixture(scope="session")
+def wl_a():
+    return workload_a(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def wl_b():
+    return workload_b(scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def wl_c():
+    return workload_c(scale=TEST_SCALE)

@@ -1,0 +1,171 @@
+"""Cooperative CPU+GPU execution (Het, GPU+Het)."""
+
+import pytest
+
+from repro.core.join.coop import CoopJoin
+from repro.core.join.nopa import NoPartitioningJoin
+
+
+class TestFunctional:
+    def test_matches_equal_nopa(self, ibm, wl_a):
+        coop = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        nopa = NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
+            wl_a.r, wl_a.s
+        )
+        assert coop.matches == nopa.matches
+        assert coop.aggregate == nopa.aggregate
+
+    def test_unknown_strategy_rejected(self, ibm):
+        with pytest.raises(ValueError):
+            CoopJoin(ibm, strategy="turbo")
+
+    def test_unknown_worker_rejected(self, ibm, wl_a):
+        coop = CoopJoin(ibm, strategy="het")
+        with pytest.raises(Exception):
+            coop.run(wl_a.r, wl_a.s, workers=("cpu0", "gpu9"))
+
+    def test_needs_workers(self, ibm, wl_a):
+        with pytest.raises(ValueError):
+            CoopJoin(ibm, strategy="het").run(wl_a.r, wl_a.s, workers=())
+
+    def test_gpu_het_requires_a_gpu(self, ibm, wl_a):
+        coop = CoopJoin(ibm, strategy="gpu+het")
+        with pytest.raises(ValueError):
+            coop.run(wl_a.r, wl_a.s, workers=("cpu0",))
+
+    def test_het_requires_coherence(self, intel, wl_a):
+        # PCI-e 3.0 has no system-wide atomics: sharing a mutable table
+        # between CPU and GPU is impossible (Section 3 / limitation L3).
+        coop = CoopJoin(intel, strategy="het")
+        with pytest.raises(ValueError, match="coherent"):
+            coop.run(wl_a.r, wl_a.s, workers=("cpu0", "gpu0"))
+
+    def test_gpu_het_allowed_on_pcie(self, intel, wl_a):
+        # Local table copies need no coherence.
+        coop = CoopJoin(intel, strategy="gpu+het")
+        res = coop.run(wl_a.r, wl_a.s, workers=("cpu0", "gpu0"))
+        assert res.matches == wl_a.s.executed_tuples
+
+    def test_three_workers(self, wl_a):
+        from repro.hardware.topology import ibm_ac922
+
+        machine = ibm_ac922(gpus=2)
+        coop = CoopJoin(machine, strategy="het")
+        res = coop.run(wl_a.r, wl_a.s, workers=("cpu0", "gpu0", "gpu1"))
+        assert res.matches == wl_a.s.executed_tuples
+        assert set(res.worker_shares) == {"cpu0", "gpu0", "gpu1"}
+        assert sum(res.worker_shares.values()) == pytest.approx(1.0)
+        # Three workers beat two on the same workload.
+        two = CoopJoin(machine, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        assert res.throughput_gtuples >= two.throughput_gtuples * 0.95
+
+
+class TestScheduling:
+    def test_all_probe_tuples_dispatched(self, ibm, wl_a):
+        res = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        assert sum(res.worker_shares.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_faster_worker_gets_more_work(self, ibm, wl_a):
+        res = CoopJoin(ibm, strategy="gpu+het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        assert res.worker_shares["gpu0"] > res.worker_shares["cpu0"]
+
+    def test_timeline_records_both_workers(self, ibm, wl_a):
+        res = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        assert set(res.timeline.by_worker()) == {"cpu0", "gpu0"}
+
+    def test_idle_tail_bounded_by_one_batch(self, ibm, wl_a):
+        res = CoopJoin(
+            ibm, strategy="het", morsel_tuples=1 << 22, gpu_batch_morsels=4
+        ).run(wl_a.r, wl_a.s, workers=("cpu0", "gpu0"))
+        # Dynamic scheduling: no worker idles longer than one batch of
+        # the other worker at the end.
+        longest_tail = max(
+            res.timeline.idle_tail(worker) for worker in ("cpu0", "gpu0")
+        )
+        assert longest_tail < 0.25 * res.probe_seconds
+
+    def test_timeline_units_match_shares(self, ibm, wl_a):
+        res = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        for worker, share in res.worker_shares.items():
+            units = res.timeline.units_processed(worker)
+            assert units == pytest.approx(
+                share * wl_a.s.modeled_tuples, rel=1e-6
+            )
+
+
+class TestPaperShapes:
+    def test_het_beats_cpu_alone_on_workload_a(self, ibm, wl_a):
+        het = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        cpu = NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
+            wl_a.r, wl_a.s, processor="cpu0"
+        )
+        assert het.throughput_gtuples > cpu.throughput_gtuples
+
+    def test_gpu_het_beats_het_on_workload_a(self, ibm, wl_a):
+        het = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        gpu_het = CoopJoin(ibm, strategy="gpu+het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        assert gpu_het.throughput_gtuples > het.throughput_gtuples
+
+    def test_gpu_het_beats_gpu_only_on_workload_b(self, ibm, wl_b):
+        # Figure 21a's headline: the cooperative strategy wins for the
+        # cache-sized build side.
+        gpu_het = CoopJoin(ibm, strategy="gpu+het").run(
+            wl_b.r, wl_b.s, workers=("cpu0", "gpu0")
+        )
+        gpu = NoPartitioningJoin(ibm, hash_table_placement="gpu").run(
+            wl_b.r, wl_b.s
+        )
+        assert gpu_het.throughput_gtuples > gpu.throughput_gtuples
+
+    def test_het_build_slower_than_solo_build(self, ibm, wl_c):
+        het = CoopJoin(ibm, strategy="het").run(
+            wl_c.r, wl_c.s, workers=("cpu0", "gpu0")
+        )
+        cpu = NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
+            wl_c.r, wl_c.s, processor="cpu0"
+        )
+        assert het.build_seconds > cpu.build_cost.seconds * 0.95
+
+    def test_gpu_het_pays_table_broadcast(self, ibm, wl_c):
+        gpu_het = CoopJoin(ibm, strategy="gpu+het").run(
+            wl_c.r, wl_c.s, workers=("cpu0", "gpu0")
+        )
+        gpu = NoPartitioningJoin(ibm, hash_table_placement="gpu").run(
+            wl_c.r, wl_c.s
+        )
+        assert gpu_het.build_seconds > gpu.build_cost.seconds
+
+    def test_single_worker_het_close_to_nopa(self, ibm, wl_a):
+        solo = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0",)
+        )
+        nopa = NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
+            wl_a.r, wl_a.s, processor="cpu0"
+        )
+        assert solo.throughput_gtuples == pytest.approx(
+            nopa.throughput_gtuples, rel=0.2
+        )
+
+    def test_str(self, ibm, wl_a):
+        res = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        assert "het" in str(res)

@@ -1,0 +1,76 @@
+"""Vectorized hash functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashtable.hash_functions import (
+    bucket_of,
+    mix64,
+    multiply_shift,
+    next_power_of_two,
+)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(mix64(keys), mix64(keys))
+
+    def test_avalanche_no_collisions_on_small_domain(self):
+        keys = np.arange(100_000, dtype=np.int64)
+        assert len(np.unique(mix64(keys))) == len(keys)
+
+    def test_output_dtype(self):
+        assert mix64(np.arange(4, dtype=np.int32)).dtype == np.uint64
+
+    def test_bits_well_distributed(self):
+        hashes = mix64(np.arange(65536, dtype=np.int64))
+        low_bits = hashes & np.uint64(0xFF)
+        _, counts = np.unique(low_bits, return_counts=True)
+        assert len(counts) == 256
+        assert counts.max() / counts.mean() < 1.5
+
+
+class TestMultiplyShift:
+    def test_range(self):
+        h = multiply_shift(np.arange(1000, dtype=np.int64), bits=8)
+        assert h.min() >= 0
+        assert h.max() < 256
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            multiply_shift(np.arange(4), bits=0)
+        with pytest.raises(ValueError):
+            multiply_shift(np.arange(4), bits=64)
+
+
+class TestBucketOf:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            bucket_of(np.arange(4), 100)
+
+    def test_identity_scheme(self):
+        keys = np.arange(16, dtype=np.int64)
+        assert np.array_equal(bucket_of(keys, 16, scheme="identity"), keys)
+
+    def test_mix_scheme_in_range(self):
+        buckets = bucket_of(np.arange(1000, dtype=np.int64), 64)
+        assert buckets.min() >= 0 and buckets.max() < 64
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            bucket_of(np.arange(4), 16, scheme="magic")
+
+    def test_balanced_fanout(self):
+        buckets = bucket_of(np.arange(100_000, dtype=np.int64), 256)
+        _, counts = np.unique(buckets, return_counts=True)
+        assert counts.max() / counts.mean() < 1.3
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (1024, 1024), (1025, 2048)],
+    )
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected

@@ -1,0 +1,103 @@
+"""Hash-table placement (single-region, hybrid, explicit)."""
+
+import pytest
+
+from repro.core.hashtable.placement import HashTablePlacement, place_hash_table
+from repro.memory.allocator import Allocator, OutOfMemoryError
+from repro.utils.units import GIB
+
+
+class TestPlacementObject:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            HashTablePlacement(total_bytes=10, fractions={"a": 0.5, "b": 0.3})
+
+    def test_split_accesses(self):
+        placement = HashTablePlacement(
+            total_bytes=100, fractions={"gpu0-mem": 0.6, "cpu0-mem": 0.4}
+        )
+        split = placement.split_accesses(1000)
+        assert split == {"gpu0-mem": 600.0, "cpu0-mem": 400.0}
+
+    def test_is_hybrid(self):
+        single = HashTablePlacement(total_bytes=1, fractions={"a": 1.0})
+        hybrid = HashTablePlacement(
+            total_bytes=1, fractions={"a": 0.5, "b": 0.5}
+        )
+        assert not single.is_hybrid
+        assert hybrid.is_hybrid
+
+    def test_gpu_fraction(self, ibm):
+        placement = HashTablePlacement(
+            total_bytes=1, fractions={"gpu0-mem": 0.7, "cpu0-mem": 0.3}
+        )
+        assert placement.gpu_fraction(ibm) == pytest.approx(0.7)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            HashTablePlacement(total_bytes=-1, fractions={"a": 1.0})
+
+
+class TestGpuStrategy:
+    def test_fits(self, ibm):
+        placement = place_hash_table(ibm, 4 * GIB, "gpu")
+        assert placement.fractions == {"gpu0-mem": 1.0}
+
+    def test_too_large_raises(self, ibm):
+        with pytest.raises(OutOfMemoryError):
+            place_hash_table(ibm, 20 * GIB, "gpu")
+
+    def test_reserve_counts(self, ibm):
+        with pytest.raises(OutOfMemoryError):
+            place_hash_table(ibm, 15 * GIB, "gpu", gpu_reserve=2 * GIB)
+
+
+class TestCpuStrategy:
+    def test_nearest_cpu_by_default(self, ibm):
+        placement = place_hash_table(ibm, 32 * GIB, "cpu")
+        assert placement.fractions == {"cpu0-mem": 1.0}
+
+    def test_explicit_cpu_memory(self, ibm):
+        placement = place_hash_table(ibm, GIB, "cpu", cpu_memory="cpu1-mem")
+        assert placement.fractions == {"cpu1-mem": 1.0}
+
+    def test_gpu1_spills_to_cpu1(self, ibm):
+        placement = place_hash_table(ibm, GIB, "cpu", gpu_name="gpu1")
+        assert placement.fractions == {"cpu1-mem": 1.0}
+
+
+class TestHybridStrategy:
+    def test_small_table_all_gpu(self, ibm):
+        placement = place_hash_table(ibm, 2 * GIB, "hybrid", gpu_reserve=0)
+        assert placement.fractions == {"gpu0-mem": 1.0}
+        assert not placement.is_hybrid
+
+    def test_large_table_splits(self, ibm):
+        placement = place_hash_table(ibm, 32 * GIB, "hybrid", gpu_reserve=0)
+        assert placement.fraction("gpu0-mem") == pytest.approx(0.5)
+        assert placement.fraction("cpu0-mem") == pytest.approx(0.5)
+
+    def test_internal_allocator_leaves_no_residue(self, ibm):
+        place_hash_table(ibm, 32 * GIB, "hybrid", gpu_reserve=0)
+        for memory in ibm.memories.values():
+            assert memory.allocated == 0
+
+    def test_external_allocator_keeps_allocation(self, ibm):
+        allocator = Allocator(ibm)
+        placement = place_hash_table(
+            ibm, 32 * GIB, "hybrid", allocator=allocator, gpu_reserve=0
+        )
+        assert placement.hybrid is not None
+        assert ibm.memory("gpu0-mem").allocated == 16 * GIB
+        placement.hybrid.free(allocator)
+        assert ibm.memory("gpu0-mem").allocated == 0
+
+
+class TestExplicitRegion:
+    def test_region_name_passthrough(self, ibm):
+        placement = place_hash_table(ibm, GIB, "gpu1-mem")
+        assert placement.fractions == {"gpu1-mem": 1.0}
+
+    def test_unknown_region_raises(self, ibm):
+        with pytest.raises(Exception):
+            place_hash_table(ibm, GIB, "mars-mem")

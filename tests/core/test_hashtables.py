@@ -1,0 +1,223 @@
+"""The three hash tables: perfect, open addressing, chaining.
+
+Shared behavioural tests run against all three; scheme-specific tests
+cover their individual contracts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hashtable import create_hash_table
+from repro.core.hashtable.chaining import ChainingHashTable
+from repro.core.hashtable.open_addressing import OpenAddressingHashTable
+from repro.core.hashtable.perfect import PerfectHashTable
+
+SCHEMES = ("perfect", "open_addressing", "chaining")
+
+
+def build_table(scheme, n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.permutation(n).astype(np.int64)
+    values = keys * 10 + 1
+    table = create_hash_table(scheme, n, np.int64, np.int64)
+    table.insert_batch(keys, values)
+    return table, keys, values
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestSharedBehaviour:
+    def test_lookup_finds_all_inserted(self, scheme):
+        table, keys, values = build_table(scheme)
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, values)
+
+    def test_lookup_misses_absent_keys(self, scheme):
+        table, keys, _ = build_table(scheme, n=500)
+        absent = np.arange(500, 1000, dtype=np.int64)
+        found, _ = table.lookup_batch(absent)
+        assert not found.any()
+
+    def test_mixed_hits_and_misses(self, scheme):
+        table, keys, values = build_table(scheme, n=256)
+        probes = np.concatenate([keys[:100], np.arange(256, 356)])
+        found, got = table.lookup_batch(probes.astype(np.int64))
+        assert found[:100].all()
+        assert not found[100:].any()
+        assert np.array_equal(got[:100], values[:100])
+
+    def test_stats_count_lookups(self, scheme):
+        table, keys, _ = build_table(scheme, n=100)
+        table.stats.reset()
+        table.lookup_batch(keys[:40])
+        assert table.stats.lookups == 40
+        assert table.stats.lookup_probes >= 40
+        assert table.stats.value_reads == 40
+
+    def test_stats_count_inserts(self, scheme):
+        table, keys, _ = build_table(scheme, n=100)
+        assert table.stats.inserts == 100
+        assert table.stats.insert_probes >= 100
+
+    def test_size_tracked(self, scheme):
+        table, _, __ = build_table(scheme, n=300)
+        assert table.size == 300
+        assert 0 < table.load_factor <= 1.0
+
+    def test_empty_batches(self, scheme):
+        table = create_hash_table(scheme, 16, np.int64, np.int64)
+        table.insert_batch(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        found, values = table.lookup_batch(np.array([], dtype=np.int64))
+        assert len(found) == 0 and len(values) == 0
+
+    def test_negative_keys_rejected(self, scheme):
+        table = create_hash_table(scheme, 16, np.int64, np.int64)
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.array([-1], dtype=np.int64), np.array([0], dtype=np.int64)
+            )
+
+    def test_batch_length_mismatch_rejected(self, scheme):
+        table = create_hash_table(scheme, 16, np.int64, np.int64)
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.array([1, 2], dtype=np.int64), np.array([1], dtype=np.int64)
+            )
+
+    def test_int32_tuples(self, scheme):
+        rng = np.random.default_rng(3)
+        keys = rng.permutation(200).astype(np.int32)
+        table = create_hash_table(scheme, 200, np.int32, np.int32)
+        table.insert_batch(keys, keys)
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert table.entry_bytes == 8
+
+    def test_modeled_bytes_scales_with_build_side(self, scheme):
+        table, _, __ = build_table(scheme, n=1000)
+        small = table.modeled_bytes(10**6)
+        large = table.modeled_bytes(10**7)
+        assert large == pytest.approx(10 * small, rel=0.01)
+
+
+class TestPerfectSpecifics:
+    def test_identity_slots(self):
+        table = PerfectHashTable(16)
+        keys = np.array([3, 7], dtype=np.int64)
+        table.insert_batch(keys, keys * 2)
+        assert table.keys[3] == 3
+        assert table.values[7] == 14
+
+    def test_out_of_domain_insert_rejected(self):
+        table = PerfectHashTable(16)
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.array([16], dtype=np.int64), np.array([0], dtype=np.int64)
+            )
+
+    def test_out_of_domain_lookup_is_miss(self):
+        table = PerfectHashTable(16)
+        table.insert_batch(
+            np.arange(16, dtype=np.int64), np.arange(16, dtype=np.int64)
+        )
+        found, _ = table.lookup_batch(np.array([100], dtype=np.int64))
+        assert not found.any()
+
+    def test_duplicate_insert_rejected(self):
+        table = PerfectHashTable(16)
+        keys = np.array([5], dtype=np.int64)
+        table.insert_batch(keys, keys)
+        with pytest.raises(ValueError):
+            table.insert_batch(keys, keys)
+
+    def test_exactly_one_probe_per_lookup(self):
+        table, keys, _ = build_table("perfect", n=512)
+        table.stats.reset()
+        table.lookup_batch(keys)
+        assert table.stats.probe_factor == 1.0
+
+
+class TestOpenAddressingSpecifics:
+    def test_capacity_is_power_of_two_with_headroom(self):
+        table = OpenAddressingHashTable(1000)
+        assert table.capacity == 2048  # 1000 / 0.5 rounded up
+
+    def test_collisions_resolved_by_linear_probing(self):
+        # Force collisions with a tiny table.
+        table = OpenAddressingHashTable(8, load_factor=0.9)
+        keys = np.arange(7, dtype=np.int64)
+        table.insert_batch(keys, keys)
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, keys)
+
+    def test_probe_factor_above_one_when_loaded(self):
+        table = OpenAddressingHashTable(600, load_factor=0.75)
+        keys = np.random.default_rng(1).permutation(600).astype(np.int64)
+        table.insert_batch(keys, keys)
+        table.stats.reset()
+        table.lookup_batch(keys)
+        assert table.stats.probe_factor > 1.0
+
+    def test_overflow_rejected(self):
+        table = OpenAddressingHashTable(4, load_factor=0.5)
+        keys = np.arange(table.capacity + 1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            table.insert_batch(keys, keys)
+
+    def test_duplicate_rejected(self):
+        table = OpenAddressingHashTable(16)
+        keys = np.array([4], dtype=np.int64)
+        table.insert_batch(keys, keys)
+        with pytest.raises(ValueError):
+            table.insert_batch(keys, keys)
+
+    def test_load_factor_validation(self):
+        with pytest.raises(ValueError):
+            OpenAddressingHashTable(16, load_factor=0.95)
+
+    def test_incremental_batches(self):
+        table = OpenAddressingHashTable(1000)
+        rng = np.random.default_rng(2)
+        keys = rng.permutation(1000).astype(np.int64)
+        for start in range(0, 1000, 100):
+            chunk = keys[start : start + 100]
+            table.insert_batch(chunk, chunk * 2)
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, keys * 2)
+
+
+class TestChainingSpecifics:
+    def test_chains_traversed(self):
+        # One bucket forces a single chain holding everything.
+        table = ChainingHashTable(32, buckets_per_entry=1 / 16)
+        keys = np.arange(32, dtype=np.int64)
+        table.insert_batch(keys, keys * 3)
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, keys * 3)
+
+    def test_table_bytes_include_chain_pointers(self):
+        table = ChainingHashTable(100)
+        flat = 100 * table.entry_bytes
+        assert table.table_bytes > flat
+
+    def test_overflow_rejected(self):
+        table = ChainingHashTable(4)
+        keys = np.arange(5, dtype=np.int64)
+        with pytest.raises(ValueError):
+            table.insert_batch(keys, keys)
+
+    def test_probe_factor_grows_with_chain_length(self):
+        packed = ChainingHashTable(256, buckets_per_entry=1 / 64)
+        keys = np.arange(256, dtype=np.int64)
+        packed.insert_batch(keys, keys)
+        packed.stats.reset()
+        packed.lookup_batch(keys)
+        assert packed.stats.probe_factor > 2.0
+
+
+def test_factory_rejects_unknown_scheme():
+    with pytest.raises(ValueError):
+        create_hash_table("cuckoo", 16, np.int64, np.int64)

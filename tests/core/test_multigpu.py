@@ -1,0 +1,118 @@
+"""Multi-GPU joins (Section 6.3)."""
+
+import pytest
+
+from repro.core.join.multigpu import MultiGpuJoin
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.hardware.topology import ibm_ac922
+from repro.memory.allocator import OutOfMemoryError
+from repro.workloads.builders import workload_a, workload_ratio
+
+SCALE = 2.0**-14
+
+
+@pytest.fixture
+def mesh():
+    return ibm_ac922(gpus=2, gpu_mesh=True)
+
+
+class TestTopologyMesh:
+    def test_mesh_shortens_gpu_to_gpu_path(self):
+        plain = ibm_ac922(gpus=2)
+        mesh = ibm_ac922(gpus=2, gpu_mesh=True)
+        assert plain.hops("gpu0", "gpu1-mem") == 3
+        assert mesh.hops("gpu0", "gpu1-mem") == 1
+
+    def test_mesh_does_not_change_cpu_paths(self, mesh):
+        assert mesh.hops("gpu0", "cpu0-mem") == 1
+        assert mesh.gpu_link("gpu0").spec.name == "nvlink2"
+
+
+class TestFunctional:
+    def test_matches_single_gpu_join(self, mesh):
+        wl = workload_a(scale=SCALE)
+        multi = MultiGpuJoin(mesh, placement="interleaved").run(
+            wl.r, wl.s, workers=("gpu0", "gpu1")
+        )
+        single = NoPartitioningJoin(mesh, hash_table_placement="gpu").run(
+            wl.r, wl.s
+        )
+        assert multi.matches == single.matches
+        assert multi.aggregate == single.aggregate
+
+    def test_rejects_cpu_workers(self, mesh):
+        wl = workload_a(scale=SCALE)
+        join = MultiGpuJoin(mesh)
+        with pytest.raises(ValueError):
+            join.run(wl.r, wl.s, workers=("cpu0", "gpu0"))
+
+    def test_rejects_unknown_placement(self, mesh):
+        with pytest.raises(ValueError):
+            MultiGpuJoin(mesh, placement="sharded")
+
+    def test_defaults_to_all_gpus(self, mesh):
+        wl = workload_a(scale=SCALE)
+        res = MultiGpuJoin(mesh, placement="interleaved").run(wl.r, wl.s)
+        assert set(res.gpu_rates) == {"gpu0", "gpu1"}
+
+
+class TestPlacements:
+    def test_interleaved_splits_bytes_evenly(self, mesh):
+        wl = workload_a(scale=SCALE)
+        res = MultiGpuJoin(mesh, placement="interleaved").run(wl.r, wl.s)
+        per_gpu = res.table_bytes_per_gpu
+        assert set(per_gpu) == {"gpu0-mem", "gpu1-mem"}
+        total = sum(per_gpu.values())
+        assert abs(per_gpu["gpu0-mem"] - per_gpu["gpu1-mem"]) / total < 0.01
+
+    def test_replicated_copies_full_table(self, mesh):
+        wl = workload_a(scale=SCALE)
+        res = MultiGpuJoin(mesh, placement="replicated").run(wl.r, wl.s)
+        assert res.table_bytes_per_gpu["gpu0-mem"] == res.table_bytes_per_gpu[
+            "gpu1-mem"
+        ]
+
+    def test_replicated_rejects_oversized_table(self, mesh):
+        wl = workload_ratio(1, scale=2.0**-13, modeled_r=2048 * 10**6)
+        join = MultiGpuJoin(mesh, placement="replicated")
+        with pytest.raises(OutOfMemoryError):
+            join.run(wl.r, wl.s, workers=("gpu0", "gpu1"))
+
+    def test_interleaved_holds_table_too_big_for_one_gpu(self, mesh):
+        wl = workload_ratio(1, scale=2.0**-13, modeled_r=1536 * 10**6)
+        res = MultiGpuJoin(mesh, placement="interleaved").run(
+            wl.r, wl.s, workers=("gpu0", "gpu1")
+        )
+        assert sum(res.table_bytes_per_gpu.values()) == pytest.approx(
+            1536 * 10**6 * 16, rel=0.01
+        )
+
+
+class TestSection63Claims:
+    def test_replication_beats_single_gpu_for_small_tables(self, mesh):
+        wl = workload_a(scale=SCALE)
+        multi = MultiGpuJoin(mesh, placement="replicated").run(
+            wl.r, wl.s, workers=("gpu0", "gpu1")
+        )
+        single = NoPartitioningJoin(mesh, hash_table_placement="gpu").run(
+            wl.r, wl.s
+        )
+        assert multi.throughput_gtuples > single.throughput_gtuples
+
+    def test_interleaving_beats_hybrid_spill_for_huge_tables(self, mesh):
+        wl = workload_ratio(1, scale=2.0**-13, modeled_r=2048 * 10**6)
+        multi = MultiGpuJoin(mesh, placement="interleaved").run(
+            wl.r, wl.s, workers=("gpu0", "gpu1")
+        )
+        hybrid = NoPartitioningJoin(mesh, hash_table_placement="hybrid").run(
+            wl.r, wl.s
+        )
+        assert multi.throughput_gtuples > hybrid.throughput_gtuples
+
+    def test_replication_beats_interleaving_for_small_tables(self, mesh):
+        wl = workload_a(scale=SCALE)
+        replicated = MultiGpuJoin(mesh, placement="replicated").run(wl.r, wl.s)
+        interleaved = MultiGpuJoin(mesh, placement="interleaved").run(
+            wl.r, wl.s
+        )
+        assert replicated.throughput_gtuples > interleaved.throughput_gtuples

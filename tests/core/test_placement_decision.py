@@ -1,0 +1,56 @@
+"""The Figure 11 placement decision tree."""
+
+import pytest
+
+from repro.core.placement import decide_placement
+from repro.utils.units import GIB, MIB
+
+
+class TestTree:
+    def test_cache_sized_table_uses_gpu_het(self, ibm):
+        decision = decide_placement(ibm, 4 * MIB)
+        assert decision.strategy == "gpu+het"
+        assert decision.hash_table_placement == "gpu"
+
+    def test_gpu_sized_table_stays_on_gpu(self, ibm):
+        decision = decide_placement(ibm, 8 * GIB)
+        assert decision.strategy == "gpu"
+        assert decision.hash_table_placement == "gpu"
+
+    def test_large_table_with_fast_cpu_uses_het(self, ibm):
+        decision = decide_placement(ibm, 32 * GIB, fast_cpu=True)
+        assert decision.strategy == "het"
+        assert decision.hash_table_placement == "cpu"
+
+    def test_large_table_with_slow_cpu_uses_hybrid(self, ibm):
+        decision = decide_placement(ibm, 32 * GIB, fast_cpu=False)
+        assert decision.strategy == "gpu"
+        assert decision.hash_table_placement == "hybrid"
+
+    def test_pcie_machine_never_cooperates(self, intel):
+        # Cooperative strategies need cache coherence.
+        small = decide_placement(intel, 4 * MIB)
+        assert small.strategy != "gpu+het"
+        large = decide_placement(intel, 32 * GIB, fast_cpu=True)
+        assert large.strategy != "het"
+        assert large.hash_table_placement == "hybrid"
+
+    def test_reserve_shifts_boundary(self, ibm):
+        at_edge = 15 * GIB
+        roomy = decide_placement(ibm, at_edge, gpu_reserve=0)
+        tight = decide_placement(ibm, at_edge, gpu_reserve=2 * GIB)
+        assert roomy.hash_table_placement == "gpu"
+        assert tight.hash_table_placement != "gpu"
+
+    def test_negative_size_rejected(self, ibm):
+        with pytest.raises(ValueError):
+            decide_placement(ibm, -1)
+
+    def test_cpu_name_rejected_as_gpu(self, ibm):
+        with pytest.raises(ValueError):
+            decide_placement(ibm, GIB, gpu_name="cpu0")
+
+    def test_reason_is_informative(self, ibm):
+        decision = decide_placement(ibm, 32 * GIB)
+        assert "CPU" in decision.reason or "cpu" in decision.reason
+        assert str(decision)

@@ -1,0 +1,94 @@
+"""Morsel dispatcher and batch tuning."""
+
+import pytest
+
+from repro.core.scheduler.batch import batch_overhead_fraction, tune_batch_morsels
+from repro.core.scheduler.morsel import MorselDispatcher
+
+
+class TestDispatcher:
+    def test_hands_out_disjoint_covering_ranges(self):
+        dispatcher = MorselDispatcher(100, 30)
+        ranges = []
+        while (grant := dispatcher.next_batch()) is not None:
+            ranges.append((grant.start, grant.end))
+        assert ranges == [(0, 30), (30, 60), (60, 90), (90, 100)]
+
+    def test_batch_takes_multiple_morsels(self):
+        dispatcher = MorselDispatcher(100, 10)
+        grant = dispatcher.next_batch(morsels=4)
+        assert (grant.start, grant.end) == (0, 40)
+
+    def test_final_batch_truncated(self):
+        dispatcher = MorselDispatcher(35, 10)
+        dispatcher.next_batch(morsels=3)
+        last = dispatcher.next_batch(morsels=3)
+        assert last.tuples == 5
+        assert dispatcher.exhausted
+
+    def test_exhausted_returns_none(self):
+        dispatcher = MorselDispatcher(10, 10)
+        assert dispatcher.next_batch() is not None
+        assert dispatcher.next_batch() is None
+
+    def test_per_worker_accounting(self):
+        dispatcher = MorselDispatcher(100, 25)
+        dispatcher.next_batch(worker="cpu0")
+        dispatcher.next_batch(worker="gpu0")
+        dispatcher.next_batch(worker="gpu0")
+        assert dispatcher.dispatched_tuples("cpu0") == 25
+        assert dispatcher.dispatched_tuples("gpu0") == 50
+        assert dispatcher.remaining == 25
+
+    def test_empty_input(self):
+        dispatcher = MorselDispatcher(0, 10)
+        assert dispatcher.exhausted
+        assert dispatcher.next_batch() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MorselDispatcher(-1, 10)
+        with pytest.raises(ValueError):
+            MorselDispatcher(10, 0)
+        with pytest.raises(ValueError):
+            MorselDispatcher(10, 5).next_batch(morsels=0)
+
+
+class TestBatchTuning:
+    def test_overhead_shrinks_with_batch(self):
+        small = batch_overhead_fraction(1, 10_000, 1e9, 20e-6)
+        large = batch_overhead_fraction(64, 10_000, 1e9, 20e-6)
+        assert large < small
+
+    def test_tuner_meets_target(self):
+        batch = tune_batch_morsels(
+            morsel_tuples=10_000,
+            worker_rate=1e9,
+            dispatch_latency=20e-6,
+            target_overhead=0.02,
+        )
+        overhead = batch_overhead_fraction(batch, 10_000, 1e9, 20e-6)
+        assert overhead <= 0.02
+
+    def test_tuner_is_minimal_power_of_two(self):
+        batch = tune_batch_morsels(10_000, 1e9, 20e-6, target_overhead=0.02)
+        assert batch > 1
+        smaller = batch // 2
+        assert batch_overhead_fraction(smaller, 10_000, 1e9, 20e-6) > 0.02
+
+    def test_tuner_caps_at_max_batch(self):
+        batch = tune_batch_morsels(
+            10, 1e12, 1.0, target_overhead=0.001, max_batch=64
+        )
+        assert batch == 64
+
+    def test_tiny_latency_needs_one_morsel(self):
+        assert tune_batch_morsels(1 << 20, 1e9, 1e-9) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_overhead_fraction(0, 10, 1e9, 1e-6)
+        with pytest.raises(ValueError):
+            batch_overhead_fraction(1, 10, 0, 1e-6)
+        with pytest.raises(ValueError):
+            tune_batch_morsels(10, 1e9, 1e-6, target_overhead=1.5)

@@ -1,0 +1,69 @@
+"""Cache-line-granular selection cascades."""
+
+import numpy as np
+import pytest
+
+from repro.core.ops.selection import line_any, selection_line_fractions
+
+
+class TestLineAny:
+    def test_basic(self):
+        mask = np.array([0, 0, 1, 0, 0, 0, 0, 0], dtype=bool)
+        lines = line_any(mask, values_per_line=4)
+        assert list(lines) == [True, False]
+
+    def test_partial_tail(self):
+        mask = np.array([0, 0, 0, 0, 1], dtype=bool)
+        lines = line_any(mask, values_per_line=4)
+        assert list(lines) == [False, True]
+
+    def test_empty(self):
+        assert len(line_any(np.zeros(0, dtype=bool), 4)) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_any(np.zeros(4, dtype=bool), 0)
+
+
+class TestSelectionFractions:
+    def test_first_column_always_full(self):
+        masks = [np.zeros(64, dtype=bool)]
+        fractions = selection_line_fractions(masks, value_bytes=4)
+        assert fractions[0] == 1.0
+
+    def test_all_pass_cascade(self):
+        masks = [np.ones(128, dtype=bool)] * 3
+        fractions = selection_line_fractions(masks, value_bytes=4)
+        assert fractions == [1.0, 1.0, 1.0, 1.0]
+
+    def test_nothing_passes_first_predicate(self):
+        masks = [np.zeros(128, dtype=bool), np.ones(128, dtype=bool)]
+        fractions = selection_line_fractions(masks, value_bytes=4)
+        assert fractions[1] == 0.0
+        assert fractions[2] == 0.0
+
+    def test_clustered_beats_scattered(self):
+        n = 32 * 64
+        clustered = np.zeros(n, dtype=bool)
+        clustered[: n // 8] = True  # one contiguous run
+        rng = np.random.default_rng(0)
+        scattered = np.zeros(n, dtype=bool)
+        scattered[rng.choice(n, n // 8, replace=False)] = True
+        f_clustered = selection_line_fractions([clustered, clustered])
+        f_scattered = selection_line_fractions([scattered, scattered])
+        assert f_clustered[1] < f_scattered[1]
+
+    def test_cascade_monotone(self):
+        rng = np.random.default_rng(1)
+        masks = [rng.random(32 * 100) < p for p in (0.3, 0.5, 0.5)]
+        fractions = selection_line_fractions(masks, value_bytes=4)
+        assert fractions[1] >= fractions[2] >= fractions[3]
+
+    def test_requires_masks(self):
+        with pytest.raises(ValueError):
+            selection_line_fractions([])
+
+    def test_returns_one_extra_fraction_for_aggregates(self):
+        masks = [np.ones(32, dtype=bool)] * 2
+        fractions = selection_line_fractions(masks)
+        assert len(fractions) == 3  # 2 predicate columns + aggregate tail

@@ -1,0 +1,77 @@
+"""Access streams and profiles."""
+
+import pytest
+
+from repro.costmodel.access import (
+    AccessPattern,
+    AccessProfile,
+    atomic_stream,
+    random_stream,
+    seq_stream,
+)
+
+
+class TestStreams:
+    def test_seq_stream_payload(self):
+        s = seq_stream("gpu0", "cpu0-mem", 1024)
+        assert s.pattern is AccessPattern.SEQUENTIAL
+        assert s.payload_bytes == 1024
+
+    def test_random_stream_payload(self):
+        s = random_stream("gpu0", "gpu0-mem", accesses=100, access_bytes=8)
+        assert s.payload_bytes == 800
+
+    def test_atomic_contended_label(self):
+        s = atomic_stream("cpu0", "cpu0-mem", 10, 16, contended=True)
+        assert "[contended]" in s.label
+
+    def test_atomic_uncontended_label(self):
+        s = atomic_stream("cpu0", "cpu0-mem", 10, 16, label="insert")
+        assert "[contended]" not in s.label
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            seq_stream("p", "m", -1)
+
+    def test_negative_accesses_rejected(self):
+        with pytest.raises(ValueError):
+            random_stream("p", "m", accesses=-1, access_bytes=8)
+
+    def test_bad_bandwidth_factor_rejected(self):
+        with pytest.raises(ValueError):
+            seq_stream("p", "m", 10, bandwidth_factor=0.0)
+
+
+class TestScaling:
+    def test_scaled_multiplies_volumes(self):
+        s = random_stream("p", "m", accesses=10, access_bytes=4,
+                          working_set_bytes=100)
+        scaled = s.scaled(8.0)
+        assert scaled.accesses == 80
+        assert scaled.access_bytes == 4
+        assert scaled.working_set_bytes == 100  # structure size unchanged
+
+    def test_seq_scaled(self):
+        assert seq_stream("p", "m", 10).scaled(3.0).total_bytes == 30
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ValueError):
+            seq_stream("p", "m", 10).scaled(-1.0)
+
+
+class TestProfile:
+    def test_add_and_extend(self):
+        profile = AccessProfile()
+        profile.add(seq_stream("p", "m", 10))
+        profile.extend([seq_stream("p", "m", 20)])
+        assert profile.total_payload_bytes == 30
+
+    def test_scaled_profile(self):
+        profile = AccessProfile(
+            streams=[seq_stream("p", "m", 10)], compute_tuples=5,
+            makespan_factor=1.1,
+        )
+        scaled = profile.scaled(2.0)
+        assert scaled.total_payload_bytes == 20
+        assert scaled.compute_tuples == 10
+        assert scaled.makespan_factor == 1.1

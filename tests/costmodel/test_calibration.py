@@ -1,0 +1,69 @@
+"""Calibration constants: sanity and accessors."""
+
+import dataclasses
+
+import pytest
+
+from repro.costmodel.calibration import DEFAULT_CALIBRATION, Calibration
+
+
+class TestAccessors:
+    def test_independent_factor_known(self):
+        assert DEFAULT_CALIBRATION.independent_factor("hbm2-v100") > 1.0
+
+    def test_independent_factor_unknown_defaults_to_one(self):
+        assert DEFAULT_CALIBRATION.independent_factor("sram-9000") == 1.0
+
+    def test_atomic_rate_known(self):
+        assert DEFAULT_CALIBRATION.atomic_rate_for("nvlink2") == pytest.approx(0.45e9)
+
+    def test_atomic_rate_unknown_has_fallback(self):
+        assert DEFAULT_CALIBRATION.atomic_rate_for("mystery") == pytest.approx(0.5e9)
+
+
+class TestConsistency:
+    """Relations between constants that the model's stories rely on."""
+
+    def test_atomics_slower_than_reads_everywhere(self):
+        cal = DEFAULT_CALIBRATION
+        # HBM independent random rate ~8.9e9 vs atomics 1.7e9, etc.
+        assert cal.atomic_rate["hbm2-v100"] < 5.575e9 * cal.independent_factor(
+            "hbm2-v100"
+        )
+        assert cal.atomic_rate["nvlink2"] < 0.7e9 * cal.independent_factor("nvlink2")
+
+    def test_pcie_atomics_are_catastrophic(self):
+        # PCI-e has no system-wide atomics; the UM workaround is >20x
+        # slower than NVLink's native atomics (Figure 17's cliff).
+        cal = DEFAULT_CALIBRATION
+        assert cal.atomic_rate["nvlink2"] / cal.atomic_rate["pcie3"] > 20
+
+    def test_contention_penalty_in_range(self):
+        assert 0 < DEFAULT_CALIBRATION.shared_build_contention < 1
+
+    def test_hop_penalty_in_range(self):
+        assert 0 < DEFAULT_CALIBRATION.per_hop_random_penalty <= 1
+
+    def test_um_power9_worse_than_intel(self):
+        # The paper's footnote: the POWER9 UM driver is poorly optimized.
+        cal = DEFAULT_CALIBRATION
+        assert cal.um_fault_cost["ibm-ac922"] > cal.um_fault_cost["intel-xeon-v100"]
+        assert (
+            cal.um_prefetch_efficiency["ibm-ac922"]
+            < cal.um_prefetch_efficiency["intel-xeon-v100"]
+        )
+
+    def test_llc_rate_matches_core_bound_story(self):
+        # LLC-resident probes run no faster than DRAM-bound probes
+        # (Figure 13: CPU A == CPU B), but the L1 hot tier is faster.
+        cal = DEFAULT_CALIBRATION
+        assert cal.llc_random_rate < cal.cpu_l1_random_rate
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_CALIBRATION.llc_random_rate = 1.0  # type: ignore[misc]
+
+    def test_custom_calibration_is_independent(self):
+        custom = Calibration(l2_random_rate=1e9)
+        assert custom.l2_random_rate == 1e9
+        assert DEFAULT_CALIBRATION.l2_random_rate != 1e9

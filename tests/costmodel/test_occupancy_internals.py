@@ -1,0 +1,133 @@
+"""White-box tests of the occupancy accounting.
+
+These pin the cost model's internal arithmetic — wire bytes, sector
+granularity, header overheads, cache-tier selection — so refactors
+cannot silently change what a stream costs.
+"""
+
+import pytest
+
+from repro.costmodel.access import (
+    AccessProfile,
+    atomic_stream,
+    random_stream,
+    seq_stream,
+)
+from repro.costmodel.model import CostModel
+from repro.hardware.cache import HotSetProfile
+from repro.utils.units import GIB
+
+
+@pytest.fixture
+def cm(ibm):
+    return CostModel(ibm)
+
+
+class TestSequentialAccounting:
+    def test_link_and_memory_charged_same_bytes(self, cm):
+        stream = seq_stream("gpu0", "cpu0-mem", 63 * GIB)
+        occupancy = cm.stream_occupancy(stream)
+        link_key = next(k for k in occupancy if k.startswith("link:"))
+        assert occupancy[link_key] == pytest.approx(1.0)  # 63 GiB / 63 GiB/s
+        assert occupancy["mem:cpu0-mem"] == pytest.approx(63 / 117, rel=1e-6)
+
+    def test_multi_hop_charges_every_link(self, cm):
+        stream = seq_stream("gpu0", "gpu1-mem", GIB)
+        occupancy = cm.stream_occupancy(stream)
+        link_keys = [k for k in occupancy if k.startswith("link:")]
+        assert len(link_keys) == 3  # NVLink + X-Bus + NVLink
+
+
+class TestRandomAccounting:
+    def test_sector_floor_applied(self, cm):
+        # 8-byte accesses are billed at the 32-byte sector on the wire.
+        small = random_stream("gpu0", "cpu0-mem", 1e9, 8)
+        large = random_stream("gpu0", "cpu0-mem", 1e9, 32)
+        occ_small = cm.stream_occupancy(small)
+        occ_large = cm.stream_occupancy(large)
+        link = next(k for k in occ_small if k.startswith("link:"))
+        assert occ_small[link] == pytest.approx(occ_large[link])
+
+    def test_wire_bytes_include_headers(self, cm):
+        # At high access counts the NVLink wire time is (32+16) bytes
+        # per access over 63 GiB/s — when that exceeds the queue bound.
+        accesses = 10e9
+        stream = random_stream("gpu0", "cpu0-mem", accesses, 32)
+        occupancy = cm.stream_occupancy(stream)
+        link = next(k for k in occupancy if k.startswith("link:nvlink2"))
+        queue_time = accesses / cm.link_random_rate(
+            cm.machine.path("gpu0", "cpu0-mem")[0]
+        )
+        wire_time = accesses * (32 + 16) / (63 * GIB)
+        assert occupancy[link] == pytest.approx(max(queue_time, wire_time))
+
+    def test_issue_resource_per_processor(self, cm):
+        stream = random_stream("cpu0", "cpu0-mem", 1.15e9, 8)
+        occupancy = cm.stream_occupancy(stream)
+        assert occupancy["issue:cpu0"] == pytest.approx(1.0, rel=0.02)
+
+    def test_cache_hits_do_not_touch_memory(self, cm):
+        # A fully L2-cached working set leaves (almost) no memory load.
+        stream = random_stream(
+            "gpu0", "gpu0-mem", 1e9, 8, working_set_bytes=1 << 20
+        )
+        occupancy = cm.stream_occupancy(stream)
+        assert occupancy.get("mem:gpu0-mem", 0.0) == 0.0
+        assert occupancy["cache:gpu0:l2"] > 0
+
+    def test_partial_hot_set_splits_traffic(self, cm):
+        hot = HotSetProfile.zipf(2**27, 1.0)  # partial hit rate
+        stream = random_stream(
+            "gpu0", "cpu0-mem", 1e9, 8,
+            working_set_bytes=2 * GIB, hot_set=hot,
+        )
+        occupancy = cm.stream_occupancy(stream)
+        assert occupancy["cache:gpu0:l1"] > 0
+        assert any(k.startswith("link:") and v > 0 for k, v in occupancy.items())
+
+
+class TestAtomicAccounting:
+    def test_atomic_queue_on_memory(self, cm):
+        stream = atomic_stream("gpu0", "gpu0-mem", 1.7e9, 16)
+        occupancy = cm.stream_occupancy(stream)
+        assert occupancy["mem:gpu0-mem"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_remote_atomics_charge_the_link(self, cm):
+        stream = atomic_stream("gpu0", "cpu0-mem", 0.45e9, 16)
+        occupancy = cm.stream_occupancy(stream)
+        link = next(k for k in occupancy if k.startswith("link:nvlink2"))
+        assert occupancy[link] >= 1.0 - 1e-9
+
+    def test_contended_label_slows_stream(self, cm):
+        free = atomic_stream("cpu0", "cpu0-mem", 1e9, 8)
+        contended = atomic_stream("cpu0", "cpu0-mem", 1e9, 8, contended=True)
+        t_free = cm.stream_occupancy(free)["mem:cpu0-mem"]
+        t_contended = cm.stream_occupancy(contended)["mem:cpu0-mem"]
+        assert t_contended == pytest.approx(
+            t_free / cm.calibration.shared_build_contention
+        )
+
+
+class TestPhaseAssembly:
+    def test_bottleneck_reported_correctly(self, cm):
+        profile = AccessProfile(
+            streams=[
+                seq_stream("gpu0", "cpu0-mem", 63 * GIB),  # 1.0 s on NVLink
+                random_stream("gpu0", "gpu0-mem", 1e9, 8),  # ~0.1 s on HBM
+            ]
+        )
+        cost = cm.phase_cost(profile)
+        assert cost.bottleneck.startswith("link:nvlink2")
+
+    def test_occupancy_additive_across_streams(self, cm):
+        one = AccessProfile(streams=[seq_stream("gpu0", "cpu0-mem", GIB)])
+        two = AccessProfile(
+            streams=[
+                seq_stream("gpu0", "cpu0-mem", GIB),
+                seq_stream("gpu0", "cpu0-mem", GIB),
+            ]
+        )
+        occ_one = cm.profile_occupancy(one)
+        occ_two = cm.profile_occupancy(two)
+        for key, value in occ_one.items():
+            assert occ_two[key] == pytest.approx(2 * value)

@@ -1,0 +1,73 @@
+"""The dual-cardinality contract: traffic is linear in tuple count.
+
+The functional layer executes at a small scale; the cost model prices
+the modeled (paper-scale) cardinality by scaling the measured traffic
+linearly.  These tests verify the contract: running the same workload
+at two execution scales must produce (nearly) identical *modeled*
+costs, for every operator.
+"""
+
+import pytest
+
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.core.join.radix import RadixJoin
+from repro.core.ops.q6 import TpchQ6
+from repro.workloads.builders import workload_a, workload_c
+from repro.workloads.tpch import lineitem_q6
+
+
+class TestNopaScaleInvariance:
+    @pytest.mark.parametrize("placement", ["gpu", "cpu"])
+    def test_throughput_independent_of_execution_scale(self, ibm, placement):
+        results = []
+        for scale in (2.0**-14, 2.0**-12):
+            wl = workload_a(scale=scale)
+            join = NoPartitioningJoin(ibm, hash_table_placement=placement)
+            results.append(join.run(wl.r, wl.s).throughput_gtuples)
+        assert results[0] == pytest.approx(results[1], rel=0.02)
+
+    def test_cpu_processor_scale_invariant(self, ibm):
+        results = []
+        for scale in (2.0**-14, 2.0**-12):
+            wl = workload_c(scale=scale)
+            join = NoPartitioningJoin(ibm, hash_table_placement="cpu")
+            results.append(
+                join.run(wl.r, wl.s, processor="cpu0").throughput_gtuples
+            )
+        assert results[0] == pytest.approx(results[1], rel=0.02)
+
+    def test_stream_volumes_scale_with_model_factor(self, ibm):
+        wl = workload_a(scale=2.0**-14)
+        join = NoPartitioningJoin(ibm, hash_table_placement="gpu")
+        res = join.run(wl.r, wl.s)
+        # The probe phase must price the full modeled S, not the
+        # executed sample: ~32 GiB over NVLink ~= 0.51 s.
+        assert res.probe_cost.seconds == pytest.approx(0.52, rel=0.05)
+
+
+class TestRadixScaleInvariance:
+    def test_radix_scale_invariant(self, ibm):
+        results = []
+        for scale in (2.0**-14, 2.0**-12):
+            wl = workload_a(scale=scale)
+            results.append(RadixJoin(ibm).run(wl.r, wl.s).throughput_gtuples)
+        assert results[0] == pytest.approx(results[1], rel=0.02)
+
+
+class TestQ6ScaleInvariance:
+    @pytest.mark.parametrize("variant", ["predicated", "branching"])
+    def test_q6_scale_invariant(self, ibm, variant):
+        results = []
+        for scale in (2.0**-11, 2.0**-9):
+            wl = lineitem_q6(scale_factor=100, scale=scale)
+            op = TpchQ6(ibm, variant=variant)
+            results.append(op.run(wl, processor="gpu0").throughput_gtuples)
+        # Branching line fractions are measured on the sample, so allow
+        # a little sampling noise.
+        assert results[0] == pytest.approx(results[1], rel=0.05)
+
+    def test_modeled_rows_priced_not_executed(self, ibm):
+        wl = lineitem_q6(scale_factor=100, scale=2.0**-10)
+        res = TpchQ6(ibm, variant="predicated").run(wl, processor="cpu0")
+        assert res.modeled_rows == 600_000_000
+        assert res.runtime > 0.05  # pricing 8.9 GiB, not the tiny sample

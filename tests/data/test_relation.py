@@ -1,0 +1,96 @@
+"""Column-oriented relations and morsels."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.hardware.memory import MemoryKind
+
+
+def make_relation(n=100, modeled=None):
+    keys = np.arange(n, dtype=np.int64)
+    payloads = keys * 2
+    return Relation(
+        name="R", key=keys, payload=payloads, modeled_tuples=modeled
+    )
+
+
+class TestBasics:
+    def test_defaults(self):
+        r = make_relation(10)
+        assert r.executed_tuples == 10
+        assert r.modeled_tuples == 10
+        assert r.tuple_bytes == 16
+        assert r.location == "cpu0-mem"
+        assert r.kind is MemoryKind.PAGEABLE
+
+    def test_modeled_bytes(self):
+        r = make_relation(10, modeled=1000)
+        assert r.modeled_bytes == 16000
+
+    def test_scale_and_model_factor(self):
+        r = make_relation(10, modeled=1000)
+        assert r.scale == pytest.approx(0.01)
+        assert r.model_factor == pytest.approx(100.0)
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(
+                name="bad",
+                key=np.arange(3, dtype=np.int64),
+                payload=np.arange(4, dtype=np.int64),
+            )
+
+    def test_modeled_below_executed_rejected(self):
+        with pytest.raises(ValueError):
+            make_relation(10, modeled=5)
+
+    def test_two_dimensional_columns_rejected(self):
+        data = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            Relation(name="bad", key=data, payload=data)
+
+
+class TestPlacement:
+    def test_placed_changes_location_only(self):
+        r = make_relation()
+        moved = r.placed("gpu0-mem")
+        assert moved.location == "gpu0-mem"
+        assert moved.key is r.key  # zero copy
+        assert r.location == "cpu0-mem"  # original untouched
+
+    def test_placed_can_change_kind(self):
+        r = make_relation()
+        pinned = r.placed("cpu0-mem", kind=MemoryKind.PINNED)
+        assert pinned.kind is MemoryKind.PINNED
+
+
+class TestMorsels:
+    def test_morsels_cover_relation(self):
+        r = make_relation(100)
+        morsels = list(r.morsels(30))
+        assert [m.tuples for m in morsels] == [30, 30, 30, 10]
+        assert morsels[0].keys[0] == 0
+        assert morsels[-1].keys[-1] == 99
+
+    def test_morsel_views_are_zero_copy(self):
+        r = make_relation(10)
+        morsel = next(iter(r.morsels(5)))
+        assert morsel.keys.base is r.key
+
+    def test_invalid_morsel_size(self):
+        with pytest.raises(ValueError):
+            list(make_relation().morsels(0))
+
+    def test_slice_view(self):
+        r = make_relation(10)
+        part = r.slice(slice(2, 5))
+        assert part.executed_tuples == 3
+        assert list(part.key) == [2, 3, 4]
+
+    def test_morsel_bounds_validated(self):
+        from repro.data.relation import Morsel
+
+        r = make_relation(10)
+        with pytest.raises(ValueError):
+            Morsel(relation=r, start=5, end=20)

@@ -1,0 +1,97 @@
+"""Cache models: working-set fits, memory-side L2, skew hot sets."""
+
+import pytest
+
+from repro.hardware.cache import CacheModel, HotSetProfile
+from repro.hardware.specs import POWER9_L3, V100_L1, V100_L2
+from repro.utils.units import MIB
+
+
+class TestHotSetProfile:
+    def test_uniform_mass_is_linear(self):
+        profile = HotSetProfile.uniform(1000)
+        assert profile.mass_of_top(100) == pytest.approx(0.1)
+        assert profile.mass_of_top(1000) == 1.0
+        assert profile.mass_of_top(2000) == 1.0
+
+    def test_uniform_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HotSetProfile.uniform(0)
+
+    def test_zipf_zero_is_uniform(self):
+        z = HotSetProfile.zipf(1000, 0.0)
+        u = HotSetProfile.uniform(1000)
+        for k in (1, 10, 500):
+            assert z.mass_of_top(k) == pytest.approx(u.mass_of_top(k))
+
+    def test_zipf_mass_monotone(self):
+        profile = HotSetProfile.zipf(10**6, 1.2)
+        masses = [profile.mass_of_top(k) for k in (1, 10, 100, 10**4, 10**6)]
+        assert masses == sorted(masses)
+        assert masses[-1] == pytest.approx(1.0)
+
+    def test_zipf_paper_anchor(self):
+        # "With an exponent of 1.5, there is a 97.5% chance of hitting
+        # one of the top-1000 tuples" (Section 7.2.8); the quantile
+        # depends on |R| — for workload A's 2^27 keys the analytic model
+        # gives a high-90s percentage.
+        profile = HotSetProfile.zipf(2**27, 1.5)
+        assert profile.mass_of_top(1000) > 0.9
+
+    def test_higher_exponent_concentrates_mass(self):
+        low = HotSetProfile.zipf(10**6, 0.5)
+        high = HotSetProfile.zipf(10**6, 1.5)
+        assert high.mass_of_top(1000) > low.mass_of_top(1000)
+
+    def test_zipf_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            HotSetProfile.zipf(10, -0.1)
+
+    def test_mass_of_zero_is_zero(self):
+        assert HotSetProfile.zipf(100, 1.0).mass_of_top(0) == 0.0
+
+
+class TestCacheModel:
+    def test_fitting_working_set_hits(self):
+        cache = CacheModel(POWER9_L3)
+        assert cache.hit_rate(4 * MIB) == 1.0
+
+    def test_oversized_uniform_set_hits_proportionally(self):
+        cache = CacheModel(POWER9_L3)
+        rate = cache.hit_rate(POWER9_L3.capacity * 10)
+        assert rate == pytest.approx(0.1)
+
+    def test_memory_side_l2_rejects_remote(self):
+        cache = CacheModel(V100_L2)
+        assert cache.hit_rate(MIB, data_is_remote=True) == 0.0
+        assert cache.hit_rate(MIB, data_is_remote=False) == 1.0
+
+    def test_l1_caches_remote(self):
+        cache = CacheModel(V100_L1)
+        assert cache.hit_rate(16 * 1024, data_is_remote=True) == 1.0
+
+    def test_hot_set_hit_rate(self):
+        cache = CacheModel(V100_L1, capacity_override=2 * MIB)
+        hot = HotSetProfile.zipf(2**27, 1.5)
+        rate = cache.hit_rate(2**31, data_is_remote=True, hot_set=hot)
+        assert 0.9 < rate <= 1.0
+
+    def test_uniform_hot_set_gives_capacity_fraction(self):
+        cache = CacheModel(V100_L1, capacity_override=1 * MIB)
+        hot = HotSetProfile.uniform(2**20)  # 16 MiB of 16 B entries
+        rate = cache.hit_rate(2**24, hot_set=hot, entry_bytes=16.0)
+        # 1 MiB / 128 B lines x 8 entries/line = 65536 entries cacheable.
+        assert rate == pytest.approx(65536 / 2**20, rel=0.01)
+
+    def test_capacity_override(self):
+        cache = CacheModel(POWER9_L3, capacity_override=1024)
+        assert cache.capacity == 1024
+
+    def test_zero_working_set_hits(self):
+        cache = CacheModel(POWER9_L3)
+        assert cache.hit_rate(0) == 1.0
+
+    def test_negative_working_set_raises(self):
+        cache = CacheModel(POWER9_L3)
+        with pytest.raises(ValueError):
+            cache.hit_rate(-1)

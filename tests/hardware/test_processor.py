@@ -1,0 +1,68 @@
+"""Processor models."""
+
+import pytest
+
+from repro.hardware.memory import MemoryRegion
+from repro.hardware.processor import Cpu, Gpu, ProcessorKind
+from repro.hardware.specs import DDR4_POWER9, HBM2_V100, POWER9, V100_SXM2
+
+
+def make_cpu():
+    mem = MemoryRegion(name="m", spec=DDR4_POWER9, owner="cpu0")
+    return Cpu(name="cpu0", kind=ProcessorKind.CPU, local_memory=mem, spec=POWER9)
+
+
+def make_gpu():
+    mem = MemoryRegion(name="g", spec=HBM2_V100, owner="gpu0")
+    return Gpu(name="gpu0", kind=ProcessorKind.GPU, local_memory=mem, spec=V100_SXM2)
+
+
+class TestCpu:
+    def test_memory_parallelism(self):
+        cpu = make_cpu()
+        assert cpu.memory_parallelism() == POWER9.cores * POWER9.mlp_per_core
+
+    def test_tuple_throughput(self):
+        cpu = make_cpu()
+        assert cpu.tuple_throughput() == POWER9.cores * POWER9.tuple_rate_per_core
+
+    def test_threads(self):
+        assert make_cpu().threads == 64
+
+    def test_llc_auto_constructed(self):
+        assert make_cpu().llc is not None
+
+    def test_requires_spec(self):
+        mem = MemoryRegion(name="m", spec=DDR4_POWER9, owner="x")
+        with pytest.raises(ValueError):
+            Cpu(name="x", kind=ProcessorKind.CPU, local_memory=mem, spec=None)
+
+    def test_kind_validated(self):
+        mem = MemoryRegion(name="m", spec=DDR4_POWER9, owner="x")
+        with pytest.raises(ValueError):
+            Cpu(name="x", kind=ProcessorKind.GPU, local_memory=mem, spec=POWER9)
+
+
+class TestGpu:
+    def test_memory_parallelism_is_mlp(self):
+        assert make_gpu().memory_parallelism() == V100_SXM2.mlp
+
+    def test_caches_auto_constructed(self):
+        gpu = make_gpu()
+        assert gpu.l2 is not None
+        assert gpu.l1 is not None
+        assert gpu.l1.capacity == V100_SXM2.l1_total_capacity
+
+    def test_kernel_launch_latency(self):
+        assert make_gpu().kernel_launch_latency == V100_SXM2.kernel_launch_latency
+
+    def test_atomic_rate(self):
+        assert make_gpu().atomic_rate_local == V100_SXM2.atomic_rate_local
+
+    def test_kind_validated(self):
+        mem = MemoryRegion(name="g", spec=HBM2_V100, owner="x")
+        with pytest.raises(ValueError):
+            Gpu(name="x", kind=ProcessorKind.CPU, local_memory=mem, spec=V100_SXM2)
+
+    def test_gpu_much_more_parallel_than_cpu(self):
+        assert make_gpu().memory_parallelism() > 10 * make_cpu().memory_parallelism()

@@ -1,0 +1,115 @@
+"""End-to-end integration: the public API, whole-library flows."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_lazy_exports(self):
+        # The package-level lazy loader exposes the high-level API.
+        assert repro.NoPartitioningJoin is not None
+        assert repro.workload_a is not None
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestQuickstartFlow:
+    def test_decision_tree_to_execution(self, ibm):
+        wl = repro.workload_a(scale=2**-14)
+        decision = repro.decide_placement(ibm, wl.r.modeled_tuples * 16)
+        join = repro.NoPartitioningJoin(
+            ibm,
+            hash_table_placement=decision.hash_table_placement,
+            transfer_method="coherence",
+        )
+        res = join.run(wl.r, wl.s)
+        assert res.matches == wl.s.executed_tuples
+        assert res.throughput_gtuples > 3
+
+    def test_auto_strategy_for_large_table(self, ibm):
+        wl = repro.workload_ratio(1, scale=2**-13, modeled_r=2048 * 10**6)
+        decision = repro.decide_placement(ibm, wl.r.modeled_tuples * 16)
+        assert decision.strategy == "het"
+        coop = repro.CoopJoin(ibm, strategy=decision.strategy)
+        res = coop.run(wl.r, wl.s, workers=("cpu0", "gpu0"))
+        assert res.matches == wl.s.executed_tuples
+
+
+class TestCrossOperatorConsistency:
+    def test_three_join_operators_agree(self, ibm):
+        wl = repro.workload_selectivity(0.6, scale=2**-14)
+        nopa = repro.NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
+            wl.r, wl.s
+        )
+        radix = repro.RadixJoin(ibm).run(wl.r, wl.s)
+        coop = repro.CoopJoin(ibm, strategy="het").run(
+            wl.r, wl.s, workers=("cpu0", "gpu0")
+        )
+        assert nopa.matches == radix.matches == coop.matches
+        assert nopa.aggregate == radix.aggregate == coop.aggregate
+
+    def test_numpy_reference_join(self, ibm):
+        wl = repro.workload_selectivity(0.5, scale=2**-14, seed=123)
+        # Reference: sort-merge with numpy.
+        order = np.argsort(wl.r.key)
+        sorted_keys = wl.r.key[order]
+        pos = np.searchsorted(sorted_keys, wl.s.key)
+        pos = np.minimum(pos, len(sorted_keys) - 1)
+        hits = sorted_keys[pos] == wl.s.key
+        res = repro.NoPartitioningJoin(ibm, hash_table_placement="gpu").run(
+            wl.r, wl.s
+        )
+        assert res.matches == int(hits.sum())
+
+
+class TestMachineIsolation:
+    def test_placements_do_not_leak_between_runs(self, ibm):
+        wl = repro.workload_ratio(1, scale=2**-13, modeled_r=1536 * 10**6)
+        join = repro.NoPartitioningJoin(ibm, hash_table_placement="hybrid")
+        first = join.run(wl.r, wl.s)
+        second = join.run(wl.r, wl.s)
+        assert first.placement.fractions == pytest.approx(
+            second.placement.fractions
+        )
+        # The machine's capacity bookkeeping must be clean afterwards.
+        for memory in ibm.memories.values():
+            assert memory.allocated == 0
+
+    def test_intel_and_ibm_independent(self, ibm, intel):
+        wl = repro.workload_a(scale=2**-14)
+        a = repro.NoPartitioningJoin(ibm, hash_table_placement="gpu").run(
+            wl.r, wl.s
+        )
+        b = repro.NoPartitioningJoin(
+            intel, hash_table_placement="gpu", transfer_method="zero_copy"
+        ).run(wl.r, wl.s)
+        assert a.throughput_gtuples > 4 * b.throughput_gtuples
+
+
+class TestHeadlineClaims:
+    """The abstract's numbers: 18x over PCI-e, 7.3x over the CPU."""
+
+    def test_up_to_18x_over_pcie(self, ibm, intel):
+        wl = repro.workload_ratio(1, scale=2**-13, modeled_r=1536 * 10**6)
+        nvlink = repro.NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
+            wl.r, wl.s
+        )
+        pcie = repro.NoPartitioningJoin(
+            intel, hash_table_placement="cpu", transfer_method="zero_copy"
+        ).run(wl.r, wl.s)
+        ratio = nvlink.throughput_gtuples / pcie.throughput_gtuples
+        assert ratio > 8  # paper: 8-18x for out-of-core tables
+
+    def test_multiples_over_optimized_cpu(self, ibm):
+        wl = repro.workload_ratio(8, scale=2**-12)
+        gpu = repro.NoPartitioningJoin(ibm, hash_table_placement="gpu").run(
+            wl.r, wl.s
+        )
+        cpu = repro.RadixJoin(ibm).run(wl.r, wl.s)
+        ratio = gpu.throughput_gtuples / cpu.throughput_gtuples
+        assert ratio > 3  # paper: 3.2-7.3x

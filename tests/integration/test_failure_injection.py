@@ -1,0 +1,128 @@
+"""Failure injection: corrupted state and misuse must fail loudly.
+
+"Errors should never pass silently" — these tests verify that broken
+invariants (corrupted hash tables, impossible schedules, exhausted
+memory mid-operation) surface as exceptions rather than wrong answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hashtable.open_addressing import OpenAddressingHashTable
+from repro.core.hashtable.perfect import PerfectHashTable
+from repro.memory.allocator import Allocator, OutOfMemoryError
+from repro.sim.engine import SimulationError, Simulator
+from repro.utils.units import GIB
+
+
+class TestCorruptedHashTables:
+    def test_open_addressing_full_table_lookup_of_absent_key_terminates(self):
+        # A completely full table has no EMPTY slot to stop a miss probe;
+        # the guard must terminate the scan (the key is provably absent
+        # after capacity probes) rather than loop forever.
+        table = OpenAddressingHashTable(4, load_factor=0.9)
+        keys = np.arange(table.capacity, dtype=np.int64)
+        with pytest.raises(ValueError):
+            # Cannot even fill it beyond capacity through the API ...
+            table.insert_batch(
+                np.arange(table.capacity + 1, dtype=np.int64),
+                np.zeros(table.capacity + 1, dtype=np.int64),
+            )
+        # ... so corrupt it directly and probe.
+        table.keys[:] = 7  # all slots claim key 7
+        table.size = table.capacity
+        with pytest.raises(RuntimeError):
+            table.lookup_batch(np.array([3], dtype=np.int64))
+
+    def test_perfect_table_rejects_foreign_writes(self):
+        table = PerfectHashTable(8)
+        table.insert_batch(
+            np.arange(8, dtype=np.int64), np.arange(8, dtype=np.int64)
+        )
+        # Tampering with a slot makes the duplicate check fire on the
+        # next legitimate insert of that key range.
+        with pytest.raises(ValueError):
+            table.insert_batch(
+                np.array([3], dtype=np.int64), np.array([0], dtype=np.int64)
+            )
+
+
+class TestSchedulerMisuse:
+    def test_simulator_rejects_past_events(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.5, lambda s: None)
+
+    def test_simulator_rejects_reentrant_run(self):
+        sim = Simulator()
+
+        def recurse(s):
+            s.run()
+
+        sim.schedule(0.0, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestMemoryExhaustion:
+    def test_allocator_failure_leaves_consistent_state(self, ibm):
+        allocator = Allocator(ibm)
+        kept = allocator.alloc("cpu0-mem", 100 * GIB)
+        before = ibm.memory("cpu0-mem").allocated
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc("cpu0-mem", 100 * GIB)
+        assert ibm.memory("cpu0-mem").allocated == before
+        allocator.free(kept)
+
+    def test_join_oom_leaves_machine_clean(self, ibm):
+        from repro.core.join.nopa import NoPartitioningJoin
+        from repro.workloads.builders import workload_ratio
+
+        wl = workload_ratio(1, scale=2.0**-13, modeled_r=2048 * 10**6)
+        join = NoPartitioningJoin(ibm, hash_table_placement="gpu")
+        with pytest.raises(OutOfMemoryError):
+            join.run(wl.r, wl.s)
+        for memory in ibm.memories.values():
+            assert memory.allocated == 0
+        # The machine is still usable afterwards.
+        ok = NoPartitioningJoin(ibm, hash_table_placement="cpu").run(wl.r, wl.s)
+        assert ok.matches == wl.s.executed_tuples
+
+
+class TestDegenerateInputs:
+    def test_empty_relations_join_cleanly(self, ibm):
+        from repro.core.join.nopa import NoPartitioningJoin
+        from repro.data.relation import Relation
+
+        r = Relation(
+            name="R",
+            key=np.arange(64, dtype=np.int64),
+            payload=np.arange(64, dtype=np.int64),
+        )
+        s = Relation(
+            name="S",
+            key=np.array([], dtype=np.int64),
+            payload=np.array([], dtype=np.int64),
+            modeled_tuples=1,
+        )
+        res = NoPartitioningJoin(ibm, hash_table_placement="gpu").run(r, s)
+        assert res.matches == 0
+        assert res.runtime > 0  # build still costs time
+
+    def test_single_tuple_workload(self, ibm):
+        from repro.core.join.nopa import NoPartitioningJoin
+        from repro.data.relation import Relation
+
+        r = Relation(
+            name="R",
+            key=np.array([0], dtype=np.int64),
+            payload=np.array([10], dtype=np.int64),
+        )
+        s = Relation(
+            name="S",
+            key=np.array([0, 0, 0], dtype=np.int64),
+            payload=np.array([1, 2, 3], dtype=np.int64),
+        )
+        res = NoPartitioningJoin(ibm, hash_table_placement="gpu").run(r, s)
+        assert res.matches == 3
+        assert res.aggregate == 30

@@ -1,0 +1,186 @@
+"""Shape assertions over the figure-reproduction benches.
+
+These are the "does the reproduction hold" tests: who wins, by roughly
+what factor, where crossovers fall.  They run the bench modules at a
+small execution scale.
+"""
+
+import pytest
+
+from repro.bench import (
+    fig01_bandwidth,
+    fig12_transfer_methods,
+    fig13_data_locality,
+    fig14_hashtable_locality,
+    fig16_probe_scaling,
+    fig17_build_scaling,
+    fig18_build_probe_ratio,
+    fig20_selectivity,
+)
+
+SCALE = 2.0**-14
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_transfer_methods.run(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def fig17():
+    return fig17_build_scaling.run(scale=SCALE, tuple_millions=(512, 2048))
+
+
+class TestFigure1:
+    def test_nvlink_erases_memory_disadvantage(self):
+        result = fig01_bandwidth.run()
+        nvlink = result.value("nvlink2", "measured")
+        memory = result.value("memory", "measured")
+        pcie = result.value("pcie3", "measured")
+        assert nvlink / memory > 0.8
+        assert pcie / memory < 0.2
+
+
+class TestFigure12:
+    def test_coherence_and_zero_copy_fastest_on_nvlink(self, fig12):
+        best = max(fig12.series("nvlink2"))
+        assert fig12.value("coherence", "nvlink2") == pytest.approx(best, rel=0.01)
+        assert fig12.value("zero_copy", "nvlink2") == pytest.approx(best, rel=0.02)
+
+    def test_coherence_unsupported_on_pcie(self, fig12):
+        with pytest.raises(KeyError):
+            fig12.value("coherence", "pcie3")
+
+    def test_um_underperforms_on_power9(self, fig12):
+        # The paper's footnote: NVLink loses to PCI-e only for UM.
+        for method in ("um_prefetch", "um_migration"):
+            assert fig12.value(method, "nvlink2") < fig12.value(method, "pcie3")
+
+    def test_every_other_method_faster_on_nvlink(self, fig12):
+        for method in ("pageable_copy", "staged_copy", "dynamic_pinning",
+                       "pinned_copy", "zero_copy"):
+            assert fig12.value(method, "nvlink2") > fig12.value(method, "pcie3")
+
+    def test_pinning_needed_for_peak_pcie(self, fig12):
+        assert fig12.value("zero_copy", "pcie3") > 2 * fig12.value(
+            "pageable_copy", "pcie3"
+        )
+
+    def test_within_25pct_of_paper(self, fig12):
+        for row in fig12.rows:
+            for series, value in row.values.items():
+                paper = fig12.paper_value(row.label, series)
+                if paper:
+                    assert value == pytest.approx(paper, rel=0.25), (
+                        row.label, series
+                    )
+
+
+class TestFigure13:
+    def test_throughput_decreases_with_hops_for_a(self):
+        result = fig13_data_locality.run(scale=SCALE)
+        series = [result.value("A", loc) for loc in ("gpu", "cpu", "rcpu")]
+        assert series[0] >= series[1] > series[2]
+
+    def test_b_gpu_local_is_multiples_of_one_hop(self):
+        result = fig13_data_locality.run(scale=SCALE)
+        assert result.value("B", "gpu") / result.value("B", "cpu") > 3
+
+    def test_c_is_flat(self):
+        result = fig13_data_locality.run(scale=SCALE)
+        values = [result.value("C", loc) for loc in ("gpu", "cpu", "rcpu", "rgpu")]
+        assert max(values) / min(values) < 1.2
+
+
+class TestFigure14:
+    def test_one_hop_to_table_costs_most_of_throughput(self):
+        result = fig14_hashtable_locality.run(scale=SCALE)
+        for workload in ("A", "B"):
+            drop = 1 - result.value(workload, "cpu") / result.value(workload, "gpu")
+            assert drop > 0.7  # paper: 75-85%
+
+    def test_b_gets_no_l2_relief_remotely(self):
+        result = fig14_hashtable_locality.run(scale=SCALE)
+        # B's table is cache-sized yet remote throughput matches A's.
+        assert result.value("B", "cpu") == pytest.approx(
+            result.value("A", "cpu"), rel=0.25
+        )
+
+
+class TestFigure16:
+    def test_nvlink_beats_cpu_and_pcie_everywhere(self):
+        result = fig16_probe_scaling.run(
+            scale=2.0**-14, probe_millions=(1024, 8192)
+        )
+        for row in result.rows:
+            assert row.values["nvlink2"] > row.values["pcie3"]
+            assert row.values["nvlink2"] > row.values["cpu-pra"]
+
+    def test_nvlink_throughput_grows_with_probe_side(self):
+        result = fig16_probe_scaling.run(
+            scale=2.0**-14, probe_millions=(1024, 8192)
+        )
+        assert result.rows[-1].values["nvlink2"] > result.rows[0].values["nvlink2"]
+
+    def test_pcie_flat_and_cannot_beat_cpu_by_much(self):
+        result = fig16_probe_scaling.run(
+            scale=2.0**-14, probe_millions=(1024, 8192)
+        )
+        pcie = result.series("pcie3")
+        assert max(pcie) / min(pcie) < 1.05
+
+
+class TestFigure17:
+    def test_pcie_rides_over_a_cliff(self, fig17):
+        before = fig17.value("512M", "pcie3")
+        after = fig17.value("2048M", "pcie3")
+        assert after / before < 0.05  # paper: -97%
+
+    def test_nvlink_degrades_gracefully(self, fig17):
+        before = fig17.value("512M", "nvlink2")
+        after = fig17.value("2048M", "nvlink2")
+        assert 0.1 < after / before < 0.45  # paper: -85%
+
+    def test_nvlink_stays_8_to_18x_above_pcie_out_of_core(self, fig17):
+        ratio = fig17.value("2048M", "nvlink2") / fig17.value("2048M", "pcie3")
+        assert 8 < ratio < 30
+
+    def test_nvlink_within_reach_of_cpu_out_of_core(self, fig17):
+        nv = fig17.value("2048M", "nvlink2")
+        cpu = fig17.value("2048M", "cpu-pra")
+        assert nv == pytest.approx(cpu, rel=0.25)  # paper: within 13%
+
+    def test_hybrid_adds_1_to_2x(self, fig17):
+        hybrid = fig17.value("2048M", "nvlink2-hybrid")
+        plain = fig17.value("2048M", "nvlink2")
+        assert 1.0 < hybrid / plain < 2.5
+
+
+class TestFigure18:
+    def test_build_share_shrinks_with_ratio(self):
+        result = fig18_build_probe_ratio.run(scale=2.0**-13, ratios=(1, 4, 16))
+        shares = result.series("build_pct")
+        assert shares[0] > shares[1] > shares[2]
+        assert shares[0] == pytest.approx(71, abs=6)
+        assert shares[2] == pytest.approx(13, abs=5)
+
+    def test_throughput_rises_with_ratio(self):
+        result = fig18_build_probe_ratio.run(scale=2.0**-13, ratios=(1, 4, 16))
+        values = result.series("throughput")
+        assert values == sorted(values)
+
+
+class TestFigure20:
+    def test_throughput_decreases_with_selectivity(self):
+        result = fig20_selectivity.run(
+            scale=2.0**-14, selectivities=(0.0, 0.5, 1.0)
+        )
+        for series in ("nvlink2-gpu-ht", "cpu"):
+            values = result.series(series)
+            assert values[0] >= values[1] >= values[2]
+
+    def test_value_line_load_matches_81_5(self):
+        result = fig20_selectivity.run(scale=2.0**-14, selectivities=(0.1,))
+        assert result.value("sel=0.1", "value_lines_loaded_pct") == pytest.approx(
+            81.5, abs=1.0
+        )

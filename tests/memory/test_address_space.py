@@ -1,0 +1,65 @@
+"""Virtual address space with region-backed segments."""
+
+import pytest
+
+from repro.memory.address_space import AddressSpace, PageMapping
+
+
+class TestSegments:
+    def test_append_grows_contiguously(self):
+        space = AddressSpace()
+        first = space.append(100, "gpu0-mem")
+        second = space.append(50, "cpu0-mem")
+        assert first.start == 0 and first.end == 100
+        assert second.start == 100 and second.end == 150
+        assert space.size == 150
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().append(0, "gpu0-mem")
+
+    def test_mapping_validation(self):
+        with pytest.raises(ValueError):
+            PageMapping(start=10, end=10, region_name="x")
+
+
+class TestLookup:
+    @pytest.fixture
+    def space(self):
+        space = AddressSpace()
+        space.append(100, "gpu0-mem")
+        space.append(300, "cpu0-mem")
+        return space
+
+    def test_region_of_first_segment(self, space):
+        assert space.region_of(0) == "gpu0-mem"
+        assert space.region_of(99) == "gpu0-mem"
+
+    def test_region_of_second_segment(self, space):
+        assert space.region_of(100) == "cpu0-mem"
+        assert space.region_of(399) == "cpu0-mem"
+
+    def test_out_of_range_raises(self, space):
+        with pytest.raises(IndexError):
+            space.region_of(400)
+        with pytest.raises(IndexError):
+            space.region_of(-1)
+
+    def test_bytes_per_region(self, space):
+        assert space.bytes_per_region() == {"gpu0-mem": 100, "cpu0-mem": 300}
+
+    def test_region_fraction_is_uniform_access_fraction(self, space):
+        # A_GPU of Section 5.3: uniform keys hit regions by byte share.
+        assert space.region_fraction("gpu0-mem") == pytest.approx(0.25)
+        assert space.region_fraction("cpu0-mem") == pytest.approx(0.75)
+        assert space.region_fraction("elsewhere") == 0.0
+
+    def test_empty_space_fraction(self):
+        assert AddressSpace().region_fraction("x") == 0.0
+
+    def test_multiple_segments_same_region_merge_in_totals(self):
+        space = AddressSpace()
+        space.append(10, "a")
+        space.append(20, "b")
+        space.append(30, "a")
+        assert space.bytes_per_region() == {"a": 40, "b": 20}

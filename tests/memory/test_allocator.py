@@ -1,0 +1,75 @@
+"""Capacity-tracking allocator."""
+
+import pytest
+
+from repro.hardware.memory import MemoryKind
+from repro.memory.allocator import Allocator, OutOfMemoryError
+from repro.utils.units import GIB
+
+
+@pytest.fixture
+def allocator(ibm):
+    return Allocator(ibm)
+
+
+class TestAlloc:
+    def test_alloc_tracks_capacity(self, allocator):
+        allocator.alloc("cpu0-mem", GIB)
+        assert allocator.used_bytes("cpu0-mem") == GIB
+
+    def test_alloc_beyond_capacity_raises(self, allocator):
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc("gpu0-mem", 17 * GIB, kind=MemoryKind.DEVICE)
+
+    def test_gpu_memory_requires_device_kind(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.alloc("gpu0-mem", GIB, kind=MemoryKind.PAGEABLE)
+
+    def test_cpu_memory_rejects_device_kind(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.alloc("cpu0-mem", GIB, kind=MemoryKind.DEVICE)
+
+    def test_negative_size_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.alloc("cpu0-mem", -1)
+
+    def test_unique_ids(self, allocator):
+        a = allocator.alloc("cpu0-mem", 10)
+        b = allocator.alloc("cpu0-mem", 10)
+        assert a.id != b.id
+
+    def test_pinned_allocations_allowed(self, allocator):
+        a = allocator.alloc("cpu0-mem", GIB, kind=MemoryKind.PINNED)
+        assert a.kind is MemoryKind.PINNED
+        assert not a.is_gpu_memory
+
+    def test_device_flag(self, allocator):
+        a = allocator.alloc("gpu0-mem", GIB, kind=MemoryKind.DEVICE)
+        assert a.is_gpu_memory
+
+
+class TestFree:
+    def test_free_returns_capacity(self, allocator):
+        a = allocator.alloc("cpu0-mem", GIB)
+        allocator.free(a)
+        assert allocator.used_bytes("cpu0-mem") == 0
+
+    def test_double_free_raises(self, allocator):
+        a = allocator.alloc("cpu0-mem", GIB)
+        allocator.free(a)
+        with pytest.raises(ValueError):
+            allocator.free(a)
+
+    def test_foreign_allocation_rejected(self, allocator, intel):
+        other = Allocator(intel)
+        a = other.alloc("cpu0-mem", GIB)
+        with pytest.raises(ValueError):
+            allocator.free(a)
+
+    def test_live_allocations_listing(self, allocator):
+        a = allocator.alloc("cpu0-mem", 10, label="x")
+        b = allocator.alloc("cpu1-mem", 20, label="y")
+        assert len(allocator.live_allocations()) == 2
+        assert allocator.live_allocations("cpu1-mem") == [b]
+        allocator.free(a)
+        assert allocator.live_allocations() == [b]

@@ -1,0 +1,105 @@
+"""Hybrid (Figure 8) and interleaved (Section 6.3) allocation."""
+
+import pytest
+
+from repro.hardware.memory import MemoryKind
+from repro.memory.allocator import Allocator, OutOfMemoryError
+from repro.memory.hybrid import allocate_hybrid, allocate_interleaved
+from repro.utils.units import GIB, MIB
+
+
+@pytest.fixture
+def allocator(ibm):
+    return Allocator(ibm)
+
+
+class TestHybrid:
+    def test_small_table_stays_on_gpu(self, allocator):
+        allocation = allocate_hybrid(allocator, "gpu0", 4 * GIB, gpu_reserve=0)
+        assert allocation.gpu_fraction == 1.0
+        assert allocation.bytes_per_region() == {"gpu0-mem": 4 * GIB}
+
+    def test_oversized_table_spills_to_nearest_cpu(self, allocator):
+        allocation = allocate_hybrid(allocator, "gpu0", 24 * GIB, gpu_reserve=0)
+        regions = allocation.bytes_per_region()
+        assert regions["gpu0-mem"] == 16 * GIB
+        assert regions["cpu0-mem"] == 8 * GIB
+        assert allocation.gpu_fraction == pytest.approx(16 / 24)
+
+    def test_gpu_segment_comes_first(self, allocator):
+        allocation = allocate_hybrid(allocator, "gpu0", 20 * GIB, gpu_reserve=0)
+        segments = allocation.address_space.segments
+        assert segments[0].region_name == "gpu0-mem"
+        assert segments[1].region_name == "cpu0-mem"
+
+    def test_gpu_reserve_respected(self, allocator):
+        allocation = allocate_hybrid(
+            allocator, "gpu0", 17 * GIB, gpu_reserve=2 * GIB
+        )
+        assert allocation.bytes_per_region()["gpu0-mem"] == 14 * GIB
+
+    def test_numa_recursive_spill(self, allocator, ibm):
+        # Fill cpu0's memory almost completely; the spill must continue
+        # into cpu1's memory (the next-nearest NUMA node).
+        cpu0 = ibm.memory("cpu0-mem")
+        filler = allocator.alloc("cpu0-mem", cpu0.free_bytes - GIB)
+        allocation = allocate_hybrid(allocator, "gpu0", 20 * GIB, gpu_reserve=0)
+        regions = allocation.bytes_per_region()
+        assert regions["gpu0-mem"] == 16 * GIB
+        assert regions["cpu0-mem"] == GIB
+        assert regions["cpu1-mem"] == 3 * GIB
+        allocator.free(filler)
+
+    def test_impossible_allocation_raises_and_rolls_back(self, allocator, ibm):
+        total = sum(m.capacity for m in ibm.memories.values())
+        with pytest.raises(OutOfMemoryError):
+            allocate_hybrid(allocator, "gpu0", total + GIB, gpu_reserve=0)
+        # Roll-back: nothing may stay allocated.
+        for memory in ibm.memories.values():
+            assert memory.allocated == 0
+
+    def test_spill_kind_configurable(self, allocator):
+        allocation = allocate_hybrid(
+            allocator, "gpu0", 20 * GIB, gpu_reserve=0,
+            spill_kind=MemoryKind.PINNED,
+        )
+        kinds = {p.region_name: p.kind for p in allocation.pieces}
+        assert kinds["cpu0-mem"] is MemoryKind.PINNED
+        assert kinds["gpu0-mem"] is MemoryKind.DEVICE
+
+    def test_free_releases_everything(self, allocator, ibm):
+        allocation = allocate_hybrid(allocator, "gpu0", 20 * GIB, gpu_reserve=0)
+        allocation.free(allocator)
+        for memory in ibm.memories.values():
+            assert memory.allocated == 0
+
+    def test_zero_bytes(self, allocator):
+        allocation = allocate_hybrid(allocator, "gpu0", 0)
+        assert allocation.nbytes == 0
+        assert allocation.gpu_fraction == 0.0
+
+
+class TestInterleaved:
+    def test_round_robin_over_gpus(self, allocator):
+        allocation = allocate_interleaved(
+            allocator, ["gpu0", "gpu1"], 8 * MIB, page_bytes=2 * MIB
+        )
+        regions = allocation.bytes_per_region()
+        assert regions == {"gpu0-mem": 4 * MIB, "gpu1-mem": 4 * MIB}
+
+    def test_segments_alternate(self, allocator):
+        allocation = allocate_interleaved(
+            allocator, ["gpu0", "gpu1"], 6 * MIB, page_bytes=2 * MIB
+        )
+        names = [s.region_name for s in allocation.address_space.segments]
+        assert names == ["gpu0-mem", "gpu1-mem", "gpu0-mem"]
+
+    def test_needs_at_least_one_gpu(self, allocator):
+        with pytest.raises(ValueError):
+            allocate_interleaved(allocator, [], GIB)
+
+    def test_overflow_raises_and_rolls_back(self, allocator, ibm):
+        with pytest.raises(OutOfMemoryError):
+            allocate_interleaved(allocator, ["gpu0", "gpu1"], 40 * GIB)
+        for memory in ibm.memories.values():
+            assert memory.allocated == 0

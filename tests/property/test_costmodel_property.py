@@ -1,0 +1,100 @@
+"""Property-based tests of the cost model.
+
+Invariants: monotonicity (more traffic never costs less), linearity of
+stream scaling, positivity, and the bottleneck bound (a phase is at
+least as slow as any single stream priced alone).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel.access import (
+    AccessPattern,
+    AccessProfile,
+    Stream,
+)
+from repro.costmodel.model import CostModel
+from repro.hardware.topology import ibm_ac922
+
+_MACHINE = ibm_ac922()
+_CM = CostModel(_MACHINE)
+
+_PROCESSORS = ["cpu0", "cpu1", "gpu0", "gpu1"]
+_MEMORIES = ["cpu0-mem", "cpu1-mem", "gpu0-mem", "gpu1-mem"]
+
+
+def streams():
+    return st.builds(
+        _make_stream,
+        processor=st.sampled_from(_PROCESSORS),
+        memory=st.sampled_from(_MEMORIES),
+        pattern=st.sampled_from(list(AccessPattern)),
+        volume=st.floats(1.0, 1e12),
+        access_bytes=st.sampled_from([4.0, 8.0, 16.0, 128.0]),
+    )
+
+
+def _make_stream(processor, memory, pattern, volume, access_bytes):
+    if pattern is AccessPattern.SEQUENTIAL:
+        return Stream(
+            processor=processor, memory=memory, pattern=pattern,
+            total_bytes=volume,
+        )
+    return Stream(
+        processor=processor, memory=memory, pattern=pattern,
+        accesses=volume / access_bytes, access_bytes=access_bytes,
+    )
+
+
+class TestCostProperties:
+    @given(stream=streams())
+    @settings(max_examples=80, deadline=None)
+    def test_positive_finite_cost(self, stream):
+        cost = _CM.phase_cost(AccessProfile(streams=[stream]))
+        assert cost.seconds > 0
+        assert cost.seconds < float("inf")
+
+    @given(stream=streams(), factor=st.floats(1.5, 100.0))
+    @settings(max_examples=80, deadline=None)
+    def test_linear_in_volume(self, stream, factor):
+        base = _CM.phase_cost(AccessProfile(streams=[stream])).seconds
+        scaled = _CM.phase_cost(
+            AccessProfile(streams=[stream.scaled(factor)])
+        ).seconds
+        assert scaled == pytest.approx(base * factor, rel=1e-6)
+
+    @given(a=streams(), b=streams())
+    @settings(max_examples=80, deadline=None)
+    def test_bottleneck_bound(self, a, b):
+        # A phase with two streams is at least as slow as either alone
+        # and no slower than their sum.
+        ta = _CM.phase_cost(AccessProfile(streams=[a])).seconds
+        tb = _CM.phase_cost(AccessProfile(streams=[b])).seconds
+        combined = _CM.phase_cost(AccessProfile(streams=[a, b])).seconds
+        assert combined >= max(ta, tb) - 1e-12
+        assert combined <= ta + tb + 1e-9
+
+    @given(stream=streams())
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_nonnegative(self, stream):
+        for value in _CM.stream_occupancy(stream).values():
+            assert value >= 0
+
+    @given(
+        processor=st.sampled_from(_PROCESSORS),
+        memory=st.sampled_from(_MEMORIES),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_atomic_never_faster_than_random(self, processor, memory):
+        assert _CM.atomic_rate(processor, memory) <= _CM.random_access_rate(
+            processor, memory
+        ) * 1.001
+
+    @given(
+        processor=st.sampled_from(_PROCESSORS),
+        memory=st.sampled_from(_MEMORIES),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_rate_positive(self, processor, memory):
+        assert _CM.random_access_rate(processor, memory) > 0

@@ -1,0 +1,88 @@
+"""Property-based tests of the hash tables (hypothesis).
+
+Invariant under test: every table behaves exactly like a Python dict
+built from the same (key, value) pairs — for any key set and any probe
+set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashtable import create_hash_table
+
+SCHEMES = ("perfect", "open_addressing", "chaining")
+
+
+def key_sets(max_size=200):
+    return st.sets(st.integers(min_value=0, max_value=499), max_size=max_size)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestDictEquivalence:
+    @given(keys=key_sets(), probes=st.lists(st.integers(0, 699), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_lookup_matches_dict(self, scheme, keys, probes):
+        keys = sorted(keys)
+        reference = {k: k * 7 + 3 for k in keys}
+        table = create_hash_table(scheme, max(len(keys), 500), np.int64, np.int64)
+        if keys:
+            karr = np.array(keys, dtype=np.int64)
+            table.insert_batch(karr, karr * 7 + 3)
+        parr = np.array(probes, dtype=np.int64)
+        found, values = table.lookup_batch(parr)
+        for i, probe in enumerate(probes):
+            if probe in reference:
+                assert found[i]
+                assert values[i] == reference[probe]
+            else:
+                assert not found[i]
+
+    @given(keys=key_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_size_equals_distinct_inserts(self, scheme, keys):
+        table = create_hash_table(scheme, max(len(keys), 500), np.int64, np.int64)
+        if keys:
+            karr = np.array(sorted(keys), dtype=np.int64)
+            table.insert_batch(karr, karr)
+        assert table.size == len(keys)
+
+    @given(keys=key_sets(), split=st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_split_batches_equal_single_batch(self, scheme, keys, split):
+        keys = sorted(keys)
+        karr = np.array(keys, dtype=np.int64)
+        split = min(split, len(keys))
+        one = create_hash_table(scheme, max(len(keys), 500), np.int64, np.int64)
+        two = create_hash_table(scheme, max(len(keys), 500), np.int64, np.int64)
+        if len(karr):
+            one.insert_batch(karr, karr * 2)
+        if split:
+            two.insert_batch(karr[:split], karr[:split] * 2)
+        if len(karr) - split:
+            two.insert_batch(karr[split:], karr[split:] * 2)
+        probes = np.arange(500, dtype=np.int64)
+        found1, values1 = one.lookup_batch(probes)
+        found2, values2 = two.lookup_batch(probes)
+        assert np.array_equal(found1, found2)
+        assert np.array_equal(values1[found1], values2[found2])
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestStatsInvariants:
+    @given(keys=key_sets(), probes=st.lists(st.integers(0, 699), max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_counter_consistency(self, scheme, keys, probes):
+        table = create_hash_table(scheme, max(len(keys), 500), np.int64, np.int64)
+        if keys:
+            karr = np.array(sorted(keys), dtype=np.int64)
+            table.insert_batch(karr, karr)
+        parr = np.array(probes, dtype=np.int64)
+        found, _ = table.lookup_batch(parr)
+        stats = table.stats
+        assert stats.inserts == len(keys)
+        assert stats.lookups == len(probes)
+        assert stats.lookup_probes >= stats.lookups or not probes
+        assert stats.value_reads == int(found.sum())
+        assert stats.insert_probes >= stats.inserts

@@ -1,0 +1,80 @@
+"""Discrete-event simulator."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda s: fired.append("b"))
+        sim.schedule(1.0, lambda s: fired.append("a"))
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_ties_resolve_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(1.0, lambda s: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda s: times.append(s.now))
+        sim.schedule(1.5, lambda s: times.append(s.now))
+        end = sim.run()
+        assert times == [0.5, 1.5]
+        assert end == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda s: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(3.0, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == [3.0]
+
+
+class TestCascades:
+    def test_callbacks_can_schedule_followups(self):
+        sim = Simulator()
+        hops = []
+
+        def hop(s):
+            hops.append(s.now)
+            if len(hops) < 5:
+                s.schedule(1.0, hop)
+
+        sim.schedule(0.0, hop)
+        sim.run()
+        assert hops == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+
+        def tick(s):
+            fired.append(s.now)
+            s.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=2.5)
+        assert fired == [0.0, 1.0, 2.0]
+        assert sim.now == 2.5
+        assert sim.pending == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_returns_final_time_when_empty(self):
+        sim = Simulator()
+        assert sim.run() == 0.0

@@ -1,0 +1,82 @@
+"""Shared-resource throughput solver (max-min fair waterfilling)."""
+
+import pytest
+
+from repro.sim.resources import solo_rate, solve_concurrent_rates
+
+
+class TestSoloRate:
+    def test_bottleneck_resource_determines_rate(self):
+        assert solo_rate({"a": 0.5, "b": 0.25}) == pytest.approx(2.0)
+
+    def test_no_demands_is_infinite(self):
+        assert solo_rate({}) == float("inf")
+
+    def test_zero_occupancy_is_infinite(self):
+        assert solo_rate({"a": 0.0}) == float("inf")
+
+
+class TestSolver:
+    def test_disjoint_workers_keep_solo_rates(self):
+        rates = solve_concurrent_rates(
+            {"w1": {"a": 0.5}, "w2": {"b": 0.25}}
+        )
+        assert rates["w1"] == pytest.approx(2.0)
+        assert rates["w2"] == pytest.approx(4.0)
+
+    def test_shared_resource_splits_capacity(self):
+        # Two identical workers on one resource: each gets half.
+        rates = solve_concurrent_rates(
+            {"w1": {"shared": 1.0}, "w2": {"shared": 1.0}}
+        )
+        assert rates["w1"] == pytest.approx(0.5)
+        assert rates["w2"] == pytest.approx(0.5)
+
+    def test_total_capacity_is_respected(self):
+        demands = {
+            "w1": {"shared": 0.4, "own1": 0.2},
+            "w2": {"shared": 0.1, "own2": 0.5},
+        }
+        rates = solve_concurrent_rates(demands)
+        load = sum(
+            rates[w] * demands[w].get("shared", 0.0) for w in demands
+        )
+        assert load <= 1.0 + 1e-6
+
+    def test_asymmetric_demands_scale_proportionally(self):
+        # w1 consumes twice the shared capacity per unit.
+        rates = solve_concurrent_rates(
+            {"w1": {"shared": 2.0}, "w2": {"shared": 1.0}}
+        )
+        # Proportional scaling preserves the solo-rate ratio (1:2).
+        assert rates["w2"] / rates["w1"] == pytest.approx(2.0)
+        assert 2 * rates["w1"] + rates["w2"] == pytest.approx(1.0)
+
+    def test_uncontended_worker_unaffected(self):
+        rates = solve_concurrent_rates(
+            {
+                "fast": {"own": 0.001},
+                "a": {"shared": 1.0},
+                "b": {"shared": 1.0},
+            }
+        )
+        assert rates["fast"] == pytest.approx(1000.0)
+
+    def test_infinite_workers_pass_through(self):
+        rates = solve_concurrent_rates({"free": {}})
+        assert rates["free"] == float("inf")
+
+    def test_three_way_contention(self):
+        rates = solve_concurrent_rates(
+            {f"w{i}": {"shared": 1.0} for i in range(3)}
+        )
+        for rate in rates.values():
+            assert rate == pytest.approx(1.0 / 3.0)
+
+    def test_feasible_input_unchanged(self):
+        demands = {"w1": {"a": 0.5}, "w2": {"a": 0.2}}
+        rates = solve_concurrent_rates(demands)
+        # w1 solo 2.0, w2 solo 5.0 -> load = 2.0*0.5 + 5.0*0.2 = 2.0 > 1
+        # so this IS contended; check the solved rates are feasible.
+        load = rates["w1"] * 0.5 + rates["w2"] * 0.2
+        assert load <= 1.0 + 1e-6

@@ -1,0 +1,51 @@
+"""Execution timelines."""
+
+import pytest
+
+from repro.sim.trace import Span, Timeline
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(worker="gpu0", label="probe", start=1.0, end=3.0)
+        assert span.duration == 2.0
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ValueError):
+            Span(worker="x", label="y", start=2.0, end=1.0)
+
+
+class TestTimeline:
+    @pytest.fixture
+    def timeline(self):
+        t = Timeline()
+        t.record("cpu0", "probe", 0.0, 2.0, units=100)
+        t.record("gpu0", "probe", 0.0, 1.0, units=400)
+        t.record("gpu0", "probe", 1.0, 1.5, units=200)
+        return t
+
+    def test_by_worker(self, timeline):
+        by = timeline.by_worker()
+        assert len(by["cpu0"]) == 1
+        assert len(by["gpu0"]) == 2
+
+    def test_busy_time(self, timeline):
+        assert timeline.busy_time("gpu0") == pytest.approx(1.5)
+        assert timeline.busy_time("cpu0") == pytest.approx(2.0)
+
+    def test_units_processed(self, timeline):
+        assert timeline.units_processed("gpu0") == 600
+        assert timeline.units_processed("nobody") == 0
+
+    def test_makespan(self, timeline):
+        assert timeline.makespan() == pytest.approx(2.0)
+
+    def test_idle_tail_measures_skew(self, timeline):
+        # gpu0 finished at 1.5, the join finished at 2.0.
+        assert timeline.idle_tail("gpu0") == pytest.approx(0.5)
+        assert timeline.idle_tail("cpu0") == pytest.approx(0.0)
+
+    def test_empty_timeline(self):
+        t = Timeline()
+        assert t.makespan() == 0.0
+        assert t.idle_tail("anyone") == 0.0

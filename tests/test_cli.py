@@ -1,0 +1,53 @@
+"""The command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.machine == "ibm"
+        assert args.workload == "a"
+        assert args.placement == "gpu"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ibm-ac922" in out
+        assert "intel-xeon-v100" in out
+        assert "nvlink2" in out and "pcie3" in out
+
+    def test_figure_by_number(self, capsys):
+        assert main(["figure", "18"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 18" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_join_command(self, capsys):
+        code = main([
+            "join", "--workload", "a", "--placement", "gpu",
+            "--scale", str(2.0**-14),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "G Tuples/s" in out
+
+    def test_join_on_intel(self, capsys):
+        code = main([
+            "join", "--machine", "intel", "--method", "zero_copy",
+            "--scale", str(2.0**-14),
+        ])
+        assert code == 0
+        assert "intel-xeon-v100" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.bench.common import FigureResult
+from repro.utils.ascii_chart import bar, bar_chart, figure_chart, grouped_bar_chart
+
+
+class TestBar:
+    def test_full_scale(self):
+        assert bar(10, 10, width=8) == "████████"
+
+    def test_half_scale(self):
+        assert bar(5, 10, width=8) == "████"
+
+    def test_rounding_half_cell(self):
+        assert bar(10, 16, width=4) == "██▌"
+
+    def test_zero_maximum(self):
+        assert bar(1, 0) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar(-1, 10)
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        text = bar_chart({"coherence": 3.83, "pcie": 0.77}, title="Fig 12")
+        assert text.startswith("Fig 12")
+        assert "coherence" in text
+        assert "3.83" in text
+
+    def test_largest_bar_is_longest(self):
+        text = bar_chart({"big": 4.0, "small": 1.0}, width=20)
+        lines = text.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestGroupedChart:
+    def test_groups_by_row(self):
+        rows = [
+            {"label": "A", "x": 1.0, "y": 2.0},
+            {"label": "B", "x": 3.0},
+        ]
+        text = grouped_bar_chart(rows, "label", ["x", "y"])
+        assert "A" in text and "B" in text
+        assert text.count("x") >= 2
+
+    def test_no_values_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([{"label": "A"}], "label", ["x"])
+
+
+def test_figure_chart_from_result():
+    result = FigureResult(figure="Figure T", title="test")
+    result.add("r1", s1=1.0, s2=2.0)
+    result.add("r2", s1=3.0)
+    text = figure_chart(result)
+    assert "Figure T" in text
+    assert "r1" in text and "r2" in text
+    assert "█" in text

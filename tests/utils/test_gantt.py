@@ -1,0 +1,56 @@
+"""ASCII Gantt rendering."""
+
+import pytest
+
+from repro.sim.trace import Timeline
+from repro.utils.gantt import render_gantt
+
+
+def make_timeline():
+    t = Timeline()
+    t.record("cpu0", "probe", 0.0, 1.0, units=10)
+    t.record("gpu0", "probe", 0.0, 0.4, units=40)
+    t.record("gpu0", "probe", 0.5, 0.9, units=40)
+    return t
+
+
+class TestRenderGantt:
+    def test_one_lane_per_worker(self):
+        text = render_gantt(make_timeline(), width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 lanes
+        assert lines[1].startswith("cpu0")
+        assert lines[2].startswith("gpu0")
+
+    def test_busy_worker_fully_filled(self):
+        text = render_gantt(make_timeline(), width=20)
+        cpu_lane = text.splitlines()[1]
+        assert cpu_lane.count("▇") == 20
+
+    def test_idle_gap_rendered(self):
+        text = render_gantt(make_timeline(), width=20)
+        gpu_lane = text.splitlines()[2]
+        assert "·" in gpu_lane
+        assert "▇" in gpu_lane
+
+    def test_utilization_annotated(self):
+        text = render_gantt(make_timeline(), width=20)
+        assert "100%" in text  # cpu0
+        assert "80%" in text  # gpu0: 0.8s busy of 1.0s
+
+    def test_empty_timeline(self):
+        assert render_gantt(Timeline()) == "(empty timeline)"
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_gantt(make_timeline(), width=0)
+
+    def test_renders_real_coop_timeline(self, ibm, wl_a):
+        from repro.core.join.coop import CoopJoin
+
+        res = CoopJoin(ibm, strategy="het").run(
+            wl_a.r, wl_a.s, workers=("cpu0", "gpu0")
+        )
+        text = render_gantt(res.timeline)
+        assert "cpu0" in text and "gpu0" in text
+        assert "▇" in text

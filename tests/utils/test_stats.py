@@ -1,0 +1,86 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.stats import (
+    RunStats,
+    geometric_mean,
+    harmonic_mean,
+    mean,
+    standard_error,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_single_value(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStandardError:
+    def test_constant_series_has_zero_error(self):
+        assert standard_error([4.0, 4.0, 4.0]) == 0.0
+
+    def test_single_value_is_zero(self):
+        assert standard_error([3.0]) == 0.0
+
+    def test_known_value(self):
+        # sample std of [1, 3] is sqrt(2); stderr = sqrt(2)/sqrt(2) = 1
+        assert standard_error([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            standard_error([])
+
+
+class TestHarmonicMean:
+    def test_throughput_averaging(self):
+        # Two phases at 2 and 6 units/s -> harmonic mean 3.
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_never_exceeds_arithmetic_mean(self):
+        values = [1.0, 5.0, 9.0]
+        assert harmonic_mean(values) <= mean(values)
+
+
+class TestGeometricMean:
+    def test_speedup_averaging(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_identity(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+
+class TestRunStats:
+    def test_from_values(self):
+        stats = RunStats.from_values([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.n == 3
+        assert stats.stderr == pytest.approx(math.sqrt(1.0 / 3.0))
+
+    def test_relative_stderr(self):
+        stats = RunStats.from_values([10.0, 10.0, 10.0])
+        assert stats.relative_stderr == 0.0
+
+    def test_relative_stderr_zero_mean(self):
+        stats = RunStats(mean=0.0, stderr=1.0, n=2)
+        assert stats.relative_stderr == 0.0
+
+    def test_str(self):
+        assert "n=2" in str(RunStats.from_values([1.0, 2.0]))

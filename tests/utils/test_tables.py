@@ -1,0 +1,44 @@
+"""ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table
+
+
+def test_render_aligns_columns():
+    table = Table(["method", "throughput"])
+    table.add_row(["Coherence", 3.83])
+    table.add_row(["Zero-Copy", 3.81])
+    output = table.render()
+    lines = output.splitlines()
+    assert lines[0].startswith("method")
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_title_is_first_line():
+    table = Table(["a"], title="Figure 12")
+    table.add_row([1])
+    assert table.render().splitlines()[0] == "Figure 12"
+
+
+def test_float_formatting():
+    table = Table(["x"])
+    table.add_row([3.834567])
+    assert "3.83" in table.render()
+
+
+def test_row_arity_checked():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(ValueError):
+        Table([])
+
+
+def test_str_equals_render():
+    table = Table(["a"])
+    table.add_row(["x"])
+    assert str(table) == table.render()

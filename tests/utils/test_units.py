@@ -1,0 +1,72 @@
+"""Unit conversions and formatting."""
+
+import pytest
+
+from repro.utils.units import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    NS,
+    US,
+    format_bytes,
+    format_throughput,
+    format_time,
+    gb_per_s,
+    gib_per_s,
+)
+
+
+class TestByteUnits:
+    def test_binary_units_are_powers_of_1024(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIB == 1024**3
+
+    def test_decimal_gb_differs_from_binary_gib(self):
+        assert GB == 10**9
+        assert GIB > GB
+
+    def test_gib_per_s(self):
+        assert gib_per_s(1) == GIB
+        assert gib_per_s(63) == 63 * GIB
+
+    def test_gb_per_s(self):
+        assert gb_per_s(75) == 75 * 10**9
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert format_bytes(4 * KIB) == "4.0 KiB"
+
+    def test_gib(self):
+        assert format_bytes(32 * GIB) == "32.0 GiB"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_nanoseconds(self):
+        assert format_time(434 * NS) == "434 ns"
+
+    def test_microseconds(self):
+        assert format_time(20 * US) == "20.0 us"
+
+    def test_seconds(self):
+        assert format_time(1.5) == "1.50 s"
+
+    def test_zero(self):
+        assert format_time(0) == "0 s"
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            format_time(-0.1)
+
+
+def test_format_throughput_matches_paper_style():
+    assert format_throughput(3.83e9) == "3.83 G Tuples/s"

@@ -1,0 +1,92 @@
+"""Custom workloads from user arrays."""
+
+import numpy as np
+import pytest
+
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.workloads.custom import inspect_build_keys, make_join_workload
+
+
+class TestInspection:
+    def test_dense_unique_recommends_perfect(self):
+        rec = inspect_build_keys(np.random.default_rng(0).permutation(100))
+        assert rec.recommended == "perfect"
+        assert rec.dense and rec.unique
+
+    def test_sparse_unique_recommends_open_addressing(self):
+        rec = inspect_build_keys(np.array([1, 5, 1000], dtype=np.int64))
+        assert rec.recommended == "open_addressing"
+        assert not rec.dense and rec.unique
+
+    def test_duplicates_recommend_chaining(self):
+        rec = inspect_build_keys(np.array([1, 1, 2], dtype=np.int64))
+        assert rec.recommended == "chaining"
+        assert not rec.unique
+
+    def test_empty(self):
+        rec = inspect_build_keys(np.array([], dtype=np.int64))
+        assert rec.recommended == "open_addressing"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inspect_build_keys(np.array([-1, 2], dtype=np.int64))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            inspect_build_keys(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestMakeWorkload:
+    def test_roundtrip_through_join(self, ibm):
+        rng = np.random.default_rng(1)
+        r_keys = rng.permutation(500).astype(np.int64)
+        s_keys = rng.integers(0, 500, 5000).astype(np.int64)
+        workload, rec = make_join_workload(r_keys, s_keys)
+        join = NoPartitioningJoin(
+            ibm, hash_table_placement="gpu", hash_scheme=rec.recommended
+        )
+        res = join.run(workload.r, workload.s)
+        assert res.matches == 5000
+
+    def test_sparse_keys_work_with_recommended_scheme(self, ibm):
+        r_keys = (np.arange(300, dtype=np.int64) * 977 + 13)  # sparse
+        s_keys = np.repeat(r_keys, 3)
+        workload, rec = make_join_workload(r_keys, s_keys)
+        assert rec.recommended == "open_addressing"
+        join = NoPartitioningJoin(
+            ibm, hash_table_placement="gpu", hash_scheme=rec.recommended
+        )
+        res = join.run(workload.r, workload.s)
+        assert res.matches == len(s_keys)
+
+    def test_measured_selectivity(self):
+        workload, _ = make_join_workload(
+            np.arange(10, dtype=np.int64),
+            np.array([0, 1, 99, 98], dtype=np.int64),
+        )
+        assert workload.selectivity == pytest.approx(0.5)
+
+    def test_duplicate_build_keys_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            make_join_workload(
+                np.array([1, 1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+            )
+
+    def test_modeled_cardinalities(self):
+        workload, _ = make_join_workload(
+            np.arange(10, dtype=np.int64),
+            np.arange(10, dtype=np.int64),
+            modeled_r=10**6,
+            modeled_s=10**7,
+        )
+        assert workload.r.modeled_tuples == 10**6
+        assert workload.s.modeled_tuples == 10**7
+
+    def test_custom_payloads(self):
+        workload, _ = make_join_workload(
+            np.arange(4, dtype=np.int64),
+            np.arange(4, dtype=np.int64),
+            r_payload=np.full(4, 9, dtype=np.int64),
+        )
+        assert (workload.r.payload == 9).all()

@@ -1,0 +1,95 @@
+"""TPC-H lineitem generator for Q6."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tpch import (
+    BYTES_PER_ROW,
+    Q6_DISCOUNT_HI,
+    Q6_DISCOUNT_LO,
+    Q6_QUANTITY_LT,
+    Q6_SHIPDATE_HI,
+    Q6_SHIPDATE_LO,
+    ROWS_PER_SF,
+    SHIPDATE_DAYS,
+    lineitem_q6,
+)
+
+
+class TestSizes:
+    def test_modeled_rows_track_scale_factor(self):
+        wl = lineitem_q6(scale_factor=100, scale=2**-10)
+        assert wl.modeled_rows == 100 * ROWS_PER_SF
+
+    def test_working_set_matches_paper(self):
+        # SF 100 = 8.9 GiB, SF 1000 = 89.4 GiB (Section 7.2.4).
+        wl = lineitem_q6(scale_factor=100, scale=2**-10)
+        assert wl.modeled_bytes / 2**30 == pytest.approx(8.94, rel=0.01)
+        wl = lineitem_q6(scale_factor=1000, scale=2**-10)
+        assert wl.modeled_bytes / 2**30 == pytest.approx(89.4, rel=0.01)
+
+    def test_sixteen_bytes_per_row(self):
+        wl = lineitem_q6(scale_factor=1, scale=1.0)
+        total = sum(c.dtype.itemsize for c in wl.columns().values())
+        assert total == BYTES_PER_ROW
+
+    def test_model_factor(self):
+        wl = lineitem_q6(scale_factor=10, scale=2**-6)
+        assert wl.model_factor == pytest.approx(
+            wl.modeled_rows / wl.executed_rows
+        )
+
+
+class TestColumns:
+    @pytest.fixture(scope="class")
+    def wl(self):
+        return lineitem_q6(scale_factor=1, scale=2**-4)
+
+    def test_domains(self, wl):
+        assert wl.shipdate.min() >= 0
+        assert wl.shipdate.max() < SHIPDATE_DAYS
+        assert wl.quantity.min() >= 1
+        assert wl.quantity.max() <= 50
+        assert wl.discount.min() >= 0.0
+        assert wl.discount.max() <= 0.10 + 1e-6
+
+    def test_discount_is_percent_steps(self, wl):
+        cents = np.round(wl.discount * 100)
+        assert np.allclose(wl.discount, cents / 100, atol=1e-6)
+
+    def test_shipdates_are_clustered(self, wl):
+        # Sorted-with-jitter generation: a local window has a much
+        # narrower date range than the full column.
+        window = wl.shipdate[:1024]
+        assert window.max() - window.min() < SHIPDATE_DAYS / 3
+
+    def test_q6_selectivity_near_paper(self, wl):
+        qualifies = (
+            (wl.shipdate >= Q6_SHIPDATE_LO)
+            & (wl.shipdate < Q6_SHIPDATE_HI)
+            & (wl.discount >= Q6_DISCOUNT_LO - 1e-6)
+            & (wl.discount <= Q6_DISCOUNT_HI + 1e-6)
+            & (wl.quantity < Q6_QUANTITY_LT)
+        )
+        # ~1/7 x 3/11 x 23/50 = 1.8%; the paper reports ~1.3%.
+        assert 0.005 < qualifies.mean() < 0.035
+
+    def test_zero_jitter_is_sorted(self):
+        wl = lineitem_q6(scale_factor=1, scale=2**-6, shipdate_jitter_days=0)
+        assert np.all(np.diff(wl.shipdate) >= 0)
+
+
+class TestValidation:
+    def test_bad_scale_factor(self):
+        with pytest.raises(ValueError):
+            lineitem_q6(scale_factor=0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            lineitem_q6(scale_factor=1, scale=0)
+
+    def test_deterministic(self):
+        a = lineitem_q6(scale_factor=1, scale=2**-6, seed=9)
+        b = lineitem_q6(scale_factor=1, scale=2**-6, seed=9)
+        assert np.array_equal(a.shipdate, b.shipdate)
+        assert np.array_equal(a.extendedprice, b.extendedprice)
