@@ -1,0 +1,45 @@
+"""Domain-specific static analysis for the reproduction codebase.
+
+The simulator's fidelity rests on invariants that ordinary linters do
+not know about:
+
+* decimal GB/s and binary GiB/s must never be mixed (Figures 1-3 of the
+  paper distinguish electrical from measured bandwidths) — raw byte-size
+  and bandwidth literals must go through :mod:`repro.utils.units`;
+* the discrete-event simulator must stay deterministic — no unseeded
+  random sources or wall-clock reads in simulation code paths;
+* hot-path operators must stay vectorized — no per-element Python loops
+  over numpy arrays;
+* every mutation of a shared hash table must route through the batch
+  accessors and be priced with ``atomic_stream`` cost accounting
+  (Section 6: the Het strategy's shared table relies on system-wide
+  atomics).
+
+This package provides an AST-based framework (pass base class, finding
+model, per-file baseline suppression, text and JSON reporters) plus the
+four passes, runnable as ``python -m repro.analysis <paths>``.
+"""
+
+from repro.analysis.base import AnalysisPass, ModuleContext
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.passes import ALL_PASSES, get_passes
+from repro.analysis.reporters import SCHEMA_VERSION, render_json, render_text
+from repro.analysis.runner import AnalysisReport, analyze_paths, analyze_source
+
+__all__ = [
+    "ALL_PASSES",
+    "AnalysisPass",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "ModuleContext",
+    "SCHEMA_VERSION",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "get_passes",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 = clean (no unbaselined findings), 1 = findings,
+2 = usage or baseline error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+)
+from repro.analysis.passes import ALL_PASSES, get_passes
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Domain-specific static analysis: unit-safety, determinism, "
+            "vectorization, and simulated-coherence rules for the "
+            "reproduction codebase."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to scan")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings (default: "
+            f"{DEFAULT_BASELINE_NAME} found in the current directory or an "
+            "ancestor of the first path)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="NAME[,NAME...]",
+        help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="include baselined findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    return parser
+
+
+def find_default_baseline(paths: Sequence[str]) -> Optional[str]:
+    """Look for the baseline next to CWD or above the first target path."""
+    candidates: List[str] = [os.getcwd()]
+    if paths:
+        current = os.path.dirname(os.path.abspath(paths[0]))
+        while True:
+            candidates.append(current)
+            parent = os.path.dirname(current)
+            if parent == current:
+                break
+            current = parent
+    for directory in candidates:
+        candidate = os.path.join(directory, DEFAULT_BASELINE_NAME)
+        if os.path.isfile(candidate):
+            return candidate
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for analysis_pass in ALL_PASSES:
+            print(f"{analysis_pass.name}: {analysis_pass.description}")
+            print(f"    scope: {', '.join(analysis_pass.scope)}")
+        return 0
+
+    if not args.paths:
+        parser.error("at least one path is required (or use --list-rules)")
+
+    try:
+        passes = get_passes(args.rules.split(",") if args.rules else None)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or find_default_baseline(args.paths)
+        if args.baseline and not os.path.isfile(args.baseline):
+            print(f"error: baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        if baseline_path:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+
+    try:
+        report = analyze_paths(args.paths, passes=passes, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        output = render_text(report, show_baselined=args.show_baselined)
+        if output:
+            print(output)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

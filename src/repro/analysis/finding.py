@@ -1,0 +1,59 @@
+"""The finding/severity model shared by all analysis passes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; any unbaselined finding fails the run."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    ``context`` is the stripped source line the finding points at; the
+    baseline matches on (path, rule, context) so suppressions survive
+    unrelated edits that shift line numbers.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    context: str = ""
+    baselined: bool = False
+    suppression_reason: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable serialization consumed by the JSON reporter."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "context": self.context,
+            "baselined": self.baselined,
+            "suppression_reason": self.suppression_reason,
+        }
+
+    def __str__(self) -> str:
+        mark = " (baselined)" if self.baselined else ""
+        return f"{self.location}: {self.severity} [{self.rule}] {self.message}{mark}"

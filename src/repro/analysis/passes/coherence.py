@@ -1,0 +1,98 @@
+"""Simulated-coherence pass: shared hash-table mutation discipline.
+
+The Het strategy (Section 6) shares one mutable hash table between CPU
+and GPU workers; that is only sound on a cache-coherent interconnect
+with system-wide atomics, and the cost model prices every shared-table
+write through ``atomic_stream`` (with the contention penalty of
+Figure 21b).  NUMA hash-table experience shows unsynchronized shared
+writes silently corrupt results, so in the cooperative-join and
+scheduler modules this pass enforces:
+
+* no direct element stores into hash-table storage arrays
+  (``table.keys[slot] = ...``) — mutation goes through the batch
+  accessors (``insert_batch``), which keep the access counters the
+  cost model rescales;
+* any module that builds a table (``insert_batch``) must also account
+  for the build traffic with ``atomic_stream``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.analysis.base import AnalysisPass, ModuleContext, dotted_name
+from repro.analysis.finding import Finding, Severity
+
+#: Attribute names of hash-table storage arrays (SoA layout).
+_TABLE_ARRAYS = {"keys", "values", "heads", "next", "slots"}
+
+#: Variable names that denote a (possibly shared) hash table.
+_TABLE_NAME = re.compile(r"^(ht|table|hash_table|shared_table)\b")
+
+
+class SimulatedCoherencePass(AnalysisPass):
+    name = "simulated-coherence"
+    description = (
+        "shared hash-table mutations must go through the batch accessors "
+        "and atomic_stream cost accounting (Het strategy, Section 6)"
+    )
+    severity = Severity.ERROR
+    scope = ("core/join/coop", "core/scheduler/")
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        return list(self._iter_findings(ctx))
+
+    def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        accounts_atomics = ctx.module_references("atomic_stream")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and _is_table_storage(
+                        target.value
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "direct element store into shared hash-table "
+                            f"storage `{dotted_name(target.value)}[...]`; "
+                            "route the mutation through insert_batch so the "
+                            "atomic-access counters stay correct",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "insert_batch"
+                    and not accounts_atomics
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{dotted_name(func)}()` builds a hash table but "
+                        "this module never prices the build with "
+                        "`atomic_stream` — shared-table writes must be "
+                        "accounted as atomics (Section 6)",
+                    )
+
+
+def _is_table_storage(base: ast.AST) -> bool:
+    """True for ``<table>.keys`` chains or table-named subscript bases."""
+    if isinstance(base, ast.Attribute):
+        if base.attr in _TABLE_ARRAYS:
+            root = base.value
+            # self.keys[...] inside a hash-table class is the accessor
+            # implementation itself, not a bypass.
+            if isinstance(root, ast.Name) and root.id == "self":
+                return False
+            return True
+        return _TABLE_NAME.match(base.attr) is not None
+    if isinstance(base, ast.Name):
+        return _TABLE_NAME.match(base.id) is not None
+    return False

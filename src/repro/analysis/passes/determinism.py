@@ -1,0 +1,159 @@
+"""Determinism pass: unseeded randomness and wall-clock reads.
+
+The discrete-event simulator orders ties deterministically (events are
+``(time, seq)`` ordered) and the benchmarks assert figure *shapes*, so
+a hidden nondeterministic input — an unseeded generator, the legacy
+global numpy RNG, or a wall-clock read folded into virtual time —
+silently breaks reproducibility.  Inside simulation code paths every
+random source must take an explicit seed (or an injected
+``np.random.Generator``) and time must come from ``Simulator.now``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import AnalysisPass, ModuleContext, dotted_name
+from repro.analysis.finding import Finding, Severity
+
+#: Legacy module-level numpy RNG entry points (share hidden global state).
+_NUMPY_LEGACY = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "zipf",
+}
+
+#: ``random`` stdlib module-level functions (share the hidden global RNG).
+_STDLIB_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+    "gauss",
+    "betavariate",
+    "expovariate",
+}
+
+#: Wall-clock sources; simulated time must come from ``Simulator.now``.
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+}
+
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+class DeterminismPass(AnalysisPass):
+    name = "determinism"
+    description = (
+        "simulation code paths must not read unseeded randomness or the "
+        "wall clock (reproducible event ordering)"
+    )
+    severity = Severity.ERROR
+    scope = ("sim/", "costmodel/", "core/", "workloads/", "memory/")
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        return list(self._iter_findings(ctx))
+
+    def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imported_time_funcs = _from_imports(ctx, "time") & _TIME_FUNCS
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = dotted_name(func)
+            parts = name.split(".")
+            tail = parts[-1]
+
+            if tail == "default_rng" and _is_unseeded(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`{name}()` without a seed draws OS entropy; pass an "
+                    "explicit seed or accept an injected Generator",
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-2] == "random"
+                and parts[0] in ("np", "numpy")
+                and tail in _NUMPY_LEGACY
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"legacy global-state RNG `{name}()`; use a seeded "
+                    "`np.random.default_rng(seed)` Generator instead",
+                )
+            elif parts[0] == "random" and len(parts) == 2 and tail in _STDLIB_RANDOM:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"stdlib global RNG `{name}()`; use `random.Random(seed)` "
+                    "or a seeded numpy Generator",
+                )
+            elif parts[0] == "time" and len(parts) == 2 and tail in _TIME_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{name}()` in simulation code; derive "
+                    "time from `Simulator.now` (virtual time) instead",
+                )
+            elif isinstance(func, ast.Name) and func.id in imported_time_funcs:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{func.id}()` in simulation code; derive "
+                    "time from `Simulator.now` (virtual time) instead",
+                )
+            elif (
+                len(parts) >= 2
+                and parts[-2] in ("datetime", "date")
+                and tail in _DATETIME_FUNCS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read `{name}()` in simulation code; pass "
+                    "timestamps in explicitly",
+                )
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """default_rng() with no positional seed (or an explicit None)."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    for kw in call.keywords:
+        if kw.arg == "seed":
+            value = kw.value
+            return isinstance(value, ast.Constant) and value.value is None
+    return True
+
+
+def _from_imports(ctx: ModuleContext, module: str) -> "set[str]":
+    names = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names

@@ -1,0 +1,170 @@
+"""Unit-safety pass: raw byte/bandwidth/latency literals.
+
+The paper is explicit about decimal GB/s (electrical link bandwidths,
+Figure 2) versus binary GiB/s (measured bandwidths, Figures 1 and 3);
+:mod:`repro.utils.units` exists so every call site states which one it
+means.  This pass flags numeric literals that *look* like byte sizes,
+bandwidths, or latencies but bypass the units module:
+
+* ``pow2-bytes`` — power-of-two byte-size shapes: ``1 << 30``,
+  ``2**30``, ``1024**3``.  These are always clearer as ``GIB``-style
+  constants, so the shape alone is a finding.
+* ``big-float`` — scientific literals of bandwidth magnitude
+  (``900e9``) outside an arithmetic chain that references a unit name.
+* ``latency-literal`` — a float literal bound to a latency-like name
+  without ``NS``/``US``/``MS``.
+* ``bytes-literal`` — a large integer literal bound to a bytes-like
+  name (``page_bytes = 2 * 1024 * 1024``).
+
+Names that denote counts or rates rather than byte quantities
+(``clock_hz``, ``atomic_rate``, ``morsel_tuples``...) are allowlisted:
+tuple counts and per-second rates are not byte-unit quantities.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.analysis.base import AnalysisPass, ModuleContext
+from repro.analysis.finding import Finding, Severity
+
+#: Context names whose values are counts/rates/frequencies, not byte
+#: quantities — large literals under these names are legitimate.
+_ALLOWED_NAME = re.compile(
+    r"(rate|hz|clock|tuple|morsel|mlp|count|seed|exponent|iteration)",
+    re.IGNORECASE,
+)
+
+_LATENCY_NAME = re.compile(r"(latency|delay|_cost$|timeout)", re.IGNORECASE)
+_BYTES_NAME = re.compile(r"(bytes|bandwidth|_bw\b|\bbw_|capacity)", re.IGNORECASE)
+
+#: Smallest interesting power-of-two byte size: 1 MiB (shift 20).
+_MIN_SHIFT = 20
+#: Floats at or above this magnitude look like bandwidths in bytes/s.
+_BIG_FLOAT = 1e9
+#: Integers at or above this look like raw byte counts under byte names.
+_MIN_BYTES_LITERAL = 1024
+
+
+class UnitSafetyPass(AnalysisPass):
+    name = "unit-safety"
+    description = (
+        "byte sizes, bandwidths, and latencies must use repro.utils.units "
+        "constants (decimal GB vs binary GiB must stay distinguishable)"
+    )
+    severity = Severity.ERROR
+    scope = (
+        "costmodel/",
+        "hardware/",
+        "bench/",
+        "core/",
+        "memory/",
+        "transfer/",
+    )
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        return list(self._iter_findings(ctx))
+
+    def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp):
+                finding = self._check_pow2_shape(ctx, node)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, ast.Constant):
+                finding = self._check_literal(ctx, node)
+                if finding is not None:
+                    yield finding
+
+    # -- pow2-bytes ----------------------------------------------------
+    def _check_pow2_shape(self, ctx: ModuleContext, node: ast.BinOp) -> (
+        "Finding | None"
+    ):
+        shape = _pow2_byte_shape(node)
+        if shape is None:
+            return None
+        if self._allowlisted(ctx, node):
+            return None
+        return self.finding(
+            ctx,
+            node,
+            f"raw power-of-two byte size `{shape}`; use the "
+            "KIB/MIB/GIB/TIB constants from repro.utils.units",
+        )
+
+    # -- literal rules -------------------------------------------------
+    def _check_literal(self, ctx: ModuleContext, node: ast.Constant) -> (
+        "Finding | None"
+    ):
+        value = node.value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        parent = ctx.parent(node)
+        if isinstance(parent, ast.BinOp) and _pow2_byte_shape(parent) is not None:
+            return None  # the pow2-bytes rule owns this literal
+        if ctx.chain_uses_units(node):
+            return None
+        if self._allowlisted(ctx, node):
+            return None
+        nearest = ctx.nearest_name(node) or ""
+        if isinstance(value, float) and abs(value) >= _BIG_FLOAT:
+            return self.finding(
+                ctx,
+                node,
+                f"bandwidth-magnitude literal {value!r} without a unit "
+                "constant; write it as `N * GB` (decimal, electrical) or "
+                "`N * GIB` (binary, measured) from repro.utils.units",
+            )
+        if (
+            isinstance(value, float)
+            and value != 0.0
+            and _LATENCY_NAME.search(nearest)
+        ):
+            return self.finding(
+                ctx,
+                node,
+                f"latency literal {value!r} bound to {nearest!r} without a "
+                "time unit; write it as `N * NS/US/MS` from repro.utils.units",
+            )
+        if (
+            isinstance(value, int)
+            and value >= _MIN_BYTES_LITERAL
+            and _BYTES_NAME.search(nearest)
+        ):
+            return self.finding(
+                ctx,
+                node,
+                f"byte-count literal {value} bound to {nearest!r}; use the "
+                "KIB/MIB/GIB constants from repro.utils.units",
+            )
+        return None
+
+    def _allowlisted(self, ctx: ModuleContext, node: ast.AST) -> bool:
+        return any(_ALLOWED_NAME.search(name) for name in ctx.context_names(node))
+
+
+def _pow2_byte_shape(node: ast.BinOp) -> "str | None":
+    """Render ``1 << 30`` / ``2**30`` / ``1024**3`` shapes, else None."""
+    right = node.right
+    if not isinstance(right, ast.Constant) or not isinstance(right.value, int):
+        return None
+    if isinstance(node.op, ast.LShift):
+        left = node.left
+        if (
+            isinstance(left, ast.Constant)
+            and isinstance(left.value, int)
+            and right.value >= _MIN_SHIFT
+        ):
+            return f"{left.value} << {right.value}"
+        return None
+    if isinstance(node.op, ast.Pow):
+        left = node.left
+        if not isinstance(left, ast.Constant):
+            return None
+        if left.value == 2 and right.value >= _MIN_SHIFT:
+            return f"2**{right.value}"
+        if left.value == 1024 and right.value >= 2:
+            return f"1024**{right.value}"
+    return None

@@ -1,0 +1,94 @@
+"""Vectorization pass: per-element Python loops in hot-path modules.
+
+The functional layer executes joins on scaled-down relations, but its
+throughput still bounds how large the executed cardinality can be —
+and the cost model rescales *counters*, not wall time, so an O(n)
+Python loop turns a millisecond batch operation into seconds.  Hot-path
+operators (joins, hash tables, scan/selection kernels) must stay in
+numpy batch operations; this pass flags ``for`` loops that index arrays
+element-wise with the loop variable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set
+
+from repro.analysis.base import AnalysisPass, ModuleContext, dotted_name
+from repro.analysis.finding import Finding, Severity
+
+#: Loop variables that conventionally denote positional indices.
+_INDEX_VAR = re.compile(r"^(i|j|k|idx|ix|pos|p|q|row|col)\d*$")
+
+#: Iterator calls that yield positional indices.
+_INDEX_ITERS = {"range", "enumerate", "arange", "flatnonzero", "argsort"}
+
+
+class VectorizationPass(AnalysisPass):
+    name = "vectorization"
+    description = (
+        "hot-path operators must use numpy batch operations, not "
+        "per-element Python loops"
+    )
+    severity = Severity.WARNING
+    scope = ("core/join/", "core/hashtable/", "core/ops/")
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        return list(self._iter_findings(ctx))
+
+    def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            index_vars = self._index_vars(node)
+            if not index_vars:
+                continue
+            example = self._element_subscript(node, index_vars)
+            if example is None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"Python loop indexes arrays element-wise (`{example}`); "
+                "replace with a numpy batch operation or justify via the "
+                "baseline (e.g. a small fixed-fanout loop)",
+            )
+
+    def _index_vars(self, loop: ast.For) -> Set[str]:
+        """Loop variables that look like positional indices."""
+        targets = _loop_target_names(loop.target)
+        if not targets:
+            return set()
+        iterator = loop.iter
+        if isinstance(iterator, ast.Call):
+            func_tail = dotted_name(iterator.func).split(".")[-1]
+            if func_tail in _INDEX_ITERS:
+                # for i in range(...) / for i, x in enumerate(...)
+                return {targets[0]}
+        # for i in order: — rely on the index-like naming convention.
+        return {t for t in targets if _INDEX_VAR.match(t)}
+
+    def _element_subscript(
+        self, loop: ast.For, index_vars: Set[str]
+    ) -> "str | None":
+        """First ``arr[i]`` subscript by a bare index var in the body."""
+        for stmt in loop.body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Subscript):
+                    continue
+                index = node.slice
+                if isinstance(index, ast.Name) and index.id in index_vars:
+                    return f"{dotted_name(node.value)}[{index.id}]"
+        return None
+
+
+def _loop_target_names(target: ast.AST) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_loop_target_names(element))
+        return names
+    return []

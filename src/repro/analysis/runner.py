@@ -1,0 +1,98 @@
+"""File discovery and pass orchestration."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.analysis.base import AnalysisPass, ModuleContext
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.passes import ALL_PASSES
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    unused_baseline_entries: List[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def unbaselined(self) -> List[Finding]:
+        return [f for f in self.findings if not f.baselined]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0."""
+        return not self.unbaselined
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield .py files under the given files/directories, sorted."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        if not os.path.isdir(path):
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    passes: Optional[Sequence[AnalysisPass]] = None,
+) -> List[Finding]:
+    """Run passes over one in-memory module (test/fixture entry point)."""
+    active = list(ALL_PASSES) if passes is None else list(passes)
+    posix = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                severity=Severity.ERROR,
+                path=posix,
+                line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(posix, source, tree)
+    findings: List[Finding] = []
+    for analysis_pass in active:
+        findings.extend(analysis_pass.run(ctx))
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    passes: Optional[Sequence[AnalysisPass]] = None,
+    baseline: Optional[Baseline] = None,
+) -> AnalysisReport:
+    """Analyze files/trees, apply the baseline, and build a report."""
+    report = AnalysisReport()
+    for file_path in iter_python_files(paths):
+        report.files_scanned += 1
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        report.findings.extend(analyze_source(source, file_path, passes))
+    report.findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    if baseline is not None:
+        baseline.apply(report.findings)
+        report.unused_baseline_entries = baseline.unused_entries()
+    return report

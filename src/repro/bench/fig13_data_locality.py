@@ -31,7 +31,7 @@ LOCATIONS = {
 _SIZE_SCALES = {
     "A": 13 * GIB / (34 * GIB),
     "B": 12 * GIB / (32 * GIB),
-    "C": 10 * GIB / (16.0 * 1024**3),  # full C at 8-byte tuples is ~15.3 GiB
+    "C": 10 * GIB / (16.0 * GIB),  # full C at 8-byte tuples is ~15.3 GiB
 }
 
 

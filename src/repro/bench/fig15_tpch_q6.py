@@ -7,7 +7,6 @@ from CPU memory (nothing cached in GPU memory).
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.bench.common import FigureResult
 from repro.core.ops.q6 import TpchQ6

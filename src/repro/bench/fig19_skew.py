@@ -9,7 +9,7 @@ PCI-e 3.0, and the GPU over NVLink 2.0.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable
 
 from repro.bench.common import FigureResult
 from repro.core.join.nopa import NoPartitioningJoin

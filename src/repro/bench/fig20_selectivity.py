@@ -15,7 +15,6 @@ from typing import Iterable
 from repro.bench.common import FigureResult
 from repro.core.join.nopa import NoPartitioningJoin
 from repro.hardware.topology import ibm_ac922, intel_xeon_v100
-from repro.memory.allocator import OutOfMemoryError
 from repro.workloads.builders import workload_selectivity
 
 PAPER = {

@@ -8,7 +8,7 @@ build and probe phases of workload C.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.bench.common import FigureResult
 from repro.core.join.coop import CoopJoin

@@ -17,7 +17,7 @@ Anchors used (cheap to evaluate, covering distinct regimes):
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Tuple
+from typing import Dict
 
 from repro.bench.common import FigureResult
 from repro.core.join.nopa import NoPartitioningJoin

@@ -13,7 +13,7 @@ selectivity most value bytes are never loaded.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

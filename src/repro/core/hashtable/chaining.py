@@ -57,13 +57,25 @@ class ChainingHashTable(HashTableBase):
         buckets = bucket_of(keys, self.n_buckets)
         self.keys[rows] = keys
         self.values[rows] = values
-        # Sequentialize head swaps per bucket: process in order, each new
-        # entry points at the previous head of its bucket.
+        # Sequentialize head swaps per bucket, batch-wise: group entries
+        # by bucket (stable, so batch order is preserved within a group);
+        # the first entry of each group links to the bucket's old head,
+        # later entries link to their in-batch predecessor, and the last
+        # entry of each group becomes the new head.
         order = np.argsort(buckets, kind="stable")
-        for i in order:
-            b = buckets[i]
-            self.next[rows[i]] = self.heads[b]
-            self.heads[b] = rows[i]
+        sorted_buckets = buckets[order]
+        sorted_rows = rows[order]
+        starts = np.empty(n, dtype=bool)
+        starts[0] = True
+        np.not_equal(sorted_buckets[1:], sorted_buckets[:-1], out=starts[1:])
+        chain = np.empty(n, dtype=np.int64)
+        chain[starts] = self.heads[sorted_buckets[starts]]
+        chain[~starts] = sorted_rows[np.flatnonzero(~starts) - 1]
+        self.next[sorted_rows] = chain
+        lasts = np.empty(n, dtype=bool)
+        lasts[-1] = True
+        np.not_equal(sorted_buckets[1:], sorted_buckets[:-1], out=lasts[:-1])
+        self.heads[sorted_buckets[lasts]] = sorted_rows[lasts]
         self.size += n
         self.stats.inserts += n
         self.stats.insert_probes += n

@@ -14,13 +14,14 @@ though the executed table is tiny.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.hardware.memory import MemoryKind
 from repro.hardware.topology import Machine
 from repro.memory.allocator import Allocator, OutOfMemoryError
 from repro.memory.hybrid import HybridAllocation, allocate_hybrid
+from repro.utils.units import MIB
 
 
 @dataclass
@@ -72,7 +73,7 @@ def place_hash_table(
     gpu_name: str = "gpu0",
     cpu_memory: Optional[str] = None,
     allocator: Optional[Allocator] = None,
-    gpu_reserve: int = 512 << 20,
+    gpu_reserve: int = 512 * MIB,
     spill_kind: MemoryKind = MemoryKind.PAGEABLE,
 ) -> HashTablePlacement:
     """Compute a placement for ``table_bytes`` (modeled scale).

@@ -19,8 +19,8 @@ adds the end-of-input skew and batching effects of Section 6.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from repro.costmodel.access import (
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel
 from repro.core.hashtable import create_hash_table
-from repro.core.hashtable.placement import HashTablePlacement
 from repro.core.scheduler.batch import tune_batch_morsels
 from repro.core.scheduler.morsel import MorselDispatcher
 from repro.data.relation import Relation

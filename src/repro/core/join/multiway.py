@@ -35,6 +35,7 @@ from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.memory.allocator import OutOfMemoryError
 from repro.sim.resources import solve_concurrent_rates
+from repro.utils.units import MIB
 
 
 @dataclass(frozen=True)
@@ -85,7 +86,7 @@ class StarJoin:
         machine: Machine,
         calibration: Calibration = DEFAULT_CALIBRATION,
         hash_scheme: str = "perfect",
-        gpu_reserve: int = 512 << 20,
+        gpu_reserve: int = 512 * MIB,
     ) -> None:
         self.machine = machine
         self.calibration = calibration

@@ -17,7 +17,7 @@ cost model with the configured transfer method and hash-table placement:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -38,7 +38,8 @@ from repro.data.relation import Relation
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
-from repro.transfer.methods import TransferMethod, get_method
+from repro.transfer.methods import get_method
+from repro.utils.units import MIB
 
 #: coherence/cache-line granularity used for payload-column line skipping.
 LINE_BYTES = 128
@@ -146,7 +147,7 @@ class NoPartitioningJoin:
         transfer_method: str = "coherence",
         hash_scheme: str = "perfect",
         calibration: Calibration = DEFAULT_CALIBRATION,
-        gpu_reserve: int = 512 << 20,
+        gpu_reserve: int = 512 * MIB,
         gpu_name: str = "gpu0",
         layout: str = "soa",
         output: str = "aggregate",

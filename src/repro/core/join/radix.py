@@ -20,7 +20,7 @@ The cost model prices:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.costmodel.model import CostModel, PhaseCost
 from repro.data.relation import Relation
 from repro.hardware.processor import Cpu
 from repro.hardware.topology import Machine
+from repro.utils.units import GIB
 
 
 @dataclass
@@ -141,7 +142,7 @@ class RadixJoin:
         proc = self.machine.processor(processor)
         memory = proc.local_memory
         partition_bw = self.calibration.partition_bandwidth.get(
-            proc.spec.name, 10 * 2**30
+            proc.spec.name, 10 * GIB
         )
         factor = min(1.0, partition_bw / memory.spec.seq_bw)
         total_bytes = r.modeled_bytes + s.modeled_bytes

@@ -15,7 +15,7 @@ Two kernel variants (Section 7.2.4):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -17,10 +17,10 @@ can auto-pick a strategy from workload statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from repro.hardware.processor import Cpu, Gpu
+from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
+from repro.utils.units import MIB
 
 
 @dataclass(frozen=True)
@@ -40,7 +40,7 @@ def decide_placement(
     hash_table_bytes: int,
     gpu_name: str = "gpu0",
     fast_cpu: bool = True,
-    gpu_reserve: int = 512 << 20,
+    gpu_reserve: int = 512 * MIB,
 ) -> PlacementDecision:
     """Walk the Figure 11 tree for one join.
 

@@ -15,7 +15,7 @@ of Figures 15 and 20 possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
 import numpy as np

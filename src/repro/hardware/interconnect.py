@@ -8,7 +8,7 @@ pattern and access size, applying the packet-overhead model of Section 2.2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.specs import LinkSpec
 

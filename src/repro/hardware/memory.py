@@ -13,7 +13,7 @@ memory directly from the GPU.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.specs import MemorySpec
 

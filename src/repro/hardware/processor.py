@@ -14,7 +14,7 @@ cost model consumes are:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hardware.cache import CacheModel

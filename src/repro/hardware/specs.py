@@ -18,10 +18,10 @@ The specs are *immutable descriptions*.  Behavioural models live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
-from repro.utils.units import GIB, GB, KIB, MIB, NS
+from repro.utils.units import GIB, GB, KIB, MIB, NS, US
 
 
 @dataclass(frozen=True)
@@ -167,7 +167,7 @@ class GpuSpec:
     l1_per_sm: CacheSpec
     copy_engines: int
     atomic_rate_local: float
-    kernel_launch_latency: float = 10e-6
+    kernel_launch_latency: float = 10 * US
     tuple_rate: float = 40e9
 
     @property

@@ -12,7 +12,7 @@ in O(1) for the common two-segment layout and O(log n) in general.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 

@@ -13,7 +13,7 @@ for them to do so.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hardware.memory import MemoryKind, MemoryRegion

@@ -18,12 +18,12 @@ Section 6.3: pages interleaved round-robin over all GPU memories.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.hardware.memory import MemoryKind
-from repro.hardware.topology import Machine
 from repro.memory.address_space import AddressSpace
 from repro.memory.allocator import Allocation, Allocator, OutOfMemoryError
+from repro.utils.units import MIB
 
 
 @dataclass
@@ -120,7 +120,7 @@ def allocate_interleaved(
     allocator: Allocator,
     gpu_names: Sequence[str],
     nbytes: int,
-    page_bytes: int = 2 * 1024 * 1024,
+    page_bytes: int = 2 * MIB,
     label: str = "interleaved",
 ) -> HybridAllocation:
     """Interleave pages over several GPUs' memories (Section 6.3).

@@ -10,7 +10,7 @@ columns for the functional layer and convert to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 import numpy as np

@@ -16,8 +16,7 @@ numbers behind the calibration constants are Figure 12's measurements.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Type
+from typing import Dict, List
 
 from repro.costmodel.access import Stream, seq_stream
 from repro.costmodel.calibration import Calibration

@@ -7,7 +7,7 @@ rough ASCII version of each reproduced figure next to its table so the
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 _BAR = "█"
 _HALF = "▌"

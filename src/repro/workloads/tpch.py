@@ -23,8 +23,8 @@ Four 4-byte columns give 16 bytes/row: SF100 = 8.9 GiB, SF1000 =
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 

@@ -16,6 +16,11 @@ import numpy as np
 
 from repro.hardware.cache import HotSetProfile
 
+#: Seed of the fallback generator when no ``rng`` is injected.  A fixed
+#: seed keeps default sampling reproducible run-to-run; callers that
+#: want independent draws pass their own Generator.
+DEFAULT_SEED = 0
+
 
 def zipf_ranks(
     n_items: int,
@@ -34,7 +39,7 @@ def zipf_ranks(
         raise ValueError(f"Zipf exponent must be non-negative, got {exponent}")
     if size < 0:
         raise ValueError(f"sample size must be non-negative, got {size}")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(DEFAULT_SEED)
     if exponent == 0:
         return rng.integers(0, n_items, size=size, dtype=np.int64)
     weights = 1.0 / np.power(np.arange(1, n_items + 1, dtype=np.float64), exponent)

@@ -1,0 +1,24 @@
+"""Shared helpers for the static-analysis tests."""
+
+import os
+
+import pytest
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+
+@pytest.fixture
+def fixtures_dir() -> str:
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root() -> str:
+    return REPO_ROOT
+
+
+def fixture_path(*parts: str) -> str:
+    return os.path.join(FIXTURES, *parts)

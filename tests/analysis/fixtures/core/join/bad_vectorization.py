@@ -1,0 +1,17 @@
+"""Fixture: vectorization violations (both loops must trigger)."""
+
+import numpy as np
+
+
+def add_elementwise(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    out = np.empty_like(a)
+    for i in range(len(a)):  # range loop indexing arrays per element
+        out[i] = a[i] + b[i]
+    return out
+
+
+def gather(order: np.ndarray, values: np.ndarray) -> list:
+    result = []
+    for i in order:  # index-named loop var over positions
+        result.append(values[i])
+    return result

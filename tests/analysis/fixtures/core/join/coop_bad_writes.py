@@ -1,0 +1,16 @@
+"""Fixture: simulated-coherence violations (both statements must trigger).
+
+The module name mirrors ``core/join/coop`` so the pass scopes onto it;
+it deliberately never references ``atomic_stream``.
+"""
+
+
+def corrupt_shared_table(table, slot, key, value):
+    table.keys[slot] = key  # direct store into shared table storage
+    table.values[slot] += value  # augmented store into table storage
+    return table
+
+
+def unaccounted_build(table, keys, values):
+    table.insert_batch(keys, values)  # build without atomic_stream pricing
+    return table

@@ -1,0 +1,26 @@
+"""Fixture: disciplined shared-table use that must NOT trigger.
+
+Mirrors ``core/join/coop``: the build goes through the batch accessor
+and the module prices it with ``atomic_stream``.
+"""
+
+from repro.costmodel.access import atomic_stream
+
+
+def priced_build(table, relation, worker, region):
+    table.insert_batch(relation.key, relation.payload)
+    return atomic_stream(
+        worker,
+        region,
+        relation.modeled_tuples,
+        table.entry_bytes,
+        working_set_bytes=table.table_bytes,
+        label="ht insert",
+    )
+
+
+def read_only_probe(table, keys):
+    found, values = table.lookup_batch(keys)  # probes don't mutate
+    shares = {}
+    shares["gpu0"] = float(found.sum())  # plain dict stores are fine
+    return found, values, shares

@@ -1,0 +1,21 @@
+"""Fixture: batch-style code that must NOT trigger vectorization."""
+
+import numpy as np
+
+
+def add_batch(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a + b  # numpy batch operation
+
+
+def per_worker(rates: dict, workers: tuple) -> dict:
+    shares = {}
+    for worker in workers:  # dict access by key, not positional indexing
+        shares[worker] = rates[worker]
+    return shares
+
+
+def masked(values: np.ndarray, masks: list) -> np.ndarray:
+    combined = masks[0]
+    for mask in masks[1:]:  # iterates values, never indexes by loop var
+        combined = combined & mask
+    return values[combined]

@@ -1,0 +1,6 @@
+"""Fixture: scheduler-scope coherence violation (must trigger once)."""
+
+
+def steal_slot(shared_table, slot, row):
+    shared_table[slot] = row  # table-named subscript store
+    return shared_table

@@ -1,0 +1,13 @@
+"""Fixture: unit-safety violations (every statement below must trigger)."""
+
+LINK_BANDWIDTH = 900e9  # big-float: bandwidth magnitude, no unit constant
+
+STAGING_BUFFER = 1 << 30  # pow2-bytes: shift shape
+
+SPILL_REGION = 2**30  # pow2-bytes: power-of-two shape
+
+GPU_CAPACITY = 16 * 1024**3  # pow2-bytes: 1024-power shape
+
+page_fault_latency = 5e-6  # latency-literal: latency name without NS/US/MS
+
+slab_bytes = 4 * 4096  # bytes-literal: bytes name with raw integer

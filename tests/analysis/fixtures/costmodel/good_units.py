@@ -1,0 +1,17 @@
+"""Fixture: unit-safe code that must NOT trigger unit-safety."""
+
+from repro.utils.units import GB, GIB, MIB, US
+
+LINK_BANDWIDTH = 75 * GB  # decimal GB/s: electrical bandwidth
+MEASURED_BANDWIDTH = 63 * GIB  # binary GiB/s: measured bandwidth
+STAGING_BUFFER = 512 * MIB
+page_fault_latency = 5 * US
+
+clock_hz = 3.3e9  # frequency, not a byte bandwidth (allowlisted name)
+atomic_rate = 1.7e9  # accesses/s, not bytes/s (allowlisted name)
+tuple_rate = 40e9  # tuples/s (allowlisted name)
+
+
+def dispatch(morsel_tuples: int = 1 << 22) -> int:
+    """Tuple counts are not byte quantities."""
+    return morsel_tuples

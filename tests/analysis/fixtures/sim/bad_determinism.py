@@ -1,0 +1,20 @@
+"""Fixture: determinism violations (every statement below must trigger)."""
+
+import random
+import time
+from time import perf_counter
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()  # unseeded: draws OS entropy
+    legacy = np.random.rand(4)  # legacy global-state RNG
+    stdlib = random.random()  # stdlib global RNG
+    return rng, legacy, stdlib
+
+
+def now():
+    wall = time.time()  # wall clock in simulation code
+    tick = perf_counter()  # imported wall-clock function
+    return wall, tick

@@ -1,0 +1,14 @@
+"""Fixture: deterministic code that must NOT trigger determinism."""
+
+import numpy as np
+
+
+def sample(seed: int, rng=None):
+    generator = rng or np.random.default_rng(seed)
+    keyword = np.random.default_rng(seed=seed)
+    draws = generator.random(8)  # Generator methods are fine
+    return generator, keyword, draws
+
+
+def virtual_now(simulator):
+    return simulator.now  # virtual time, not the wall clock

@@ -1,0 +1,137 @@
+"""Baseline suppression: matching, budgets, and schema validation."""
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, analyze_paths, get_passes
+
+from tests.analysis.conftest import fixture_path
+
+BAD_UNITS = fixture_path("costmodel", "bad_units.py")
+
+
+def _baseline(entries):
+    return Baseline.from_dict({"version": 1, "suppressions": entries})
+
+
+def test_matching_entry_suppresses_finding():
+    baseline = _baseline(
+        [
+            {
+                "path": "costmodel/bad_units.py",
+                "rule": "unit-safety",
+                "context": ("LINK_BANDWIDTH = 900e9  # big-float: bandwidth magnitude, no unit constant"),
+                "reason": "fixture: kept raw on purpose",
+            }
+        ]
+    )
+    report = analyze_paths(
+        [BAD_UNITS], passes=get_passes(["unit-safety"]), baseline=baseline
+    )
+    baselined = [f for f in report.findings if f.baselined]
+    assert len(baselined) == 1
+    assert baselined[0].context.startswith("LINK_BANDWIDTH = 900e9")
+    assert baselined[0].suppression_reason == "fixture: kept raw on purpose"
+    assert len(report.unbaselined) == len(report.findings) - 1
+    assert baseline.unused_entries() == []
+
+
+def test_count_budget_limits_suppressions():
+    entry = {
+        "path": "costmodel/bad_units.py",
+        "rule": "unit-safety",
+        "context": ("LINK_BANDWIDTH = 900e9  # big-float: bandwidth magnitude, no unit constant"),
+        "reason": "budget of one",
+        "count": 1,
+    }
+    baseline = _baseline([entry])
+    report = analyze_paths(
+        [BAD_UNITS], passes=get_passes(["unit-safety"]), baseline=baseline
+    )
+    assert sum(f.baselined for f in report.findings) == 1
+    assert baseline.entries[0].used == 1
+    # A second matching finding would exceed the budget.
+    assert not baseline.entries[0].matches(report.findings[0])
+
+
+def test_unused_entry_is_reported_stale():
+    baseline = _baseline(
+        [
+            {
+                "path": "costmodel/bad_units.py",
+                "rule": "unit-safety",
+                "context": "THIS_LINE_DOES_NOT_EXIST = 1",
+                "reason": "stale on purpose",
+            }
+        ]
+    )
+    report = analyze_paths(
+        [BAD_UNITS], passes=get_passes(["unit-safety"]), baseline=baseline
+    )
+    assert len(report.unused_baseline_entries) == 1
+    assert all(not f.baselined for f in report.findings)
+
+
+def test_missing_reason_rejected():
+    with pytest.raises(BaselineError, match="reason"):
+        _baseline(
+            [
+                {
+                    "path": "x.py",
+                    "rule": "unit-safety",
+                    "context": "X = 1",
+                    "reason": "",
+                }
+            ]
+        )
+
+
+def test_wrong_version_rejected():
+    with pytest.raises(BaselineError, match="version"):
+        Baseline.from_dict({"version": 99, "suppressions": []})
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(BaselineError, match="unknown field"):
+        _baseline(
+            [
+                {
+                    "path": "x.py",
+                    "rule": "unit-safety",
+                    "context": "X = 1",
+                    "reason": "ok",
+                    "line": 12,
+                }
+            ]
+        )
+
+
+def test_bad_count_rejected():
+    with pytest.raises(BaselineError, match="count"):
+        _baseline(
+            [
+                {
+                    "path": "x.py",
+                    "rule": "unit-safety",
+                    "context": "X = 1",
+                    "reason": "ok",
+                    "count": 0,
+                }
+            ]
+        )
+
+
+def test_rule_mismatch_does_not_match():
+    baseline = _baseline(
+        [
+            {
+                "path": "costmodel/bad_units.py",
+                "rule": "determinism",
+                "context": ("LINK_BANDWIDTH = 900e9  # big-float: bandwidth magnitude, no unit constant"),
+                "reason": "wrong rule on purpose",
+            }
+        ]
+    )
+    report = analyze_paths(
+        [BAD_UNITS], passes=get_passes(["unit-safety"]), baseline=baseline
+    )
+    assert all(not f.baselined for f in report.findings)

@@ -1,0 +1,99 @@
+"""Each rule must fire on its bad fixture and stay silent on the good one.
+
+The acceptance bar for the analyzer: deliberately-seeded violations
+under ``tests/analysis/fixtures/`` are each detected by their pass, and
+idiomatic code in the same scope produces zero findings.
+"""
+
+import pytest
+
+from repro.analysis import analyze_paths, get_passes
+from repro.analysis.passes import ALL_PASSES
+from repro.analysis.runner import analyze_source
+
+from tests.analysis.conftest import fixture_path
+
+BAD_FIXTURES = {
+    "unit-safety": (fixture_path("costmodel", "bad_units.py"), 6),
+    "determinism": (fixture_path("sim", "bad_determinism.py"), 5),
+    "vectorization": (fixture_path("core", "join", "bad_vectorization.py"), 2),
+    "simulated-coherence": (
+        fixture_path("core", "join", "coop_bad_writes.py"),
+        3,
+    ),
+}
+
+GOOD_FIXTURES = {
+    "unit-safety": fixture_path("costmodel", "good_units.py"),
+    "determinism": fixture_path("sim", "good_determinism.py"),
+    "vectorization": fixture_path("core", "join", "good_vectorization.py"),
+    "simulated-coherence": fixture_path(
+        "core", "join", "coop_good_accessors.py"
+    ),
+}
+
+
+@pytest.mark.parametrize("rule", sorted(BAD_FIXTURES))
+def test_bad_fixture_triggers_rule(rule):
+    path, expected = BAD_FIXTURES[rule]
+    report = analyze_paths([path], passes=get_passes([rule]))
+    assert len(report.findings) == expected, [str(f) for f in report.findings]
+    assert all(f.rule == rule for f in report.findings)
+    assert all(not f.baselined for f in report.findings)
+
+
+@pytest.mark.parametrize("rule", sorted(GOOD_FIXTURES))
+def test_good_fixture_is_clean(rule):
+    report = analyze_paths([GOOD_FIXTURES[rule]], passes=get_passes([rule]))
+    assert report.findings == [], [str(f) for f in report.findings]
+
+
+def test_scheduler_scope_write_triggers_coherence():
+    path = fixture_path("core", "scheduler", "bad_dispatch_write.py")
+    report = analyze_paths([path], passes=get_passes(["simulated-coherence"]))
+    assert len(report.findings) == 1
+    assert "shared_table" in report.findings[0].message
+
+
+def test_fixture_tree_total_counts():
+    """Running every pass over the whole fixture tree finds exactly the
+    seeded violations — nothing more (no cross-rule false positives)."""
+    report = analyze_paths([fixture_path()])
+    by_rule = {}
+    for finding in report.findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    assert by_rule == {
+        "unit-safety": 6,
+        "determinism": 5,
+        "vectorization": 2,
+        "simulated-coherence": 4,
+    }
+
+
+def test_out_of_scope_module_is_ignored():
+    source = "LINK_BANDWIDTH = 900e9\n"
+    findings = analyze_source(source, path="src/repro/utils/whatever.py")
+    assert findings == []
+
+
+def test_syntax_error_becomes_finding():
+    findings = analyze_source("def broken(:\n", path="src/repro/core/x.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "syntax-error"
+
+
+def test_unknown_rule_selection_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        get_passes(["no-such-rule"])
+
+
+def test_rule_registry_is_stable():
+    assert [p.name for p in ALL_PASSES] == [
+        "unit-safety",
+        "determinism",
+        "vectorization",
+        "simulated-coherence",
+    ]
+    for p in ALL_PASSES:
+        assert p.description
+        assert p.scope

@@ -1,0 +1,47 @@
+"""Tier-1 gate: the shipped source tree passes its own static analysis.
+
+This is the enforcement point for the paper-derived invariants: raw
+bandwidth/size literals, unseeded randomness, per-tuple Python loops in
+join inner paths, and unpriced shared-table writes may not re-enter
+``src/`` without either a fix or a justified baseline entry.
+"""
+
+import os
+
+from repro.analysis import Baseline, analyze_paths
+
+from tests.analysis.conftest import REPO_ROOT
+
+BASELINE_PATH = os.path.join(REPO_ROOT, "analysis-baseline.json")
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def test_src_tree_has_no_unbaselined_findings():
+    baseline = Baseline.load(BASELINE_PATH)
+    report = analyze_paths([SRC], baseline=baseline)
+    assert report.files_scanned > 50, "scan should cover the whole src tree"
+    offenders = [str(f) for f in report.unbaselined]
+    assert offenders == [], "\n".join(
+        ["src/ has unbaselined findings — fix them or add a justified",
+         "baseline entry to analysis-baseline.json:"] + offenders
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    baseline = Baseline.load(BASELINE_PATH)
+    analyze_paths([SRC], baseline=baseline)
+    stale = [f"{e.path} [{e.rule}] {e.context!r}" for e in baseline.unused_entries()]
+    assert stale == [], "\n".join(
+        ["analysis-baseline.json has entries matching nothing — delete:"]
+        + stale
+    )
+
+
+def test_every_baseline_entry_is_justified():
+    baseline = Baseline.load(BASELINE_PATH)
+    for entry in baseline.entries:
+        assert entry.reason.strip(), f"{entry.path}: empty reason"
+        assert len(entry.reason.strip()) >= 15, (
+            f"{entry.path}: reason too thin to justify a suppression: "
+            f"{entry.reason!r}"
+        )
