@@ -14,6 +14,7 @@ from repro.memory.allocator import OutOfMemoryError
 
 def spilling_join(machine, workload, method):
     """GPU placement while the table fits, whole-table spill after."""
+    workload = workload.placed_for(method)
     try:
         join = repro.NoPartitioningJoin(
             machine, hash_table_placement="gpu", transfer_method=method

@@ -51,9 +51,11 @@ def main() -> None:
     cpu = repro.RadixJoin(machine).run(workload.r, workload.s)
     print(f"\nCPU radix baseline: {cpu.throughput_gtuples:.2f} G Tuples/s")
     intel = repro.intel_xeon_v100()
+    # Zero-copy needs pinned source memory (Table 1) — reallocate.
+    pinned = workload.placed_for("zero_copy")
     pcie = repro.NoPartitioningJoin(
         intel, hash_table_placement="gpu", transfer_method="zero_copy"
-    ).run(workload.r, workload.s)
+    ).run(pinned.r, pinned.s)
     print(f"PCI-e 3.0 zero-copy: {pcie.throughput_gtuples:.2f} G Tuples/s")
     print(f"NVLink speedup over PCI-e: "
           f"{result.throughput_gtuples / pcie.throughput_gtuples:.1f}x")

@@ -63,7 +63,7 @@ def cmd_info(_args) -> int:
 def cmd_figures(_args) -> int:
     from repro.bench import run_all
 
-    run_all.main()
+    run_all.main([])
     return 0
 
 
@@ -90,6 +90,8 @@ def cmd_join(args) -> int:
         "c": repro.workload_c,
     }
     workload = builders[args.workload](scale=args.scale)
+    # Allocate the relations as the chosen transfer method requires.
+    workload = workload.placed_for(args.method)
     join = repro.NoPartitioningJoin(
         machine,
         hash_table_placement=args.placement,

@@ -15,7 +15,9 @@ Everything here is re-exported lazily from ``repro`` itself::
 from repro.core.join.coop import CoopJoin, CoopResult
 from repro.core.join.multigpu import MultiGpuJoin, MultiGpuResult
 from repro.core.join.multiway import Dimension, StarJoin, StarJoinResult
-from repro.costmodel.explain import explain, explain_join
+from repro.obs import MetricsRegistry, Observability, Span, Timeline, Tracer
+from repro.obs.explain import bottleneck_chain, explain, explain_join
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 from repro.core.join.nopa import JoinResult, NoPartitioningJoin
 from repro.core.join.radix import RadixJoin, RadixJoinResult
 from repro.engine import (
@@ -74,6 +76,15 @@ __all__ = [
     "StarJoinResult",
     "explain",
     "explain_join",
+    "bottleneck_chain",
+    "Observability",
+    "Tracer",
+    "Span",
+    "Timeline",
+    "MetricsRegistry",
+    "RunManifest",
+    "build_manifest",
+    "MANIFEST_SCHEMA_VERSION",
     "JoinResult",
     "NoPartitioningJoin",
     "RadixJoin",

@@ -56,11 +56,12 @@ def run(scale: float = 2.0**-13, probe_millions=PROBE_MILLIONS) -> FigureResult:
             .run(workload.r, workload.s)
             .throughput_gtuples
         )
+        pinned = workload.placed_for("zero_copy")
         values["pcie3"] = (
             NoPartitioningJoin(
                 intel, hash_table_placement="gpu", transfer_method="zero_copy"
             )
-            .run(workload.r, workload.s)
+            .run(pinned.r, pinned.s)
             .throughput_gtuples
         )
         values["cpu-pra"] = (

@@ -15,6 +15,7 @@ from repro.core.join.nopa import NoPartitioningJoin
 from repro.core.join.radix import RadixJoin
 from repro.hardware.topology import ibm_ac922, intel_xeon_v100
 from repro.memory.allocator import OutOfMemoryError
+from repro.transfer.methods import get_method
 from repro.workloads.builders import workload_ratio
 
 #: curve readings: in-core plateau and out-of-core floor.
@@ -62,6 +63,9 @@ def _gpu_or_spill(machine, r, s, method) -> float:
     This is the non-hybrid behaviour the paper plots as "NVLink 2.0" /
     "PCI-e 3.0": the table moves to CPU memory as one piece.
     """
+    kind = get_method(method).required_kind
+    r = r.placed(r.location, kind=kind)
+    s = s.placed(s.location, kind=kind)
     try:
         join = NoPartitioningJoin(
             machine, hash_table_placement="gpu", transfer_method=method

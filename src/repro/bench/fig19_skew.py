@@ -66,11 +66,12 @@ def run(
             ("pcie3", intel, "zero_copy"),
         ):
             fractions = _fractions(machine, gpu_split)
+            wl = workload.placed_for(method)
             values[series] = (
                 NoPartitioningJoin(machine, transfer_method=method)
                 .run(
-                    workload.r,
-                    workload.s,
+                    wl.r,
+                    wl.s,
                     processor="gpu0",
                     hot_set=hot,
                     placement_fractions=fractions,

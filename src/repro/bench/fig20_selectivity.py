@@ -63,18 +63,19 @@ def run(
             .run(workload.r, workload.s)
             .throughput_gtuples
         )
+        pinned = workload.placed_for("zero_copy")
         values["pcie3-gpu-ht"] = (
             NoPartitioningJoin(
                 intel, hash_table_placement="gpu", transfer_method="zero_copy"
             )
-            .run(workload.r, workload.s)
+            .run(pinned.r, pinned.s)
             .throughput_gtuples
         )
         values["pcie3-cpu-ht"] = (
             NoPartitioningJoin(
                 intel, hash_table_placement="cpu", transfer_method="zero_copy"
             )
-            .run(workload.r, workload.s)
+            .run(pinned.r, pinned.s)
             .throughput_gtuples
         )
         result.add(f"sel={selectivity}", **values)

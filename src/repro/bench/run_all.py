@@ -2,10 +2,22 @@
 
 Usage::
 
-    python -m repro.bench.run_all
+    python -m repro.bench.run_all                      # all figures
+    python -m repro.bench.run_all --quick              # CI smoke subset
+    python -m repro.bench.run_all --manifest-out m.json
+    python -m repro.bench.run_all --trajectory BENCH_pr2.json
+
+``--manifest-out`` runs the two reference joins (NOPA + cooperative
+Het) with observability enabled and writes their schema-versioned run
+manifests.  ``--trajectory`` additionally captures every figure's
+paper-vs-simulated numbers into one benchmark trajectory file, so a
+later PR can diff model output against this one.
 """
 
 from __future__ import annotations
+
+import argparse
+from typing import List, Optional
 
 from repro.bench import (
     ablations,
@@ -43,11 +55,89 @@ MODULES = (
     multi_gpu,
 )
 
+#: fast subset exercised by the CI bench-smoke job: one figure per
+#: subsystem (bandwidth model, placement tree, transfer methods,
+#: co-processing) rather than the full 15-module sweep.
+QUICK_MODULES = (
+    fig01_bandwidth,
+    fig11_placement,
+    fig12_transfer_methods,
+    fig21_coprocessing,
+)
 
-def main() -> None:
-    for module in MODULES:
+
+def _collect_manifests(scale: float):
+    from repro.hardware.topology import ibm_ac922
+    from repro.obs.report import report_coop, report_nopa
+    from repro.workloads.builders import workload_a
+
+    machine = ibm_ac922()
+    workload = workload_a(scale=scale)
+    _, nopa = report_nopa(machine, workload, method="coherence")
+    print()
+    _, coop = report_coop(machine, workload, strategy="het")
+    return [nopa, coop]
+
+
+def _write_trajectory(path: str, manifests, quick: bool) -> str:
+    import json
+
+    from repro.bench import export
+    from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+    figures = [
+        export.figure_to_dict(figure)
+        for figure in export.run_all_figures()
+    ]
+    doc = {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "generator": "repro.bench.run_all",
+        "quick": quick,
+        "figures": figures,
+        "runs": [manifest.to_dict() for manifest in manifests],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run only the fast smoke subset of figures",
+    )
+    parser.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="write observability run manifests for the reference joins",
+    )
+    parser.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="write a benchmark trajectory file (figures + run manifests)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=2.0**-13,
+        help="execution scale for the manifest reference joins",
+    )
+    args = parser.parse_args(argv)
+
+    for module in QUICK_MODULES if args.quick else MODULES:
         module.main()
         print()
+
+    if args.manifest_out or args.trajectory:
+        manifests = _collect_manifests(scale=args.scale)
+        if args.manifest_out:
+            from repro.obs.manifest import write_manifest_file
+
+            path = write_manifest_file(
+                args.manifest_out, manifests, generator="repro.bench.run_all"
+            )
+            print(f"\nwrote {path} ({len(manifests)} runs)")
+        if args.trajectory:
+            path = _write_trajectory(args.trajectory, manifests, args.quick)
+            print(f"wrote {path}")
 
 
 if __name__ == "__main__":

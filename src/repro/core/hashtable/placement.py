@@ -14,6 +14,7 @@ though the executed table is tiny.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -36,6 +37,20 @@ class HashTablePlacement:
     def __post_init__(self) -> None:
         if self.total_bytes < 0:
             raise ValueError("placement size must be non-negative")
+        if self.total_bytes > 0 and not self.fractions:
+            raise ValueError(
+                f"placement of {self.total_bytes} bytes has no fractions; "
+                "an empty placement would silently drop all table traffic"
+            )
+        bad = {
+            name: frac
+            for name, frac in self.fractions.items()
+            if not math.isfinite(frac) or frac < 0
+        }
+        if bad:
+            raise ValueError(
+                f"placement fractions must be finite and non-negative, got {bad}"
+            )
         total = sum(self.fractions.values())
         if self.fractions and abs(total - 1.0) > 1e-9:
             raise ValueError(f"placement fractions sum to {total}, expected 1.0")

@@ -19,6 +19,7 @@ adds the end-of-input skew and batching effects of Section 6.1.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -31,7 +32,7 @@ from repro.costmodel.access import (
     seq_stream,
 )
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.costmodel.model import CostModel
+from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.hashtable import create_hash_table
 from repro.core.scheduler.batch import tune_batch_morsels
 from repro.core.scheduler.morsel import MorselDispatcher
@@ -40,6 +41,7 @@ from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.memory.allocator import OutOfMemoryError
+from repro.obs import Observability
 from repro.sim.engine import Simulator
 from repro.sim.resources import solve_concurrent_rates
 from repro.sim.trace import Timeline
@@ -61,6 +63,11 @@ class CoopResult:
     worker_shares: Dict[str, float]
     timeline: Timeline
     workers: Tuple[str, ...]
+    #: aggregate per-phase costs (occupancy summed across workers at
+    #: their solved shares) — the same shape single-processor joins
+    #: report, so run manifests can treat both uniformly.
+    build_cost: Optional[PhaseCost] = None
+    probe_cost: Optional[PhaseCost] = None
 
     @property
     def runtime(self) -> float:
@@ -102,6 +109,7 @@ class CoopJoin:
         morsel_tuples: int = 1 << 22,
         gpu_batch_morsels: Optional[int] = None,
         hash_scheme: str = "perfect",
+        obs: Optional[Observability] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -110,7 +118,8 @@ class CoopJoin:
         self.machine = machine
         self.strategy = strategy
         self.calibration = calibration
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
         self.morsel_tuples = morsel_tuples
         self.gpu_batch_morsels = gpu_batch_morsels
         self.hash_scheme = hash_scheme
@@ -204,29 +213,70 @@ class CoopJoin:
     # ------------------------------------------------------------------
     # Phases
     # ------------------------------------------------------------------
+    def _aggregate_cost(
+        self,
+        demands: Dict[str, Dict[str, float]],
+        tuples_by_worker: Dict[str, float],
+        seconds: float,
+        label: str,
+    ) -> PhaseCost:
+        """Sum per-worker occupancy at the solved shares into one cost.
+
+        The result has the same shape single-processor ``phase_cost``
+        output does, so manifests report co-processed phases uniformly;
+        its bottleneck is the most-occupied shared resource.
+        """
+        occupancy: Dict[str, float] = defaultdict(float)
+        for worker, demand in demands.items():
+            tuples = tuples_by_worker.get(worker, 0.0)
+            for resource, per_unit in demand.items():
+                occupancy[resource] += per_unit * tuples
+        bottleneck = (
+            max(occupancy, key=lambda res: occupancy[res])
+            if occupancy
+            else "(none)"
+        )
+        return PhaseCost(
+            seconds=seconds,
+            bottleneck=bottleneck,
+            occupancy=dict(occupancy),
+            label=label,
+        )
+
     def _build_phase(
         self,
         r: Relation,
         workers: Tuple[str, ...],
         table_bytes: float,
         entry_bytes: float,
-    ) -> Tuple[float, Dict[str, str]]:
-        """Returns (build seconds, worker -> probe table region)."""
+    ) -> Tuple[float, Dict[str, str], PhaseCost]:
+        """Returns (build seconds, worker -> probe table region, cost)."""
         if self.strategy == "het":
             region = self._shared_table_region(workers)
             contended = len(workers) > 1
             demands = {}
+            profiles = {}
             for worker in workers:
                 profile = self._build_profile(
                     worker, r, region, table_bytes, entry_bytes, contended
                 )
+                profiles[worker] = profile
                 demands[worker] = self.cost_model.occupancy_per_unit(
                     profile, r.modeled_tuples
                 )
             rates = solve_concurrent_rates(demands)
             combined = sum(rates.values())
             seconds = r.modeled_tuples / combined if combined > 0 else 0.0
-            return seconds, {worker: region for worker in workers}
+            tuples = {worker: rates[worker] * seconds for worker in workers}
+            cost = self._aggregate_cost(demands, tuples, seconds, "build")
+            for worker in workers:
+                share = (
+                    tuples[worker] / r.modeled_tuples if r.modeled_tuples else 0.0
+                )
+                self.cost_model.record_profile_metrics(
+                    profiles[worker].scaled(share)
+                )
+            return seconds, {worker: region for worker in workers}, cost
 
         # gpu+het: the GPU builds locally, then broadcasts the table.
         # Every worker holds a private copy, so the table must fit the
@@ -248,7 +298,8 @@ class CoopJoin:
         profile = self._build_profile(
             builder, r, build_region, table_bytes, entry_bytes, contended=False
         )
-        seconds = self.cost_model.phase_cost(profile).seconds
+        cost = self.cost_model.phase_cost(profile)
+        seconds = cost.seconds
         # Synchronous copy of the finished table to each other worker's
         # local memory over the builder's link (Figure 9b, step 2).
         others = [w for w in workers if w != builder]
@@ -256,9 +307,19 @@ class CoopJoin:
         if copy_targets:
             link = self.machine.gpu_link(builder)
             copy_bw = link.spec.seq_bw * self.calibration.ht_copy_bandwidth_factor
-            seconds += len(copy_targets) * table_bytes / copy_bw
+            copy_seconds = len(copy_targets) * table_bytes / copy_bw
+            seconds += copy_seconds
+            occupancy = dict(cost.occupancy)
+            key = f"link:{link.name}"
+            occupancy[key] = occupancy.get(key, 0.0) + copy_seconds
+            cost = PhaseCost(
+                seconds=seconds,
+                bottleneck=max(occupancy, key=lambda res: occupancy[res]),
+                occupancy=occupancy,
+                label=cost.label,
+            )
         regions = {w: self._local_table_region(w) for w in workers}
-        return seconds, regions
+        return seconds, regions, cost
 
     def _probe_phase(
         self,
@@ -270,8 +331,11 @@ class CoopJoin:
         accesses_per_tuple: float,
         lines_loaded: float,
         hot_set: Optional[HotSetProfile],
-    ) -> Tuple[float, Dict[str, float], Dict[str, float], Timeline]:
+    ) -> Tuple[
+        float, Dict[str, float], Dict[str, float], Timeline, PhaseCost
+    ]:
         demands = {}
+        profiles = {}
         for worker in workers:
             profile = self._probe_profile(
                 worker,
@@ -283,13 +347,16 @@ class CoopJoin:
                 lines_loaded,
                 hot_set,
             )
+            profiles[worker] = profile
             demands[worker] = self.cost_model.occupancy_per_unit(
                 profile, s.modeled_tuples
             )
         rates = solve_concurrent_rates(demands)
 
-        dispatcher = MorselDispatcher(s.modeled_tuples, self.morsel_tuples)
-        sim = Simulator()
+        dispatcher = MorselDispatcher(
+            s.modeled_tuples, self.morsel_tuples, metrics=self.obs.metrics
+        )
+        sim = Simulator(tracer=self.obs.tracer)
         timeline = Timeline()
 
         def make_worker(name: str, rate: float, batch: int, latency: float):
@@ -322,7 +389,16 @@ class CoopJoin:
             worker: dispatcher.dispatched_tuples(worker) / max(1, s.modeled_tuples)
             for worker in workers
         }
-        return seconds, rates, shares, timeline
+        tuples = {
+            worker: float(dispatcher.dispatched_tuples(worker))
+            for worker in workers
+        }
+        cost = self._aggregate_cost(demands, tuples, seconds, "probe")
+        for worker in workers:
+            self.cost_model.record_profile_metrics(
+                profiles[worker].scaled(shares[worker])
+            )
+        return seconds, rates, shares, timeline, cost
 
     # ------------------------------------------------------------------
     # Entry point
@@ -369,19 +445,49 @@ class CoopJoin:
             table.stats.lookup_probes + table.stats.value_reads
         ) / max(1, table.stats.lookups)
 
-        build_seconds, regions = self._build_phase(
-            r, workers, table_bytes, table.entry_bytes
-        )
-        probe_seconds, rates, shares, timeline = self._probe_phase(
-            s,
-            workers,
-            regions,
-            table_bytes,
-            table.keys.dtype.itemsize,
-            accesses_per_tuple,
-            lines_loaded,
-            hot_set,
-        )
+        tracer = self.obs.tracer
+        clock = self.obs.clock
+        # Outer spans cover whatever each phase prices internally; the
+        # remainder advance tops the clock up to the phase's full time
+        # (solver-based phases advance the clock by nothing themselves,
+        # gpu+het's table copy rides on top of its priced build).
+        with tracer.span(
+            "build",
+            worker=",".join(workers),
+            units=float(r.modeled_tuples),
+            strategy=self.strategy,
+        ) as span:
+            inner_start = clock.now
+            build_seconds, regions, build_cost = self._build_phase(
+                r, workers, table_bytes, table.entry_bytes
+            )
+            remainder = build_seconds - (clock.now - inner_start)
+            if remainder > 0:
+                span.advance(remainder)
+            span.annotate(bottleneck=build_cost.bottleneck)
+        with tracer.span(
+            "probe",
+            worker=",".join(workers),
+            units=float(s.modeled_tuples),
+            strategy=self.strategy,
+        ) as span:
+            inner_start = clock.now
+            probe_seconds, rates, shares, timeline, probe_cost = (
+                self._probe_phase(
+                    s,
+                    workers,
+                    regions,
+                    table_bytes,
+                    table.keys.dtype.itemsize,
+                    accesses_per_tuple,
+                    lines_loaded,
+                    hot_set,
+                )
+            )
+            remainder = probe_seconds - (clock.now - inner_start)
+            if remainder > 0:
+                span.advance(remainder)
+            span.annotate(bottleneck=probe_cost.bottleneck, matches=matches)
         return CoopResult(
             matches=matches,
             aggregate=aggregate,
@@ -393,6 +499,8 @@ class CoopJoin:
             worker_shares=shares,
             timeline=timeline,
             workers=tuple(workers),
+            build_cost=build_cost,
+            probe_cost=probe_cost,
         )
 
 

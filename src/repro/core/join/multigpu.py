@@ -179,6 +179,7 @@ class MultiGpuJoin:
             streams=streams,
             compute_tuples=s.modeled_tuples * work,
             label=f"probe[{gpu.name}]",
+            processor=gpu.name,
         )
 
     def _build_seconds(
@@ -205,6 +206,8 @@ class MultiGpuJoin:
                 ],
                 compute_tuples=r.modeled_tuples
                 * self.calibration.join_work_per_tuple["gpu"],
+                label="build[replicated]",
+                processor=builder.name,
             )
             seconds = self.cost_model.phase_cost(profile).seconds
             # Broadcast the finished table to the other GPUs over their
@@ -243,6 +246,8 @@ class MultiGpuJoin:
                 compute_tuples=r.modeled_tuples
                 * share
                 * self.calibration.join_work_per_tuple["gpu"],
+                label=f"build[{gpu.name}]",
+                processor=gpu.name,
             )
             demands[gpu.name] = self.cost_model.occupancy_per_unit(
                 profile, r.modeled_tuples * share

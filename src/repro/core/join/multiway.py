@@ -146,6 +146,8 @@ class StarJoin:
                 ],
                 compute_tuples=rel.modeled_tuples
                 * self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"],
+                label=f"build[{dimension.fact_key}]",
+                processor=builder,
             )
             key = f"{builder}#{dimension.fact_key}"
             demands[key] = self.cost_model.occupancy_per_unit(
@@ -214,6 +216,8 @@ class StarJoin:
             profile = AccessProfile(
                 streams=streams,
                 compute_tuples=modeled_fact * work * len(dimensions),
+                label=f"probe[{worker}]",
+                processor=worker,
             )
             demands[worker] = self.cost_model.occupancy_per_unit(
                 profile, modeled_fact

@@ -38,6 +38,7 @@ from repro.data.relation import Relation
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
+from repro.obs import Observability
 from repro.transfer.methods import get_method
 from repro.utils.units import MIB
 
@@ -151,6 +152,7 @@ class NoPartitioningJoin:
         gpu_name: str = "gpu0",
         layout: str = "soa",
         output: str = "aggregate",
+        obs: Optional[Observability] = None,
     ) -> None:
         if layout not in ("soa", "aos"):
             raise ValueError(f"layout must be 'soa' or 'aos', got {layout!r}")
@@ -159,7 +161,8 @@ class NoPartitioningJoin:
                 f"output must be 'aggregate' or 'materialize', got {output!r}"
             )
         self.machine = machine
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
         self.hash_table_placement = hash_table_placement
         self.transfer_method = transfer_method
         self.hash_scheme = hash_scheme
@@ -233,7 +236,9 @@ class NoPartitioningJoin:
         if local or not isinstance(proc, Gpu):
             return [seq_stream(processor, relation.location, nbytes, label)], 1.0
         method = get_method(self.transfer_method)
-        method.check_supported(self.machine, processor, relation.location)
+        method.check_supported(
+            self.machine, processor, relation.location, kind=relation.kind
+        )
         ingest_bw = method.ingest_bandwidth(self.cost_model, processor, relation.location)
         route_bw = self.cost_model.sequential_bandwidth(processor, relation.location)
         factor = min(1.0, ingest_bw / route_bw)
@@ -337,6 +342,7 @@ class NoPartitioningJoin:
             compute_tuples=r.modeled_tuples * work,
             makespan_factor=makespan,
             label="build",
+            processor=processor,
         )
 
     def probe_profile(
@@ -403,6 +409,7 @@ class NoPartitioningJoin:
             compute_tuples=s.modeled_tuples * work,
             makespan_factor=makespan,
             label="probe",
+            processor=processor,
         )
 
     # ------------------------------------------------------------------
@@ -426,6 +433,18 @@ class NoPartitioningJoin:
             r, s
         )
         if placement_fractions is not None:
+            unknown = [
+                name
+                for name in placement_fractions
+                if name not in self.machine.memories
+            ]
+            if unknown:
+                valid = ", ".join(sorted(self.machine.memories))
+                raise ValueError(
+                    f"placement_fractions references unknown memory "
+                    f"region(s) {unknown}; valid regions on "
+                    f"{self.machine.name}: {valid}"
+                )
             placement = HashTablePlacement(
                 total_bytes=table.modeled_bytes(r.modeled_tuples),
                 fractions=dict(placement_fractions),
@@ -437,8 +456,19 @@ class NoPartitioningJoin:
         probe = self.probe_profile(
             s, processor, table, placement, lines_loaded, hot_set
         )
-        build_cost = self.cost_model.phase_cost(build)
-        probe_cost = self.cost_model.phase_cost(probe)
+        tracer = self.obs.tracer
+        with tracer.span(
+            "build", worker=processor, units=float(r.modeled_tuples)
+        ) as span:
+            build_cost = self.cost_model.phase_cost(build)
+            span.annotate(bottleneck=build_cost.bottleneck)
+        with tracer.span(
+            "probe", worker=processor, units=float(s.modeled_tuples)
+        ) as span:
+            probe_cost = self.cost_model.phase_cost(probe)
+            span.annotate(
+                bottleneck=probe_cost.bottleneck, matches=matches
+            )
         return JoinResult(
             matches=matches,
             aggregate=aggregate,

@@ -157,6 +157,7 @@ class RadixJoin:
                 )
             ],
             label="partition",
+            processor=processor,
         )
 
     def _join_cost(self, r: Relation, s: Relation, processor: str) -> PhaseCost:

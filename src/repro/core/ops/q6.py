@@ -143,7 +143,9 @@ class TpchQ6:
             ]
         else:
             method = get_method(self.transfer_method)
-            method.check_supported(self.machine, processor, workload.location)
+            method.check_supported(
+                self.machine, processor, workload.location, kind=workload.kind
+            )
             ingest = method.ingest_bandwidth(
                 self.cost_model, processor, workload.location
             )
@@ -185,6 +187,7 @@ class TpchQ6:
             fixed_overhead=overhead,
             makespan_factor=makespan,
             label=f"q6-{self.variant}",
+            processor=processor,
         )
 
     # ------------------------------------------------------------------

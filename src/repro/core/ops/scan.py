@@ -18,6 +18,7 @@ from repro.costmodel.access import AccessProfile, seq_stream
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.ops.selection import selection_line_fractions
+from repro.hardware.memory import MemoryKind
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.transfer.methods import get_method
@@ -129,8 +130,13 @@ class SelectionScan:
         processor: str = "gpu0",
         location: str = "cpu0-mem",
         modeled_rows: Optional[int] = None,
+        kind: Optional[MemoryKind] = None,
     ) -> ScanResult:
-        """Execute the scan functionally and price it."""
+        """Execute the scan functionally and price it.
+
+        ``kind`` is the source columns' memory kind; when given, the
+        transfer method's Table-1 kind requirement is enforced.
+        """
         needed = [p.column for p in self.predicates] + self.aggregate_columns
         missing = [name for name in needed if name not in columns]
         if missing:
@@ -156,7 +162,7 @@ class SelectionScan:
             streams = [seq_stream(processor, location, total_bytes, "scan")]
         else:
             method = get_method(self.transfer_method)
-            method.check_supported(self.machine, processor, location)
+            method.check_supported(self.machine, processor, location, kind=kind)
             ingest = method.ingest_bandwidth(self.cost_model, processor, location)
             route = self.cost_model.sequential_bandwidth(processor, location)
             streams = [
@@ -183,6 +189,7 @@ class SelectionScan:
             fixed_overhead=proc.kernel_launch_latency if is_gpu else 0.0,
             makespan_factor=makespan,
             label=f"scan-{self.variant}",
+            processor=processor,
         )
         cost = self.cost_model.phase_cost(profile)
         return ScanResult(

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class WorkRange:
@@ -28,13 +30,19 @@ class WorkRange:
 class MorselDispatcher:
     """A read cursor over ``total_tuples`` handing out fixed morsels."""
 
-    def __init__(self, total_tuples: int, morsel_tuples: int) -> None:
+    def __init__(
+        self,
+        total_tuples: int,
+        morsel_tuples: int,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if total_tuples < 0:
             raise ValueError(f"total tuples must be non-negative: {total_tuples}")
         if morsel_tuples <= 0:
             raise ValueError(f"morsel size must be positive: {morsel_tuples}")
         self.total_tuples = total_tuples
         self.morsel_tuples = morsel_tuples
+        self.metrics = metrics
         self._cursor = 0
         self.dispatched: List[Tuple[str, WorkRange]] = []
 
@@ -62,6 +70,14 @@ class MorselDispatcher:
         self._cursor = end
         work = WorkRange(start=start, end=end)
         self.dispatched.append((worker, work))
+        if self.metrics is not None:
+            granted = -(-work.tuples // self.morsel_tuples)
+            self.metrics.counter(
+                "morsels_dispatched_total", worker=worker
+            ).inc(granted)
+            self.metrics.histogram(
+                "dispatch_batch_tuples", worker=worker
+            ).observe(work.tuples)
         return work
 
     def dispatched_tuples(self, worker: str) -> int:

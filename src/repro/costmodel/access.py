@@ -170,6 +170,13 @@ class AccessProfile:
 
     ``makespan_factor`` multiplies the bottleneck time; push-based
     transfer pipelines use it for their fill/drain overhead.
+
+    ``processor`` names the processor executing the phase's *compute*
+    work.  When set, all ``compute_tuples`` time is attributed to it;
+    when unset, compute is split across the processors appearing in the
+    streams.  A profile with compute but neither streams nor an explicit
+    processor is unpriceable and the cost model rejects it — this used
+    to silently price to zero.
     """
 
     streams: List[Stream] = field(default_factory=list)
@@ -177,6 +184,7 @@ class AccessProfile:
     compute_tuples: float = 0.0
     makespan_factor: float = 1.0
     label: str = ""
+    processor: Optional[str] = None
 
     def add(self, stream: Stream) -> "AccessProfile":
         self.streams.append(stream)
@@ -194,6 +202,7 @@ class AccessProfile:
             compute_tuples=self.compute_tuples * factor,
             makespan_factor=self.makespan_factor,
             label=self.label,
+            processor=self.processor,
         )
 
     @property

@@ -1,70 +1,25 @@
-"""Human-readable explanations of phase costs.
+"""Human-readable explanations of phase costs (compatibility shim).
 
-``explain(cost)`` renders a PhaseCost's per-resource occupancy as a
-utilization table — the tool for answering "why is this join this
-fast?" (e.g. Figure 12's Coherence join is NVLink-bound at ~99%
-utilization while the GPU memory idles at ~60%).
+The explain utilities moved into the unified observability layer
+(:mod:`repro.obs.explain`), where they live next to the structured
+``bottleneck_chain`` used by run manifests; this module re-exports them
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import List
+from repro.obs.explain import (
+    bottleneck_chain,
+    explain,
+    explain_join,
+    render_chain,
+    utilization,
+)
 
-from repro.costmodel.model import PhaseCost
-from repro.utils.tables import Table
-from repro.utils.units import format_time
-
-
-def utilization(cost: PhaseCost) -> dict:
-    """Resource -> busy fraction of the phase (1.0 = the bottleneck)."""
-    if cost.seconds <= 0 or not cost.occupancy:
-        return {}
-    bottleneck_busy = cost.occupancy[cost.bottleneck]
-    if bottleneck_busy <= 0:
-        return {resource: 0.0 for resource in cost.occupancy}
-    return {
-        resource: busy / bottleneck_busy
-        for resource, busy in cost.occupancy.items()
-    }
-
-
-def explain(cost: PhaseCost, top: int = 10) -> str:
-    """Render the cost breakdown as an ASCII table.
-
-    >>> from repro.costmodel.model import PhaseCost
-    >>> c = PhaseCost(seconds=1.0, bottleneck="link:x",
-    ...               occupancy={"link:x": 1.0, "mem:y": 0.25})
-    >>> print(explain(c))  # doctest: +ELLIPSIS
-    phase ... bottleneck: link:x
-    resource | busy    | utilization
-    ...
-    """
-    rows: List[tuple] = sorted(
-        cost.occupancy.items(), key=lambda item: item[1], reverse=True
-    )[:top]
-    util = utilization(cost)
-    table = Table(
-        ["resource", "busy", "utilization"],
-        title=(
-            f"phase {cost.label or '(unnamed)'}: {format_time(cost.seconds)}, "
-            f"bottleneck: {cost.bottleneck}"
-        ),
-    )
-    for resource, busy in rows:
-        marker = " <- bottleneck" if resource == cost.bottleneck else ""
-        table.add_row(
-            [resource, format_time(busy), f"{util.get(resource, 0):.0%}{marker}"]
-        )
-    return table.render()
-
-
-def explain_join(result) -> str:
-    """Explain both phases of a JoinResult."""
-    parts = [
-        f"join on {result.processor}: "
-        f"{result.throughput_gtuples:.2f} G Tuples/s "
-        f"({result.matches} matches)",
-        explain(result.build_cost),
-        explain(result.probe_cost),
-    ]
-    return "\n\n".join(parts)
+__all__ = [
+    "bottleneck_chain",
+    "explain",
+    "explain_join",
+    "render_chain",
+    "utilization",
+]

@@ -46,6 +46,7 @@ from repro.hardware.interconnect import Interconnect
 from repro.hardware.memory import MemoryRegion
 from repro.hardware.processor import Cpu, Gpu, Processor
 from repro.hardware.topology import Machine
+from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -62,13 +63,24 @@ class PhaseCost:
 
 
 class CostModel:
-    """Prices access profiles on one machine."""
+    """Prices access profiles on one machine.
+
+    Every cost model carries an :class:`~repro.obs.Observability` bundle
+    (injectable for sharing across operators): :meth:`phase_cost` opens
+    a span per priced phase on the deterministic sim-clock and deposits
+    per-stream metrics — bytes per link, atomic ops, cache hit rates —
+    so every priced stream is attributable after the fact.
+    """
 
     def __init__(
-        self, machine: Machine, calibration: Calibration = DEFAULT_CALIBRATION
+        self,
+        machine: Machine,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.machine = machine
         self.calibration = calibration
+        self.obs = obs if obs is not None else Observability.create()
 
     # ------------------------------------------------------------------
     # Primitive queries
@@ -289,17 +301,33 @@ class CostModel:
     # Phase pricing
     # ------------------------------------------------------------------
     def profile_occupancy(self, profile: AccessProfile) -> Dict[str, float]:
-        """Summed occupancy of a whole profile, including compute."""
+        """Summed occupancy of a whole profile, including compute.
+
+        Compute time goes to the profile's explicit ``processor`` when
+        set, else is split across the processors its streams name.  A
+        compute-only profile without either is rejected: it used to lose
+        its compute time silently and price to zero.
+        """
         occupancy: Dict[str, float] = defaultdict(float)
         for stream in profile.streams:
             for resource, busy in self.stream_occupancy(stream).items():
                 occupancy[resource] += busy
         if profile.compute_tuples > 0:
-            processors = sorted({s.processor for s in profile.streams})
+            if profile.processor is not None:
+                processors = [profile.processor]
+            else:
+                processors = sorted({s.processor for s in profile.streams})
+            if not processors:
+                raise ValueError(
+                    f"profile {profile.label!r} has compute_tuples="
+                    f"{profile.compute_tuples} but no streams and no "
+                    "explicit processor; set AccessProfile.processor so "
+                    "the compute time is attributable"
+                )
             for name in processors:
                 proc = self.machine.processor(name)
                 occupancy[f"compute:{name}"] += (
-                    profile.compute_tuples / max(1, len(processors))
+                    profile.compute_tuples / len(processors)
                 ) / proc.tuple_throughput()
         return dict(occupancy)
 
@@ -318,25 +346,111 @@ class CostModel:
         """Price one phase: bottleneck over all resources plus overheads."""
         occupancy = self.profile_occupancy(profile)
         if not occupancy:
-            return PhaseCost(
+            cost = PhaseCost(
                 seconds=profile.fixed_overhead,
                 bottleneck="(none)",
                 occupancy={},
                 label=profile.label,
             )
+            self._record_phase(profile, cost)
+            return cost
         bottleneck = max(occupancy, key=lambda r: occupancy[r])
         seconds = occupancy[bottleneck] * (
             1.0 + self.calibration.join_pipeline_overhead
         )
         seconds *= profile.makespan_factor
         seconds += profile.fixed_overhead
-        return PhaseCost(
+        cost = PhaseCost(
             seconds=seconds,
             bottleneck=bottleneck,
             occupancy=occupancy,
             label=profile.label,
         )
+        self._record_phase(profile, cost)
+        return cost
 
     def phases_cost(self, profiles: List[AccessProfile]) -> List[PhaseCost]:
         """Price several sequential phases (build, then probe, ...)."""
         return [self.phase_cost(p) for p in profiles]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _phase_worker(self, profile: AccessProfile) -> str:
+        if profile.processor is not None:
+            return profile.processor
+        for stream in profile.streams:
+            return stream.processor
+        return "cost-model"
+
+    def _record_phase(self, profile: AccessProfile, cost: PhaseCost) -> None:
+        """Span + metrics for one priced phase (sim-clock seconds)."""
+        with self.obs.tracer.span(
+            f"price[{profile.label or 'phase'}]",
+            worker=self._phase_worker(profile),
+            units=profile.compute_tuples,
+            bottleneck=cost.bottleneck,
+        ) as span:
+            span.advance(cost.seconds)
+        self.record_profile_metrics(profile)
+
+    def link_wire_bytes(self, stream: Stream) -> Dict[str, float]:
+        """Wire bytes ``{link name: bytes}`` one stream puts on each link.
+
+        Sequential streams move their payload; random/atomic streams
+        move sector-granular lines plus per-access protocol headers —
+        the same accounting the pricing path uses.
+        """
+        path = self.machine.path(stream.processor, stream.memory)
+        if stream.pattern is AccessPattern.SEQUENTIAL:
+            return {link.name: stream.total_bytes for link in path}
+        sector = max(stream.access_bytes, self.calibration.random_sector_bytes)
+        return {
+            link.name: stream.accesses * (sector + link.spec.header_bytes)
+            for link in path
+        }
+
+    def record_profile_metrics(self, profile: AccessProfile) -> None:
+        """Deposit one profile's per-stream attribution into the registry.
+
+        Called once per *priced* phase (never from the per-unit solver
+        path, which re-evaluates profiles many times).
+        """
+        metrics = self.obs.metrics
+        phase = profile.label or "phase"
+        for resource, busy in self.profile_occupancy(profile).items():
+            metrics.counter(
+                "resource_busy_seconds_total", resource=resource
+            ).inc(busy)
+        for stream in profile.streams:
+            for link_name, wire in self.link_wire_bytes(stream).items():
+                metrics.counter(
+                    "link_bytes_total",
+                    link=link_name,
+                    processor=stream.processor,
+                ).inc(wire)
+            metrics.counter(
+                "stream_payload_bytes_total",
+                processor=stream.processor,
+                memory=stream.memory,
+                pattern=stream.pattern.value,
+            ).inc(stream.payload_bytes)
+            if stream.pattern is AccessPattern.ATOMIC:
+                metrics.counter(
+                    "atomic_ops_total",
+                    processor=stream.processor,
+                    memory=stream.memory,
+                ).inc(stream.accesses)
+            elif stream.pattern is AccessPattern.RANDOM:
+                hit, _rate, cache_name = self.cache_hit_rate(stream)
+                if cache_name:
+                    metrics.gauge(
+                        "cache_hit_rate", cache=cache_name, phase=phase
+                    ).set(hit)
+                    metrics.counter(
+                        "cache_hits_total", cache=cache_name
+                    ).inc(stream.accesses * hit)
+        if profile.compute_tuples > 0:
+            metrics.counter(
+                "compute_tuples_total", processor=self._phase_worker(profile)
+            ).inc(profile.compute_tuples)

@@ -1,0 +1,111 @@
+"""Human-readable explanations of phase costs and bottleneck chains.
+
+Absorbed from ``repro.costmodel.explain`` (which re-exports from here):
+``explain(cost)`` renders a PhaseCost's per-resource occupancy as a
+utilization table — the tool for answering "why is this join this
+fast?" (e.g. Figure 12's Coherence join is NVLink-bound at ~99%
+utilization while the GPU memory idles at ~60%).
+
+``bottleneck_chain(cost)`` is the structured form: resources ranked by
+occupancy, each with its busy seconds and utilization, so manifests and
+regression checks can assert *which* resource explains a number, not
+just the number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.costmodel.model import PhaseCost
+from repro.utils.tables import Table
+from repro.utils.units import format_time
+
+
+def utilization(cost: PhaseCost) -> dict:
+    """Resource -> busy fraction of the phase (1.0 = the bottleneck)."""
+    if cost.seconds <= 0 or not cost.occupancy:
+        return {}
+    bottleneck_busy = cost.occupancy[cost.bottleneck]
+    if bottleneck_busy <= 0:
+        return {resource: 0.0 for resource in cost.occupancy}
+    return {
+        resource: busy / bottleneck_busy
+        for resource, busy in cost.occupancy.items()
+    }
+
+
+def bottleneck_chain(cost: PhaseCost, top: int = 0) -> List[Dict[str, Any]]:
+    """Resources ranked by occupancy (the phase's bottleneck chain).
+
+    Each entry: ``{"resource", "busy_seconds", "utilization"}``.  The
+    first entry is the bottleneck; the rest show how close the next
+    contenders are — a chain like ``link:nvlink0 (100%) > mem:cpu0-mem
+    (61%)`` is the paper's "NVLink-bound while memory idles" claim in
+    data form.  ``top=0`` returns every resource.
+    """
+    util = utilization(cost)
+    ranked = sorted(
+        cost.occupancy.items(), key=lambda item: (-item[1], item[0])
+    )
+    if top > 0:
+        ranked = ranked[:top]
+    return [
+        {
+            "resource": resource,
+            "busy_seconds": busy,
+            "utilization": util.get(resource, 0.0),
+        }
+        for resource, busy in ranked
+    ]
+
+
+def render_chain(cost: PhaseCost, top: int = 4) -> str:
+    """One-line rendering: ``link:x (100%) > mem:y (61%) > ...``."""
+    chain = bottleneck_chain(cost, top=top)
+    if not chain:
+        return "(no resources)"
+    return " > ".join(
+        f"{entry['resource']} ({entry['utilization']:.0%})" for entry in chain
+    )
+
+
+def explain(cost: PhaseCost, top: int = 10) -> str:
+    """Render the cost breakdown as an ASCII table.
+
+    >>> from repro.costmodel.model import PhaseCost
+    >>> c = PhaseCost(seconds=1.0, bottleneck="link:x",
+    ...               occupancy={"link:x": 1.0, "mem:y": 0.25})
+    >>> print(explain(c))  # doctest: +ELLIPSIS
+    phase ... bottleneck: link:x
+    resource | busy    | utilization
+    ...
+    """
+    rows: List[tuple] = sorted(
+        cost.occupancy.items(), key=lambda item: item[1], reverse=True
+    )[:top]
+    util = utilization(cost)
+    table = Table(
+        ["resource", "busy", "utilization"],
+        title=(
+            f"phase {cost.label or '(unnamed)'}: {format_time(cost.seconds)}, "
+            f"bottleneck: {cost.bottleneck}"
+        ),
+    )
+    for resource, busy in rows:
+        marker = " <- bottleneck" if resource == cost.bottleneck else ""
+        table.add_row(
+            [resource, format_time(busy), f"{util.get(resource, 0):.0%}{marker}"]
+        )
+    return table.render()
+
+
+def explain_join(result) -> str:
+    """Explain both phases of a JoinResult."""
+    parts = [
+        f"join on {result.processor}: "
+        f"{result.throughput_gtuples:.2f} G Tuples/s "
+        f"({result.matches} matches)",
+        explain(result.build_cost),
+        explain(result.probe_cost),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,167 @@
+"""A small labeled-metrics registry (counters, gauges, histograms).
+
+The cost model populates it from per-stream occupancy so every priced
+stream is attributable: bytes moved per interconnect link, atomic
+update counts, cache hit rates, morsel batch sizes.  Everything is a
+plain deterministic value — no wall-clock timestamps — so metric
+snapshots can be diffed across runs and committed as bench baselines.
+
+Metric identity is ``(name, sorted labels)``, Prometheus-style::
+
+    registry.counter("link_bytes_total", link="nvlink0").inc(4096)
+    registry.histogram("dispatch_batch_tuples", worker="gpu0").observe(2**22)
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets: powers of four from 1 to ~10^9, wide
+#: enough for tuple counts and byte volumes alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(4.0**e for e in range(16))
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease: {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    labels: LabelKey = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"labels": dict(self.labels), "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram with a running sum and count."""
+
+    name: str
+    labels: LabelKey = ()
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError(f"histogram buckets must be sorted: {self.buckets}")
+        if not self.counts:
+            # one bin per upper bound plus the +Inf overflow bin
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": {
+                ("+Inf" if i == len(self.buckets) else repr(self.buckets[i])): n
+                for i, n in enumerate(self.counts)
+                if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by (kind, name, labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, LabelKey], Any] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, Any], factory):
+        key = (kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[2])
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter with this name and label set."""
+        return self._get(
+            "counter", name, labels, lambda n, lk: Counter(name=n, labels=lk)
+        )
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge with this name and label set."""
+        return self._get(
+            "gauge", name, labels, lambda n, lk: Gauge(name=n, labels=lk)
+        )
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        """Get or create the histogram with this name and label set."""
+        return self._get(
+            "histogram",
+            name,
+            labels,
+            lambda n, lk: Histogram(
+                name=n, labels=lk, buckets=buckets or DEFAULT_BUCKETS
+            ),
+        )
+
+    def __iter__(self) -> Iterator[Any]:
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
+        """``{"counter:name": [{labels, value}, ...], ...}``, sorted."""
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for key in sorted(self._metrics):
+            kind, name, _labels = key
+            out.setdefault(f"{kind}:{name}", []).append(
+                self._metrics[key].snapshot()
+            )
+        return out
+
+    def value(self, kind: str, name: str, **labels: Any) -> Optional[float]:
+        """Convenience lookup of a counter/gauge value (None if absent)."""
+        metric = self._metrics.get((kind, name, _label_key(labels)))
+        return None if metric is None else metric.value

@@ -1,0 +1,233 @@
+"""Span tracing on a deterministic sim-clock.
+
+This module absorbs the old ``repro.sim.trace`` (which re-exports from
+here for compatibility): :class:`Span` and :class:`Timeline` keep their
+original API — morsel counts per worker, idle tails, makespans — and
+gain structured attributes plus a :class:`Tracer` front end:
+
+    with tracer.span("probe", processor="gpu0") as span:
+        span.advance(cost.seconds)          # simulated duration
+        span.annotate(bottleneck=cost.bottleneck)
+
+Spans are timed against a :class:`~repro.obs.clock.SimClock`, so a
+trace of a priced join is a deterministic function of the workload and
+machine — there is no wall-clock anywhere in the pipeline.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.clock import SimClock
+
+
+@dataclass(frozen=True)
+class Span:
+    """One unit of simulated work on one worker."""
+
+    worker: str
+    label: str
+    start: float
+    end: float
+    units: float = 0.0
+    parent: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds between start and end."""
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"span ends before it starts: {self}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (for run manifests)."""
+        return {
+            "worker": self.worker,
+            "label": self.label,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "units": self.units,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class Timeline:
+    """Append-only record of spans."""
+
+    spans: List[Span] = field(default_factory=list)
+
+    def record(
+        self,
+        worker: str,
+        label: str,
+        start: float,
+        end: float,
+        units: float = 0.0,
+        parent: str = "",
+        **attrs: Any,
+    ) -> Span:
+        """Append one completed span and return it."""
+        span = Span(
+            worker=worker,
+            label=label,
+            start=start,
+            end=end,
+            units=units,
+            parent=parent,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def by_worker(self) -> Dict[str, List[Span]]:
+        """Spans grouped by worker, in recording order."""
+        result: Dict[str, List[Span]] = {}
+        for span in self.spans:
+            result.setdefault(span.worker, []).append(span)
+        return result
+
+    def by_label(self, label: str) -> List[Span]:
+        """All spans with the given label, in recording order."""
+        return [s for s in self.spans if s.label == label]
+
+    def busy_time(self, worker: str) -> float:
+        """Total simulated seconds this worker spent inside spans."""
+        return sum(s.duration for s in self.spans if s.worker == worker)
+
+    def units_processed(self, worker: str) -> float:
+        """Total units (tuples) attributed to this worker's spans."""
+        return sum(s.units for s in self.spans if s.worker == worker)
+
+    def makespan(self) -> float:
+        """Earliest span start to latest span end (0.0 if empty)."""
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def idle_tail(self, worker: str) -> float:
+        """Time between a worker's last span end and the global makespan
+        end — the execution-skew penalty the scheduler tries to minimize.
+        """
+        mine = [s.end for s in self.spans if s.worker == worker]
+        if not mine or not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - max(mine)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of all spans (for run manifests)."""
+        return [span.to_dict() for span in self.spans]
+
+
+class ActiveSpan:
+    """Handle yielded by :meth:`Tracer.span` while the span is open."""
+
+    __slots__ = ("_tracer", "label", "worker", "start", "units", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        label: str,
+        worker: str,
+        start: float,
+        units: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.label = label
+        self.worker = worker
+        self.start = start
+        self.units = units
+        self.attrs = attrs
+
+    def advance(self, seconds: float) -> float:
+        """Advance the tracer's sim-clock (the span's simulated work)."""
+        return self._tracer.clock.advance(seconds)
+
+    def annotate(self, **attrs: Any) -> "ActiveSpan":
+        """Attach structured attributes to the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def add_units(self, units: float) -> "ActiveSpan":
+        """Credit processed units (tuples) to the open span."""
+        self.units += units
+        return self
+
+
+class Tracer:
+    """Records nested spans against a shared deterministic clock.
+
+    A span's duration is whatever the clock advanced between entry and
+    exit — the cost model advances it by priced phase seconds, the
+    discrete-event simulator by elapsed virtual time.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        timeline: Optional[Timeline] = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.timeline = timeline or Timeline()
+        self._stack: List[ActiveSpan] = []
+
+    @property
+    def current_label(self) -> str:
+        """Label of the innermost open span ("" outside any span)."""
+        return self._stack[-1].label if self._stack else ""
+
+    @contextmanager
+    def span(
+        self,
+        label: str,
+        worker: str = "main",
+        units: float = 0.0,
+        **attrs: Any,
+    ) -> Iterator[ActiveSpan]:
+        """Open a span; it closes (and records) when the block exits."""
+        handle = ActiveSpan(
+            self, label, worker, start=self.clock.now, units=units, attrs=attrs
+        )
+        parent = self.current_label
+        self._stack.append(handle)
+        try:
+            yield handle
+        finally:
+            self._stack.pop()
+            self.timeline.record(
+                handle.worker,
+                handle.label,
+                handle.start,
+                self.clock.now,
+                units=handle.units,
+                parent=parent,
+                **handle.attrs,
+            )
+
+    def record(
+        self,
+        worker: str,
+        label: str,
+        start: float,
+        end: float,
+        units: float = 0.0,
+        **attrs: Any,
+    ) -> Span:
+        """Record a completed span directly (no clock interaction)."""
+        return self.timeline.record(
+            worker,
+            label,
+            start,
+            end,
+            units=units,
+            parent=self.current_label,
+            **attrs,
+        )

@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro.obs.trace import Tracer
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling (negative delays, running twice)."""
@@ -41,10 +43,12 @@ class Simulator:
     [1.0, 2.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
         self.now = 0.0
+        self.tracer = tracer
         self._queue: List[Event] = []
         self._seq = itertools.count()
+        self._fired = 0
         self._running = False
 
     def schedule(self, delay: float, callback: Callable[["Simulator"], None]) -> Event:
@@ -71,17 +75,23 @@ class Simulator:
         if event.time < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = event.time
+        self._fired += 1
         event.callback(self)
         return True
 
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue (optionally stopping at ``until``).
 
-        Returns the final virtual time.
+        Returns the final virtual time.  When a tracer is attached, the
+        run is recorded as a ``sim.run`` span and the tracer's sim-clock
+        advances by the elapsed virtual time, so discrete-event phases
+        land on the same timeline as cost-model-priced ones.
         """
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        start = self.now
+        fired_before = self._fired
         try:
             while self._queue:
                 if until is not None and self._queue[0].time > until:
@@ -90,4 +100,11 @@ class Simulator:
                 self.step()
         finally:
             self._running = False
+        if self.tracer is not None:
+            with self.tracer.span(
+                "sim.run",
+                worker="simulator",
+                events=self._fired - fired_before,
+            ) as span:
+                span.advance(self.now - start)
         return self.now

@@ -1,70 +1,13 @@
-"""Execution timelines recorded during simulation.
+"""Execution timelines recorded during simulation (compatibility shim).
 
-A :class:`Timeline` collects :class:`Span` records (who did what, when)
-so tests and benches can inspect scheduling behaviour: morsel counts per
-processor, idle tails from execution skew, batch effects, etc.
+The :class:`Span` / :class:`Timeline` types moved into the unified
+observability layer (:mod:`repro.obs.trace`), where they gained
+structured attributes and a :class:`~repro.obs.trace.Tracer` front end;
+this module re-exports them so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from repro.obs.trace import Span, Timeline
 
-
-@dataclass(frozen=True)
-class Span:
-    """One unit of simulated work on one worker."""
-
-    worker: str
-    label: str
-    start: float
-    end: float
-    units: float = 0.0
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-    def __post_init__(self) -> None:
-        if self.end < self.start:
-            raise ValueError(f"span ends before it starts: {self}")
-
-
-@dataclass
-class Timeline:
-    """Append-only record of spans."""
-
-    spans: List[Span] = field(default_factory=list)
-
-    def record(
-        self, worker: str, label: str, start: float, end: float, units: float = 0.0
-    ) -> Span:
-        span = Span(worker=worker, label=label, start=start, end=end, units=units)
-        self.spans.append(span)
-        return span
-
-    def by_worker(self) -> Dict[str, List[Span]]:
-        result: Dict[str, List[Span]] = {}
-        for span in self.spans:
-            result.setdefault(span.worker, []).append(span)
-        return result
-
-    def busy_time(self, worker: str) -> float:
-        return sum(s.duration for s in self.spans if s.worker == worker)
-
-    def units_processed(self, worker: str) -> float:
-        return sum(s.units for s in self.spans if s.worker == worker)
-
-    def makespan(self) -> float:
-        if not self.spans:
-            return 0.0
-        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
-
-    def idle_tail(self, worker: str) -> float:
-        """Time between a worker's last span end and the global makespan
-        end — the execution-skew penalty the scheduler tries to minimize.
-        """
-        mine = [s.end for s in self.spans if s.worker == worker]
-        if not mine or not self.spans:
-            return 0.0
-        return max(s.end for s in self.spans) - max(mine)
+__all__ = ["Span", "Timeline"]

@@ -16,7 +16,7 @@ numbers behind the calibration constants are Figure 12's measurements.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.costmodel.access import Stream, seq_stream
 from repro.costmodel.calibration import Calibration
@@ -43,14 +43,38 @@ class TransferMethod:
         """Whether this method works on the given route."""
         return True
 
+    def supported_kinds(self) -> FrozenSet[MemoryKind]:
+        """Memory kinds this method can read from (Table 1's "memory")."""
+        return frozenset({self.required_kind})
+
     def check_supported(
-        self, machine: Machine, gpu_name: str, src_memory: str
+        self,
+        machine: Machine,
+        gpu_name: str,
+        src_memory: str,
+        kind: Optional[MemoryKind] = None,
     ) -> None:
-        """Raise UnsupportedTransferError if the route is unsupported."""
+        """Raise UnsupportedTransferError if the route or kind is invalid.
+
+        ``kind`` is the source allocation's :class:`MemoryKind`.  CUDA
+        enforces Table 1's kind requirements at runtime (Zero-Copy from
+        pageable memory simply faults), so pricing such a transfer as
+        valid silently produced numbers for impossible configurations;
+        pass the source kind to get the real behaviour.  ``None`` skips
+        the kind check (route-only validation).
+        """
         if not self.supported(machine, gpu_name, src_memory):
             raise UnsupportedTransferError(
                 f"{self.name} is unsupported from {src_memory} to {gpu_name} "
                 f"on {machine.name}"
+            )
+        if kind is not None and kind not in self.supported_kinds():
+            valid = ", ".join(sorted(k.value for k in self.supported_kinds()))
+            raise UnsupportedTransferError(
+                f"{self.name} requires {valid} source memory, but "
+                f"{src_memory} holds a {kind.value} allocation "
+                "(Table 1); reallocate the relation or pick a method "
+                "that supports its kind"
             )
 
     # ------------------------------------------------------------------

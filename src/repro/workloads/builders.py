@@ -16,7 +16,7 @@ variants say otherwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -61,6 +61,26 @@ class JoinWorkload:
         if self.zipf_exponent <= 0:
             return None
         return HotSetProfile.zipf(self.r.modeled_tuples, self.zipf_exponent)
+
+    def placed_for(
+        self, transfer_method: str, location: Optional[str] = None
+    ) -> "JoinWorkload":
+        """Copy with both relations allocated as the method requires.
+
+        Table 1 ties each transfer method to a memory kind (Zero-Copy
+        needs pinned pages, UM methods need unified allocations); the
+        cost model enforces that, so benchmarks sweeping methods must
+        reallocate their inputs accordingly — exactly what the paper's
+        harness does between measurement series.
+        """
+        from repro.transfer.methods import get_method
+
+        kind = get_method(transfer_method).required_kind
+        return replace(
+            self,
+            r=self.r.placed(location or self.r.location, kind=kind),
+            s=self.s.placed(location or self.s.location, kind=kind),
+        )
 
 
 def _executed(modeled: int, scale: float) -> int:

@@ -101,3 +101,40 @@ class TestExplicitRegion:
     def test_unknown_region_raises(self, ibm):
         with pytest.raises(Exception):
             place_hash_table(ibm, GIB, "mars-mem")
+
+
+class TestFractionValidation:
+    """Regression: invalid fraction dicts used to silently mis-price
+    the hash-table traffic split."""
+
+    def test_empty_fractions_with_table_rejected(self):
+        with pytest.raises(ValueError, match="drop all table traffic"):
+            HashTablePlacement(total_bytes=10, fractions={})
+
+    def test_empty_fractions_with_empty_table_allowed(self):
+        placement = HashTablePlacement(total_bytes=0, fractions={})
+        assert placement.split_accesses(0) == {}
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            HashTablePlacement(
+                total_bytes=10, fractions={"a": 1.5, "b": -0.5}
+            )
+
+    def test_nan_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            HashTablePlacement(
+                total_bytes=10, fractions={"a": float("nan")}
+            )
+
+    def test_infinite_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            HashTablePlacement(
+                total_bytes=10, fractions={"a": float("inf")}
+            )
+
+    def test_sum_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            HashTablePlacement(
+                total_bytes=10, fractions={"a": 0.8, "b": 0.4}
+            )

@@ -194,3 +194,46 @@ class TestTransferMethodInteraction:
             ibm, hash_table_placement="gpu", transfer_method="um_migration"
         ).run(r, s)
         assert a.runtime == pytest.approx(b.runtime)
+
+
+class TestPlacementFractionValidation:
+    """`run(placement_fractions=...)` regression: invalid dicts used to
+    be priced as given, splitting traffic onto nonexistent regions."""
+
+    def test_unknown_region_rejected_with_hint(self, ibm, wl_a):
+        join = NoPartitioningJoin(ibm)
+        with pytest.raises(ValueError, match="warp-mem"):
+            join.run(
+                wl_a.r, wl_a.s,
+                placement_fractions={"warp-mem": 1.0},
+            )
+
+    def test_error_lists_valid_regions(self, ibm, wl_a):
+        join = NoPartitioningJoin(ibm)
+        with pytest.raises(ValueError, match="gpu0-mem"):
+            join.run(wl_a.r, wl_a.s, placement_fractions={"nope": 1.0})
+
+    def test_fractions_not_summing_to_one_rejected(self, ibm, wl_a):
+        join = NoPartitioningJoin(ibm)
+        with pytest.raises(ValueError):
+            join.run(
+                wl_a.r, wl_a.s,
+                placement_fractions={"gpu0-mem": 0.5, "cpu0-mem": 0.1},
+            )
+
+    def test_negative_fraction_rejected(self, ibm, wl_a):
+        join = NoPartitioningJoin(ibm)
+        with pytest.raises(ValueError):
+            join.run(
+                wl_a.r, wl_a.s,
+                placement_fractions={"gpu0-mem": 1.5, "cpu0-mem": -0.5},
+            )
+
+    def test_valid_split_still_works(self, ibm, wl_a):
+        join = NoPartitioningJoin(ibm)
+        result = join.run(
+            wl_a.r, wl_a.s,
+            placement_fractions={"gpu0-mem": 0.5, "cpu0-mem": 0.5},
+        )
+        assert result.placement.is_hybrid
+        assert result.matches == wl_a.s.executed_tuples

@@ -1,9 +1,12 @@
 """TPC-H Q6 operator (branching and predicated variants)."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.core.ops.q6 import TpchQ6
+from repro.hardware.memory import MemoryKind
 from repro.workloads.tpch import (
     Q6_DISCOUNT_HI,
     Q6_DISCOUNT_LO,
@@ -100,9 +103,10 @@ class TestPerformanceShapes:
 
     def test_nvlink_multiples_over_pcie(self, ibm, intel, workload):
         nv = TpchQ6(ibm, variant="predicated").run(workload, "gpu0")
+        pinned = dataclasses.replace(workload, kind=MemoryKind.PINNED)
         pcie = TpchQ6(
             intel, variant="predicated", transfer_method="zero_copy"
-        ).run(workload, "gpu0")
+        ).run(pinned, "gpu0")
         ratio = nv.throughput_gtuples / pcie.throughput_gtuples
         assert 3 < ratio < 12  # paper: up to 9.8x
 

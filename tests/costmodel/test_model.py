@@ -231,3 +231,39 @@ class TestComputeAndOverheads:
     def test_occupancy_per_unit_rejects_zero(self, cm):
         with pytest.raises(ValueError):
             cm.occupancy_per_unit(AccessProfile(), 0)
+
+
+class TestComputeOnlyProfiles:
+    """Regression: compute-only profiles used to price to zero seconds
+    because compute time was attributed via stream processors only."""
+
+    def test_explicit_processor_prices_compute(self, cm):
+        profile = AccessProfile(compute_tuples=4e9, processor="cpu0")
+        cost = cm.phase_cost(profile)
+        assert cost.seconds == pytest.approx(1.0, rel=0.02)
+        assert cost.bottleneck == "compute:cpu0"
+
+    def test_gpu_compute_rate_differs_from_cpu(self, cm):
+        cpu = AccessProfile(compute_tuples=1e9, processor="cpu0")
+        gpu = AccessProfile(compute_tuples=1e9, processor="gpu0")
+        assert cm.phase_cost(gpu).seconds < cm.phase_cost(cpu).seconds
+
+    def test_no_streams_and_no_processor_rejected(self, cm):
+        profile = AccessProfile(compute_tuples=1e9, label="orphan")
+        with pytest.raises(ValueError, match="orphan.*processor"):
+            cm.phase_cost(profile)
+
+    def test_explicit_processor_overrides_stream_split(self, cm):
+        streams = [seq_stream("cpu0", "cpu0-mem", 1)]
+        split = AccessProfile(streams=list(streams), compute_tuples=4e9)
+        pinned = AccessProfile(
+            streams=list(streams), compute_tuples=4e9, processor="gpu0"
+        )
+        assert "compute:cpu0" in cm.profile_occupancy(split)
+        occupancy = cm.profile_occupancy(pinned)
+        assert "compute:gpu0" in occupancy
+        assert "compute:cpu0" not in occupancy
+
+    def test_scaled_preserves_processor(self):
+        profile = AccessProfile(compute_tuples=100.0, processor="gpu0")
+        assert profile.scaled(0.5).processor == "gpu0"

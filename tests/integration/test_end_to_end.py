@@ -85,9 +85,10 @@ class TestMachineIsolation:
         a = repro.NoPartitioningJoin(ibm, hash_table_placement="gpu").run(
             wl.r, wl.s
         )
+        pinned = wl.placed_for("zero_copy")
         b = repro.NoPartitioningJoin(
             intel, hash_table_placement="gpu", transfer_method="zero_copy"
-        ).run(wl.r, wl.s)
+        ).run(pinned.r, pinned.s)
         assert a.throughput_gtuples > 4 * b.throughput_gtuples
 
 
@@ -99,9 +100,10 @@ class TestHeadlineClaims:
         nvlink = repro.NoPartitioningJoin(ibm, hash_table_placement="cpu").run(
             wl.r, wl.s
         )
+        pinned = wl.placed_for("zero_copy")
         pcie = repro.NoPartitioningJoin(
             intel, hash_table_placement="cpu", transfer_method="zero_copy"
-        ).run(wl.r, wl.s)
+        ).run(pinned.r, pinned.s)
         ratio = nvlink.throughput_gtuples / pcie.throughput_gtuples
         assert ratio > 8  # paper: 8-18x for out-of-core tables
 

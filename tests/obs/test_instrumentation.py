@@ -1,0 +1,112 @@
+"""End-to-end observability: joins, dispatcher, and simulator emit
+spans and metrics that reconcile with their priced results."""
+
+import pytest
+
+from repro.core.join.coop import CoopJoin
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.obs import Observability
+
+
+class TestNopaInstrumentation:
+    @pytest.fixture
+    def run(self, ibm, wl_a):
+        obs = Observability.create()
+        join = NoPartitioningJoin(ibm, transfer_method="coherence", obs=obs)
+        result = join.run(wl_a.r, wl_a.s, processor="gpu0")
+        return obs, result
+
+    def test_phase_spans_cover_runtime(self, run):
+        obs, result = run
+        build = obs.timeline.by_label("build")
+        probe = obs.timeline.by_label("probe")
+        assert len(build) == len(probe) == 1
+        assert build[0].duration == pytest.approx(result.build_cost.seconds)
+        assert probe[0].duration == pytest.approx(result.probe_cost.seconds)
+        assert obs.clock.now == pytest.approx(result.runtime)
+        # Spans sit back-to-back on the sim clock.
+        assert probe[0].start == pytest.approx(build[0].end)
+
+    def test_spans_annotated_with_bottleneck(self, run):
+        obs, result = run
+        (probe,) = obs.timeline.by_label("probe")
+        assert probe.attrs["bottleneck"] == result.probe_cost.bottleneck
+        assert probe.attrs["matches"] == result.matches
+        assert probe.worker == "gpu0"
+
+    def test_price_spans_nested_under_phases(self, run):
+        obs, _ = run
+        priced = [s for s in obs.timeline.spans if s.label.startswith("price[")]
+        assert priced
+        assert {s.parent for s in priced} <= {"build", "probe"}
+
+    def test_metrics_reconcile_with_occupancy(self, run):
+        obs, result = run
+        for cost in (result.build_cost, result.probe_cost):
+            for resource, busy in cost.occupancy.items():
+                total = obs.metrics.value(
+                    "counter", "resource_busy_seconds_total", resource=resource
+                )
+                assert total is not None and total >= busy * 0.999
+
+    def test_link_bytes_recorded(self, run):
+        obs, _ = run
+        snap = obs.metrics.snapshot()
+        link_totals = snap["counter:link_bytes_total"]
+        assert any(
+            "nvlink" in entry["labels"]["link"] and entry["value"] > 0
+            for entry in link_totals
+        )
+        assert "counter:atomic_ops_total" in snap  # build-phase inserts
+
+
+class TestCoopInstrumentation:
+    @pytest.fixture
+    def run(self, ibm, wl_a):
+        obs = Observability.create()
+        join = CoopJoin(ibm, strategy="het", obs=obs)
+        result = join.run(wl_a.r, wl_a.s, workers=("cpu0", "gpu0"))
+        return obs, result
+
+    def test_aggregate_phase_costs_attached(self, run):
+        _, result = run
+        assert result.build_cost is not None
+        assert result.build_cost.seconds == pytest.approx(result.build_seconds)
+        assert result.probe_cost is not None
+        assert result.probe_cost.seconds == pytest.approx(result.probe_seconds)
+        assert result.probe_cost.occupancy  # summed across workers
+
+    def test_outer_spans_advance_clock_once(self, run):
+        obs, result = run
+        assert obs.clock.now == pytest.approx(
+            result.build_seconds + result.probe_seconds
+        )
+        (probe,) = obs.timeline.by_label("probe")
+        assert probe.duration == pytest.approx(result.probe_seconds)
+
+    def test_sim_run_span_nested_in_probe(self, run):
+        obs, _ = run
+        (sim_span,) = obs.timeline.by_label("sim.run")
+        assert sim_span.worker == "simulator"
+        assert sim_span.parent == "probe"
+        assert sim_span.attrs["events"] > 0
+
+    def test_dispatcher_metrics(self, run):
+        obs, result = run
+        for worker in result.workers:
+            grants = obs.metrics.value(
+                "counter", "morsels_dispatched_total", worker=worker
+            )
+            assert grants is not None and grants > 0
+            hist = obs.metrics.histogram("dispatch_batch_tuples", worker=worker)
+            assert hist.count > 0
+
+    def test_worker_profile_metrics_scaled_by_share(self, run):
+        obs, result = run
+        # Each worker's compute tuples reflect its solved share of S.
+        total = sum(
+            obs.metrics.value("counter", "compute_tuples_total", processor=w)
+            or 0.0
+            for w in result.workers
+        )
+        assert total > 0

@@ -1,0 +1,115 @@
+"""Run manifests: schema, building from live joins, changelog guard."""
+
+import json
+
+import pytest
+
+from repro.core.join.nopa import NoPartitioningJoin
+from repro.obs import Observability
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    check_changelog,
+    machine_summary,
+    phase_record,
+    write_manifest_file,
+)
+
+SCALE = 2.0**-14
+
+
+@pytest.fixture
+def nopa_manifest(ibm, wl_a):
+    obs = Observability.create()
+    join = NoPartitioningJoin(ibm, transfer_method="coherence", obs=obs)
+    result = join.run(wl_a.r, wl_a.s, processor="gpu0")
+    manifest = build_manifest(
+        kind="nopa",
+        machine=ibm,
+        phases=[result.build_cost, result.probe_cost],
+        config={"transfer_method": "coherence"},
+        results={"matches": result.matches},
+        obs=obs,
+    )
+    return result, manifest
+
+
+class TestSchema:
+    def test_to_dict_has_versioned_schema(self, nopa_manifest):
+        _, manifest = nopa_manifest
+        doc = manifest.to_dict()
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        for key in ("kind", "machine", "config", "phases", "results",
+                    "metrics", "spans"):
+            assert key in doc, key
+
+    def test_phase_records_carry_bottleneck_chain(self, nopa_manifest):
+        _, manifest = nopa_manifest
+        doc = manifest.to_dict()
+        for phase in doc["phases"]:
+            assert phase["seconds"] > 0
+            chain = phase["bottleneck_chain"]
+            assert chain[0]["resource"] == phase["bottleneck"]
+            assert chain[0]["utilization"] == pytest.approx(1.0)
+            utils = [entry["utilization"] for entry in chain]
+            assert utils == sorted(utils, reverse=True)
+
+    def test_bottleneck_summary(self, nopa_manifest):
+        _, manifest = nopa_manifest
+        summary = manifest.bottleneck_summary
+        assert len(summary) == 2
+        assert summary[0].startswith("build -> ")
+        assert summary[1].startswith("probe -> ")
+
+    def test_machine_summary_lists_topology(self, ibm):
+        doc = machine_summary(ibm)
+        assert doc["name"] == "ibm-ac922"
+        assert doc["processors"]["gpu0"]["kind"] == "gpu"
+        assert doc["memories"]["gpu0-mem"]["owner"] == "gpu0"
+        assert any("nvlink" in link["spec"] for link in doc["links"])
+
+    def test_spans_and_metrics_embedded(self, nopa_manifest):
+        result, manifest = nopa_manifest
+        doc = manifest.to_dict()
+        labels = {span["label"] for span in doc["spans"]}
+        assert {"build", "probe"} <= labels
+        assert "counter:link_bytes_total" in doc["metrics"]
+
+    def test_json_round_trip_is_deterministic(self, nopa_manifest):
+        _, manifest = nopa_manifest
+        assert manifest.to_json() == manifest.to_json()
+        json.loads(manifest.to_json())  # must parse
+
+
+class TestPhaseRecord:
+    def test_matches_phase_cost(self, nopa_manifest):
+        result, _ = nopa_manifest
+        record = phase_record(result.build_cost)
+        assert record["label"] == "build"
+        assert record["seconds"] == pytest.approx(result.build_cost.seconds)
+        assert record["bottleneck"] == result.build_cost.bottleneck
+
+
+class TestManifestFile:
+    def test_write_manifest_file(self, tmp_path, nopa_manifest):
+        _, manifest = nopa_manifest
+        path = write_manifest_file(
+            tmp_path / "m.json", [manifest], generator="test"
+        )
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert doc["generator"] == "test"
+        assert len(doc["runs"]) == 1
+        assert doc["runs"][0]["kind"] == "nopa"
+
+
+class TestChangelogGuard:
+    def test_current_version_documented(self):
+        # The real doc must mention the current schema version.
+        check_changelog("docs/observability.md")
+
+    def test_missing_entry_fails(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Schema changelog\n\n- `0.9`: ancient history\n")
+        with pytest.raises(SystemExit):
+            check_changelog(doc)

@@ -1,0 +1,85 @@
+"""MetricsRegistry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes_total", link="nvlink").inc(100)
+        registry.counter("bytes_total", link="nvlink").inc(50)
+        assert registry.value("counter", "bytes_total", link="nvlink") == 150
+
+    def test_label_sets_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes_total", link="nvlink").inc(1)
+        registry.counter("bytes_total", link="pcie").inc(2)
+        assert registry.value("counter", "bytes_total", link="nvlink") == 1
+        assert registry.value("counter", "bytes_total", link="pcie") == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc(1)
+        registry.counter("x", b="2", a="1").inc(1)
+        assert registry.value("counter", "x", a="1", b="2") == 2
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("hit_rate", cache="l2").set(0.4)
+        registry.gauge("hit_rate", cache="l2").set(0.9)
+        assert registry.value("gauge", "hit_rate", cache="l2") == 0.9
+
+
+class TestHistograms:
+    def test_observe_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("batch_tuples", worker="gpu0")
+        for value in (1.0, 5.0, 5.0, 1e12):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1e12 + 11.0)
+        assert snap["mean"] == pytest.approx((1e12 + 11.0) / 4)
+        # Power-of-four bins: 1.0 -> "1.0", both 5.0s -> "16.0",
+        # 1e12 overflows every finite bound -> "+Inf".
+        assert snap["buckets"]["1.0"] == 1
+        assert snap["buckets"]["16.0"] == 2
+        assert snap["buckets"]["+Inf"] == 1
+
+    def test_custom_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x", buckets=(1.0, 10.0))
+        hist.observe(5.0)
+        assert hist.snapshot()["buckets"]["10.0"] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", proc="gpu0").inc(3)
+        registry.gauge("rate", cache="l2").set(0.5)
+        snap = registry.snapshot()
+        assert snap["counter:ops_total"] == [
+            {"labels": {"proc": "gpu0"}, "value": 3}
+        ]
+        assert snap["gauge:rate"][0]["value"] == 0.5
+
+    def test_missing_instrument_value(self):
+        registry = MetricsRegistry()
+        assert registry.value("counter", "nope") is None
+
+    def test_iter_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(1.0)
+        assert len(registry) == 2
+        assert {m.name for m in registry} == {"a", "b"}

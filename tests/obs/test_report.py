@@ -1,0 +1,52 @@
+"""The `python -m repro.obs.report` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs import report
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION
+
+SCALE = 2.0**-14
+
+
+class TestReportCli:
+    def test_prints_breakdown_and_writes_manifest(self, tmp_path, capsys):
+        out = tmp_path / "manifest.json"
+        assert report.main(["--scale", str(SCALE), "--out", str(out)]) == 0
+
+        printed = capsys.readouterr().out
+        assert "NOPA join" in printed
+        assert "Cooperative join" in printed
+        assert "bottleneck" in printed
+        assert "chain:" in printed
+        assert "probe shares" in printed
+
+        doc = json.loads(out.read_text())
+        assert doc["schema_version"] == MANIFEST_SCHEMA_VERSION
+        assert doc["generator"] == "repro.obs.report"
+        kinds = [run["kind"] for run in doc["runs"]]
+        assert kinds == ["nopa", "coop[het]"]
+        for run in doc["runs"]:
+            assert [p["label"] for p in run["phases"]] == ["build", "probe"]
+            assert run["results"]["matches"] > 0
+
+    def test_intel_machine_uses_pcie_methods(self, capsys):
+        assert report.main(["--machine", "intel", "--scale", str(SCALE)]) == 0
+        printed = capsys.readouterr().out
+        assert "method=zero_copy" in printed
+        assert "strategy=gpu+het" in printed
+
+    def test_functional_results_match_plain_run(self, ibm, wl_a, capsys):
+        result, manifest = report.report_nopa(ibm, wl_a)
+        capsys.readouterr()
+        import repro
+
+        plain = repro.NoPartitioningJoin(
+            ibm, transfer_method="coherence"
+        ).run(wl_a.r, wl_a.s, processor="gpu0")
+        assert result.matches == plain.matches
+        assert result.probe_cost.seconds == pytest.approx(
+            plain.probe_cost.seconds
+        )
+        assert manifest.to_dict()["results"]["matches"] == plain.matches

@@ -1,0 +1,110 @@
+"""SimClock, Span, Timeline, and Tracer semantics."""
+
+import pytest
+
+from repro.obs.clock import SimClock
+from repro.obs.trace import Span, Timeline, Tracer
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimClock()
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+        with pytest.raises(ValueError):
+            clock.advance_to(2.0)
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span(worker="gpu0", label="probe", start=1.0, end=3.5)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Span(worker="gpu0", label="probe", start=2.0, end=1.0)
+
+    def test_to_dict_round_trip(self):
+        span = Span(
+            worker="gpu0", label="probe", start=0.0, end=1.0,
+            units=42.0, attrs={"bottleneck": "mem:gpu0-mem"},
+        )
+        doc = span.to_dict()
+        assert doc["worker"] == "gpu0"
+        assert doc["duration"] == pytest.approx(1.0)
+        assert doc["units"] == 42.0
+        assert doc["attrs"] == {"bottleneck": "mem:gpu0-mem"}
+
+
+class TestTimeline:
+    def test_busy_time_and_units_per_worker(self):
+        timeline = Timeline()
+        timeline.record("cpu0", "probe", 0.0, 1.0, units=100)
+        timeline.record("gpu0", "probe", 0.0, 3.0, units=900)
+        timeline.record("cpu0", "probe", 1.0, 2.0, units=50)
+        assert timeline.busy_time("cpu0") == pytest.approx(2.0)
+        assert timeline.units_processed("gpu0") == pytest.approx(900)
+        assert timeline.makespan() == pytest.approx(3.0)
+        assert timeline.idle_tail("cpu0") == pytest.approx(1.0)
+        assert timeline.idle_tail("gpu0") == pytest.approx(0.0)
+
+    def test_by_label_and_by_worker(self):
+        timeline = Timeline()
+        timeline.record("cpu0", "build", 0.0, 1.0)
+        timeline.record("cpu0", "probe", 1.0, 2.0)
+        assert len(timeline.by_label("build")) == 1
+        assert {s.label for s in timeline.by_worker()["cpu0"]} == {
+            "build", "probe"
+        }
+
+
+class TestTracer:
+    def test_span_advances_shared_clock(self):
+        tracer = Tracer()
+        with tracer.span("build", worker="gpu0") as span:
+            span.advance(0.25)
+        (recorded,) = tracer.timeline.spans
+        assert recorded.start == 0.0
+        assert recorded.end == pytest.approx(0.25)
+        assert tracer.clock.now == pytest.approx(0.25)
+
+    def test_nested_spans_record_parent_label(self):
+        tracer = Tracer()
+        with tracer.span("probe", worker="gpu0") as outer:
+            assert tracer.current_label == "probe"
+            with tracer.span("price[probe]", worker="gpu0") as inner:
+                inner.advance(1.0)
+            outer.advance(0.5)
+        labels = {s.label: s for s in tracer.timeline.spans}
+        assert labels["price[probe]"].parent == "probe"
+        assert labels["probe"].parent == ""
+        # The outer span covers the inner span plus its own remainder.
+        assert labels["probe"].duration == pytest.approx(1.5)
+
+    def test_annotate_and_units(self):
+        tracer = Tracer()
+        with tracer.span("probe", worker="gpu0", units=10) as span:
+            span.annotate(bottleneck="mem:gpu0-mem").add_units(5)
+        (recorded,) = tracer.timeline.spans
+        assert recorded.attrs["bottleneck"] == "mem:gpu0-mem"
+        assert recorded.units == 15
+
+    def test_deterministic_replay(self):
+        def run():
+            tracer = Tracer()
+            for i in range(3):
+                with tracer.span("phase", worker="w") as span:
+                    span.advance(0.1 * (i + 1))
+            return tracer.timeline.to_dicts()
+
+        assert run() == run()

@@ -150,3 +150,60 @@ class TestSideEffects:
         cal = cm.calibration
         assert get_method("coherence").pipeline_overlap_factor(cal) == 1.0
         assert get_method("pinned_copy").pipeline_overlap_factor(cal) > 1.0
+
+
+class TestKindEnforcement:
+    """Table 1 requires each method's source memory kind; regression:
+    `required_kind` used to be advisory and never enforced."""
+
+    def test_supported_kinds_mirror_required_kind(self):
+        for method in TRANSFER_METHODS.values():
+            assert method.supported_kinds() == frozenset(
+                {method.required_kind}
+            )
+
+    def test_matching_kind_accepted(self, ibm):
+        get_method("zero_copy").check_supported(
+            ibm, "gpu0", "cpu0-mem", kind=MemoryKind.PINNED
+        )
+        get_method("coherence").check_supported(
+            ibm, "gpu0", "cpu0-mem", kind=MemoryKind.PAGEABLE
+        )
+
+    def test_mismatched_kind_rejected(self, ibm):
+        with pytest.raises(UnsupportedTransferError, match="pinned"):
+            get_method("zero_copy").check_supported(
+                ibm, "gpu0", "cpu0-mem", kind=MemoryKind.PAGEABLE
+            )
+        with pytest.raises(UnsupportedTransferError, match="unified"):
+            get_method("um_migration").check_supported(
+                ibm, "gpu0", "cpu0-mem", kind=MemoryKind.PAGEABLE
+            )
+
+    def test_error_names_method_and_fix(self, ibm):
+        with pytest.raises(UnsupportedTransferError, match="reallocate"):
+            get_method("pinned_copy").check_supported(
+                ibm, "gpu0", "cpu0-mem", kind=MemoryKind.UNIFIED
+            )
+
+    def test_kind_none_skips_the_check(self, ibm):
+        # Route-only validation (no allocation in hand) stays lenient.
+        get_method("zero_copy").check_supported(ibm, "gpu0", "cpu0-mem")
+
+    def test_join_rejects_wrong_allocation(self, ibm, wl_a):
+        from repro.core.join.nopa import NoPartitioningJoin
+
+        join = NoPartitioningJoin(ibm, transfer_method="zero_copy")
+        with pytest.raises(UnsupportedTransferError, match="pageable"):
+            join.run(wl_a.r, wl_a.s, processor="gpu0")  # default pageable
+
+    def test_placed_for_reallocates_workload(self, ibm, wl_a):
+        from repro.core.join.nopa import NoPartitioningJoin
+
+        pinned = wl_a.placed_for("zero_copy")
+        assert pinned.r.kind is MemoryKind.PINNED
+        assert pinned.s.kind is MemoryKind.PINNED
+        result = NoPartitioningJoin(ibm, transfer_method="zero_copy").run(
+            pinned.r, pinned.s, processor="gpu0"
+        )
+        assert result.matches == wl_a.s.executed_tuples
