@@ -13,7 +13,7 @@ Uses the library's introspection tools on one out-of-core join:
 import numpy as np
 
 import repro
-from repro.costmodel.explain import explain_join
+from repro.obs.explain import explain_join
 from repro.core.scheduler.batch import tune_batch_morsels
 from repro.hardware.numa import render_matrix
 from repro.workloads.custom import make_join_workload

@@ -7,6 +7,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.base import AnalysisPass
 from repro.analysis.passes.coherence import SimulatedCoherencePass
 from repro.analysis.passes.determinism import DeterminismPass
+from repro.analysis.passes.executor_boundary import ExecutorBoundaryPass
 from repro.analysis.passes.unit_safety import UnitSafetyPass
 from repro.analysis.passes.vectorization import VectorizationPass
 
@@ -15,6 +16,7 @@ ALL_PASSES: List[AnalysisPass] = [
     DeterminismPass(),
     VectorizationPass(),
     SimulatedCoherencePass(),
+    ExecutorBoundaryPass(),
 ]
 
 
@@ -33,6 +35,7 @@ def get_passes(names: Optional[Sequence[str]] = None) -> List[AnalysisPass]:
 __all__ = [
     "ALL_PASSES",
     "DeterminismPass",
+    "ExecutorBoundaryPass",
     "SimulatedCoherencePass",
     "UnitSafetyPass",
     "VectorizationPass",

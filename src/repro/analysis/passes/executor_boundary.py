@@ -1,0 +1,66 @@
+"""Executor-boundary pass: only ``repro.plan`` prices phases.
+
+The phase-plan refactor made the :class:`repro.plan.PlanExecutor` the
+single component that prices work through the cost model.  Operators
+compile :class:`~repro.plan.PhaseSpec` DAGs and hand them to the
+executor, which owns the chunked-overlap arithmetic, the concurrent
+solver, and the exactly-once span/metric emission.  A direct call to
+``CostModel.phase_cost`` / ``phases_cost`` / ``occupancy_per_unit``
+anywhere else bypasses all of that: the phase would be priced without
+its overlap attributes and either double-emit or skip its
+observability records.  This pass flags such calls; deliberate
+exceptions (e.g. pedagogical examples) go through
+``analysis-baseline.json`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.base import AnalysisPass, ModuleContext, dotted_name
+from repro.analysis.finding import Finding, Severity
+
+#: CostModel pricing entry points reserved for the plan executor.
+_PRICING_METHODS = {"phase_cost", "phases_cost", "occupancy_per_unit"}
+
+
+class ExecutorBoundaryPass(AnalysisPass):
+    name = "executor-boundary"
+    description = (
+        "operators compile phase plans; only repro.plan may price "
+        "phases through CostModel.phase_cost/phases_cost/"
+        "occupancy_per_unit"
+    )
+    severity = Severity.ERROR
+    #: everything is in scope except the pricing layer itself; see
+    #: :meth:`in_scope`.
+    scope = ()
+
+    #: path fragments allowed to price directly: the executor package
+    #: and the cost model's own implementation.
+    exempt = ("repro/plan/", "costmodel/model")
+
+    def in_scope(self, posix_path: str) -> bool:
+        return not any(fragment in posix_path for fragment in self.exempt)
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        return list(self._iter_findings(ctx))
+
+    def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _PRICING_METHODS:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"direct pricing call `{dotted_name(func)}()` outside "
+                "repro.plan; compile the work into a PhaseSpec and let "
+                "the PlanExecutor price it (overlap arithmetic and "
+                "span/metric emission live there)",
+            )

@@ -20,6 +20,25 @@ from repro.obs.explain import bottleneck_chain, explain, explain_join
 from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 from repro.core.join.nopa import JoinResult, NoPartitioningJoin
 from repro.core.join.radix import RadixJoin, RadixJoinResult
+from repro.plan import (
+    Chunked,
+    MorselWorker,
+    PhaseKind,
+    PhaseOutcome,
+    PhaseSpec,
+    Plan,
+    PlanError,
+    PlanExecutor,
+    PlanResult,
+    Surcharge,
+    WorkerLoad,
+    concurrent_phase,
+    fixed_phase,
+    ingest,
+    morsel_phase,
+    pipeline_makespan,
+    priced_phase,
+)
 from repro.engine import (
     Filter,
     HashAggregate,
@@ -89,6 +108,23 @@ __all__ = [
     "NoPartitioningJoin",
     "RadixJoin",
     "RadixJoinResult",
+    "Plan",
+    "PhaseSpec",
+    "PhaseKind",
+    "PhaseOutcome",
+    "PlanError",
+    "PlanExecutor",
+    "PlanResult",
+    "Chunked",
+    "Surcharge",
+    "WorkerLoad",
+    "MorselWorker",
+    "priced_phase",
+    "concurrent_phase",
+    "morsel_phase",
+    "fixed_phase",
+    "ingest",
+    "pipeline_makespan",
     "Filter",
     "HashAggregate",
     "HashJoinOp",

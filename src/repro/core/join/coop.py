@@ -19,7 +19,6 @@ adds the end-of-input skew and batching effects of Section 6.1.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -34,17 +33,24 @@ from repro.costmodel.access import (
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.hashtable import create_hash_table
-from repro.core.scheduler.batch import tune_batch_morsels
-from repro.core.scheduler.morsel import MorselDispatcher
 from repro.data.relation import Relation
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.memory.allocator import OutOfMemoryError
 from repro.obs import Observability
-from repro.sim.engine import Simulator
-from repro.sim.resources import solve_concurrent_rates
-from repro.sim.trace import Timeline
+from repro.obs.trace import Timeline
+from repro.plan import (
+    MorselWorker,
+    PhaseSpec,
+    Plan,
+    PlanExecutor,
+    Surcharge,
+    WorkerLoad,
+    concurrent_phase,
+    morsel_phase,
+    priced_phase,
+)
 
 STRATEGIES = ("het", "gpu+het")
 
@@ -211,72 +217,39 @@ class CoopJoin:
         )
 
     # ------------------------------------------------------------------
-    # Phases
+    # Plan compilation
     # ------------------------------------------------------------------
-    def _aggregate_cost(
-        self,
-        demands: Dict[str, Dict[str, float]],
-        tuples_by_worker: Dict[str, float],
-        seconds: float,
-        label: str,
-    ) -> PhaseCost:
-        """Sum per-worker occupancy at the solved shares into one cost.
-
-        The result has the same shape single-processor ``phase_cost``
-        output does, so manifests report co-processed phases uniformly;
-        its bottleneck is the most-occupied shared resource.
-        """
-        occupancy: Dict[str, float] = defaultdict(float)
-        for worker, demand in demands.items():
-            tuples = tuples_by_worker.get(worker, 0.0)
-            for resource, per_unit in demand.items():
-                occupancy[resource] += per_unit * tuples
-        bottleneck = (
-            max(occupancy, key=lambda res: occupancy[res])
-            if occupancy
-            else "(none)"
-        )
-        return PhaseCost(
-            seconds=seconds,
-            bottleneck=bottleneck,
-            occupancy=dict(occupancy),
-            label=label,
-        )
-
-    def _build_phase(
+    def build_phase_spec(
         self,
         r: Relation,
         workers: Tuple[str, ...],
         table_bytes: float,
         entry_bytes: float,
-    ) -> Tuple[float, Dict[str, str], PhaseCost]:
-        """Returns (build seconds, worker -> probe table region, cost)."""
+    ) -> Tuple[PhaseSpec, Dict[str, str]]:
+        """Compile the build phase; returns (spec, worker -> probe region)."""
+        span_attrs = {"strategy": self.strategy}
         if self.strategy == "het":
             region = self._shared_table_region(workers)
             contended = len(workers) > 1
-            demands = {}
-            profiles = {}
-            for worker in workers:
-                profile = self._build_profile(
-                    worker, r, region, table_bytes, entry_bytes, contended
+            loads = {
+                worker: WorkerLoad(
+                    self._build_profile(
+                        worker, r, region, table_bytes, entry_bytes, contended
+                    ),
+                    float(r.modeled_tuples),
                 )
-                profiles[worker] = profile
-                demands[worker] = self.cost_model.occupancy_per_unit(
-                    profile, r.modeled_tuples
-                )
-            rates = solve_concurrent_rates(demands)
-            combined = sum(rates.values())
-            seconds = r.modeled_tuples / combined if combined > 0 else 0.0
-            tuples = {worker: rates[worker] * seconds for worker in workers}
-            cost = self._aggregate_cost(demands, tuples, seconds, "build")
-            for worker in workers:
-                share = (
-                    tuples[worker] / r.modeled_tuples if r.modeled_tuples else 0.0
-                )
-                self.cost_model.record_profile_metrics(
-                    profiles[worker].scaled(share)
-                )
-            return seconds, {worker: region for worker in workers}, cost
+                for worker in workers
+            }
+            spec = concurrent_phase(
+                "build",
+                loads,
+                shared_units=float(r.modeled_tuples),
+                claims=tuple(workers),
+                span_worker=",".join(workers),
+                span_units=float(r.modeled_tuples),
+                span_attrs=span_attrs,
+            )
+            return spec, {worker: region for worker in workers}
 
         # gpu+het: the GPU builds locally, then broadcasts the table.
         # Every worker holds a private copy, so the table must fit the
@@ -298,30 +271,30 @@ class CoopJoin:
         profile = self._build_profile(
             builder, r, build_region, table_bytes, entry_bytes, contended=False
         )
-        cost = self.cost_model.phase_cost(profile)
-        seconds = cost.seconds
         # Synchronous copy of the finished table to each other worker's
         # local memory over the builder's link (Figure 9b, step 2).
         others = [w for w in workers if w != builder]
         copy_targets = {self._local_table_region(w) for w in others}
+        surcharges: Tuple[Surcharge, ...] = ()
         if copy_targets:
             link = self.machine.gpu_link(builder)
             copy_bw = link.spec.seq_bw * self.calibration.ht_copy_bandwidth_factor
             copy_seconds = len(copy_targets) * table_bytes / copy_bw
-            seconds += copy_seconds
-            occupancy = dict(cost.occupancy)
-            key = f"link:{link.name}"
-            occupancy[key] = occupancy.get(key, 0.0) + copy_seconds
-            cost = PhaseCost(
-                seconds=seconds,
-                bottleneck=max(occupancy, key=lambda res: occupancy[res]),
-                occupancy=occupancy,
-                label=cost.label,
+            surcharges = (
+                Surcharge(copy_seconds, f"link:{link.name}", "ht broadcast"),
             )
-        regions = {w: self._local_table_region(w) for w in workers}
-        return seconds, regions, cost
+        spec = priced_phase(
+            "build",
+            profile,
+            surcharges=surcharges,
+            claims=tuple(workers),
+            span_worker=",".join(workers),
+            span_units=float(r.modeled_tuples),
+            span_attrs=span_attrs,
+        )
+        return spec, {w: self._local_table_region(w) for w in workers}
 
-    def _probe_phase(
+    def probe_phase_spec(
         self,
         s: Relation,
         workers: Tuple[str, ...],
@@ -331,11 +304,11 @@ class CoopJoin:
         accesses_per_tuple: float,
         lines_loaded: float,
         hot_set: Optional[HotSetProfile],
-    ) -> Tuple[
-        float, Dict[str, float], Dict[str, float], Timeline, PhaseCost
-    ]:
-        demands = {}
-        profiles = {}
+        matches: int = 0,
+    ) -> PhaseSpec:
+        """Compile the morsel-dispatched cooperative probe phase."""
+        loads = {}
+        morsel_workers = {}
         for worker in workers:
             profile = self._probe_profile(
                 worker,
@@ -347,58 +320,30 @@ class CoopJoin:
                 lines_loaded,
                 hot_set,
             )
-            profiles[worker] = profile
-            demands[worker] = self.cost_model.occupancy_per_unit(
-                profile, s.modeled_tuples
-            )
-        rates = solve_concurrent_rates(demands)
-
-        dispatcher = MorselDispatcher(
-            s.modeled_tuples, self.morsel_tuples, metrics=self.obs.metrics
-        )
-        sim = Simulator(tracer=self.obs.tracer)
-        timeline = Timeline()
-
-        def make_worker(name: str, rate: float, batch: int, latency: float):
-            def work(simulator: Simulator) -> None:
-                grant = dispatcher.next_batch(batch, worker=name)
-                if grant is None:
-                    return
-                duration = latency + grant.tuples / rate
-                timeline.record(name, "probe", simulator.now,
-                                simulator.now + duration, grant.tuples)
-                simulator.schedule(duration, work)
-
-            return work
-
-        for worker in workers:
-            rate = rates[worker]
-            if rate <= 0 or rate == float("inf"):
-                raise RuntimeError(f"degenerate probe rate for {worker}: {rate}")
+            loads[worker] = WorkerLoad(profile, float(s.modeled_tuples))
             if self._is_gpu(worker):
-                latency = self.calibration.gpu_batch_dispatch_latency
-                batch = self.gpu_batch_morsels or tune_batch_morsels(
-                    self.morsel_tuples, rate, latency
+                morsel_workers[worker] = MorselWorker(
+                    dispatch_latency=self.calibration.gpu_batch_dispatch_latency,
+                    batch_morsels=self.gpu_batch_morsels,
                 )
             else:
-                latency = self.calibration.cpu_morsel_dispatch_latency
-                batch = 1
-            sim.schedule(0.0, make_worker(worker, rate, batch, latency))
-        seconds = sim.run()
-        shares = {
-            worker: dispatcher.dispatched_tuples(worker) / max(1, s.modeled_tuples)
-            for worker in workers
-        }
-        tuples = {
-            worker: float(dispatcher.dispatched_tuples(worker))
-            for worker in workers
-        }
-        cost = self._aggregate_cost(demands, tuples, seconds, "probe")
-        for worker in workers:
-            self.cost_model.record_profile_metrics(
-                profiles[worker].scaled(shares[worker])
-            )
-        return seconds, rates, shares, timeline, cost
+                morsel_workers[worker] = MorselWorker(
+                    dispatch_latency=self.calibration.cpu_morsel_dispatch_latency,
+                    batch_morsels=1,
+                )
+        return morsel_phase(
+            "probe",
+            loads,
+            shared_units=float(s.modeled_tuples),
+            morsel_tuples=self.morsel_tuples,
+            morsel_workers=morsel_workers,
+            deps=("build",),
+            claims=tuple(workers),
+            span_worker=",".join(workers),
+            span_units=float(s.modeled_tuples),
+            span_attrs={"strategy": self.strategy},
+            annotations={"matches": matches},
+        )
 
     # ------------------------------------------------------------------
     # Entry point
@@ -445,62 +390,38 @@ class CoopJoin:
             table.stats.lookup_probes + table.stats.value_reads
         ) / max(1, table.stats.lookups)
 
-        tracer = self.obs.tracer
-        clock = self.obs.clock
-        # Outer spans cover whatever each phase prices internally; the
-        # remainder advance tops the clock up to the phase's full time
-        # (solver-based phases advance the clock by nothing themselves,
-        # gpu+het's table copy rides on top of its priced build).
-        with tracer.span(
-            "build",
-            worker=",".join(workers),
-            units=float(r.modeled_tuples),
-            strategy=self.strategy,
-        ) as span:
-            inner_start = clock.now
-            build_seconds, regions, build_cost = self._build_phase(
-                r, workers, table_bytes, table.entry_bytes
-            )
-            remainder = build_seconds - (clock.now - inner_start)
-            if remainder > 0:
-                span.advance(remainder)
-            span.annotate(bottleneck=build_cost.bottleneck)
-        with tracer.span(
-            "probe",
-            worker=",".join(workers),
-            units=float(s.modeled_tuples),
-            strategy=self.strategy,
-        ) as span:
-            inner_start = clock.now
-            probe_seconds, rates, shares, timeline, probe_cost = (
-                self._probe_phase(
-                    s,
-                    workers,
-                    regions,
-                    table_bytes,
-                    table.keys.dtype.itemsize,
-                    accesses_per_tuple,
-                    lines_loaded,
-                    hot_set,
-                )
-            )
-            remainder = probe_seconds - (clock.now - inner_start)
-            if remainder > 0:
-                span.advance(remainder)
-            span.annotate(bottleneck=probe_cost.bottleneck, matches=matches)
+        build_spec, regions = self.build_phase_spec(
+            r, workers, table_bytes, table.entry_bytes
+        )
+        probe_spec = self.probe_phase_spec(
+            s,
+            workers,
+            regions,
+            table_bytes,
+            table.keys.dtype.itemsize,
+            accesses_per_tuple,
+            lines_loaded,
+            hot_set,
+            matches=matches,
+        )
+        plan = Plan([build_spec, probe_spec], label=f"coop[{self.strategy}]")
+        executed = PlanExecutor(self.cost_model).execute(plan)
+        build_out = executed.outcomes["build"]
+        probe_out = executed.outcomes["probe"]
+        assert probe_out.timeline is not None
         return CoopResult(
             matches=matches,
             aggregate=aggregate,
             strategy=self.strategy,
-            build_seconds=build_seconds,
-            probe_seconds=probe_seconds,
+            build_seconds=build_out.cost.seconds,
+            probe_seconds=probe_out.cost.seconds,
             modeled_tuples=r.modeled_tuples + s.modeled_tuples,
-            worker_rates=rates,
-            worker_shares=shares,
-            timeline=timeline,
+            worker_rates=probe_out.rates,
+            worker_shares=probe_out.shares,
+            timeline=probe_out.timeline,
             workers=tuple(workers),
-            build_cost=build_cost,
-            probe_cost=probe_cost,
+            build_cost=build_out.cost,
+            probe_cost=probe_out.cost,
         )
 
 

@@ -40,7 +40,16 @@ from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.memory.allocator import Allocator, OutOfMemoryError
 from repro.memory.hybrid import allocate_interleaved
-from repro.sim.resources import solve_concurrent_rates
+from repro.obs import Observability
+from repro.plan import (
+    PhaseSpec,
+    Plan,
+    PlanExecutor,
+    Surcharge,
+    WorkerLoad,
+    concurrent_phase,
+    priced_phase,
+)
 
 PLACEMENTS = ("replicated", "interleaved")
 
@@ -88,6 +97,7 @@ class MultiGpuJoin:
         placement: str = "interleaved",
         calibration: Calibration = DEFAULT_CALIBRATION,
         hash_scheme: str = "perfect",
+        obs: Optional[Observability] = None,
     ) -> None:
         if placement not in PLACEMENTS:
             raise ValueError(
@@ -96,7 +106,8 @@ class MultiGpuJoin:
         self.machine = machine
         self.placement = placement
         self.calibration = calibration
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
         self.hash_scheme = hash_scheme
 
     # ------------------------------------------------------------------
@@ -182,14 +193,16 @@ class MultiGpuJoin:
             processor=gpu.name,
         )
 
-    def _build_seconds(
+    def build_phase_spec(
         self,
         gpus: Sequence[Gpu],
         r: Relation,
         fractions: Dict[str, float],
         entry_bytes: int,
         table_bytes: int,
-    ) -> float:
+    ) -> PhaseSpec:
+        """Compile the build phase for the chosen placement."""
+        workers = tuple(gpu.name for gpu in gpus)
         if self.placement == "replicated":
             builder = gpus[0]
             profile = AccessProfile(
@@ -209,20 +222,33 @@ class MultiGpuJoin:
                 label="build[replicated]",
                 processor=builder.name,
             )
-            seconds = self.cost_model.phase_cost(profile).seconds
             # Broadcast the finished table to the other GPUs over their
             # links (peer-to-peer through the mesh).
             others = len(gpus) - 1
+            surcharges: Tuple[Surcharge, ...] = ()
             if others:
                 link = self.machine.gpu_link(builder.name)
                 copy_bw = (
                     link.spec.seq_bw * self.calibration.ht_copy_bandwidth_factor
                 )
-                seconds += others * table_bytes / copy_bw
-            return seconds
+                surcharges = (
+                    Surcharge(
+                        others * table_bytes / copy_bw,
+                        f"link:{link.name}",
+                        "ht broadcast",
+                    ),
+                )
+            return priced_phase(
+                "build",
+                profile,
+                surcharges=surcharges,
+                claims=workers,
+                span_worker=",".join(workers),
+                span_units=float(r.modeled_tuples),
+            )
         # Interleaved: all GPUs build concurrently; each GPU's inserts
         # scatter over every GPU's memory by the byte fractions.
-        demands = {}
+        loads: Dict[str, WorkerLoad] = {}
         share = 1.0 / len(gpus)
         for gpu in gpus:
             streams = [
@@ -249,12 +275,42 @@ class MultiGpuJoin:
                 label=f"build[{gpu.name}]",
                 processor=gpu.name,
             )
-            demands[gpu.name] = self.cost_model.occupancy_per_unit(
-                profile, r.modeled_tuples * share
+            loads[gpu.name] = WorkerLoad(profile, float(r.modeled_tuples) * share)
+        return concurrent_phase(
+            "build",
+            loads,
+            shared_units=float(r.modeled_tuples),
+            claims=workers,
+            span_units=float(r.modeled_tuples),
+        )
+
+    def probe_phase_spec(
+        self,
+        gpus: Sequence[Gpu],
+        s: Relation,
+        fractions: Dict[str, float],
+        accesses_per_tuple: float,
+        key_bytes: float,
+        table_bytes: int,
+    ) -> PhaseSpec:
+        """Compile the all-GPU probe (pool mode over the probe side)."""
+        loads = {
+            gpu.name: WorkerLoad(
+                self._probe_profile(
+                    gpu, s, fractions, accesses_per_tuple, key_bytes, table_bytes
+                ),
+                float(s.modeled_tuples),
             )
-        rates = solve_concurrent_rates(demands)
-        combined = sum(rates.values())
-        return r.modeled_tuples / combined if combined > 0 else 0.0
+            for gpu in gpus
+        }
+        return concurrent_phase(
+            "probe",
+            loads,
+            shared_units=float(s.modeled_tuples),
+            deps=("build",),
+            claims=tuple(gpu.name for gpu in gpus),
+            span_units=float(s.modeled_tuples),
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -280,32 +336,29 @@ class MultiGpuJoin:
         table_bytes = table.modeled_bytes(r.modeled_tuples)
 
         fractions, per_region = self._table_fractions(gpus, table_bytes)
-        build_seconds = self._build_seconds(
+        build_spec = self.build_phase_spec(
             gpus, r, fractions, table.entry_bytes, table_bytes
         )
-        demands = {}
-        for gpu in gpus:
-            profile = self._probe_profile(
-                gpu,
-                s,
-                fractions,
-                accesses_per_tuple,
-                float(table.keys.dtype.itemsize),
-                table_bytes,
-            )
-            demands[gpu.name] = self.cost_model.occupancy_per_unit(
-                profile, s.modeled_tuples
-            )
-        rates = solve_concurrent_rates(demands)
-        combined = sum(rates.values())
-        probe_seconds = s.modeled_tuples / combined if combined > 0 else 0.0
+        probe_spec = self.probe_phase_spec(
+            gpus,
+            s,
+            fractions,
+            accesses_per_tuple,
+            float(table.keys.dtype.itemsize),
+            table_bytes,
+        )
+        plan = Plan(
+            [build_spec, probe_spec], label=f"multigpu[{self.placement}]"
+        )
+        executed = PlanExecutor(self.cost_model).execute(plan)
+        probe_out = executed.outcomes["probe"]
         return MultiGpuResult(
             matches=matches,
             aggregate=aggregate,
             placement=self.placement,
-            build_seconds=build_seconds,
-            probe_seconds=probe_seconds,
+            build_seconds=executed.seconds("build"),
+            probe_seconds=probe_out.cost.seconds,
             modeled_tuples=r.modeled_tuples + s.modeled_tuples,
-            gpu_rates=rates,
+            gpu_rates=probe_out.rates,
             table_bytes_per_gpu={k: int(v) for k, v in per_region.items()},
         )

@@ -28,13 +28,21 @@ import numpy as np
 
 from repro.costmodel.access import AccessProfile, atomic_stream, random_stream, seq_stream
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.costmodel.model import CostModel
+from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.hashtable import create_hash_table
 from repro.data.relation import Relation
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.memory.allocator import OutOfMemoryError
-from repro.sim.resources import solve_concurrent_rates
+from repro.obs import Observability
+from repro.plan import (
+    PhaseSpec,
+    Plan,
+    PlanExecutor,
+    WorkerLoad,
+    concurrent_phase,
+    fixed_phase,
+)
 from repro.utils.units import MIB
 
 
@@ -87,10 +95,12 @@ class StarJoin:
         calibration: Calibration = DEFAULT_CALIBRATION,
         hash_scheme: str = "perfect",
         gpu_reserve: int = 512 * MIB,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.machine = machine
         self.calibration = calibration
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
         self.hash_scheme = hash_scheme
         self.gpu_reserve = gpu_reserve
 
@@ -118,16 +128,19 @@ class StarJoin:
         return isinstance(self.machine.processor(worker), Gpu)
 
     # ------------------------------------------------------------------
-    def _build_phase(
+    # Plan compilation
+    # ------------------------------------------------------------------
+    def build_phase_spec(
         self, dimensions: Sequence[Dimension], workers: Sequence[str]
-    ) -> Tuple[float, float, Dict[str, str]]:
-        """Parallel builds (round-robin) + broadcast of every table.
+    ) -> Tuple[PhaseSpec, Dict[str, str]]:
+        """Parallel builds (round-robin over the workers).
 
-        Returns (build seconds, broadcast seconds, fact_key -> builder).
+        Each dimension's build is one load in a barrier-mode concurrent
+        phase (the phase ends when the slowest builder finishes).
+        Returns (spec, fact_key -> builder).
         """
         builder_of: Dict[str, str] = {}
-        demands: Dict[str, Dict[str, float]] = {}
-        tuples_of: Dict[str, float] = {}
+        loads: Dict[str, WorkerLoad] = {}
         for i, dimension in enumerate(dimensions):
             builder = workers[i % len(workers)]
             builder_of[dimension.fact_key] = builder
@@ -150,17 +163,25 @@ class StarJoin:
                 processor=builder,
             )
             key = f"{builder}#{dimension.fact_key}"
-            demands[key] = self.cost_model.occupancy_per_unit(
-                profile, rel.modeled_tuples
-            )
-            tuples_of[key] = rel.modeled_tuples
-        rates = solve_concurrent_rates(demands)
-        build_seconds = max(
-            tuples_of[key] / rates[key] for key in demands
+            loads[key] = WorkerLoad(profile, float(rel.modeled_tuples))
+        spec = concurrent_phase(
+            "build",
+            loads,
+            claims=tuple(workers),
+            span_worker=",".join(workers),
         )
-        # Broadcast every table to every *other* worker over the
-        # builder's link.
+        return spec, builder_of
+
+    def broadcast_phase_spec(
+        self,
+        dimensions: Sequence[Dimension],
+        workers: Sequence[str],
+        builder_of: Dict[str, str],
+    ) -> PhaseSpec:
+        """Broadcast every finished table to every *other* worker over
+        the builder's link (a fixed, sequential copy cost)."""
         broadcast = 0.0
+        occupancy: Dict[str, float] = {}
         for dimension in dimensions:
             builder = builder_of[dimension.fact_key]
             rel = dimension.relation
@@ -169,15 +190,37 @@ class StarJoin:
             if others == 0:
                 continue
             if self._is_gpu(builder):
-                link_bw = self.machine.gpu_link(builder).spec.seq_bw
+                link = self.machine.gpu_link(builder)
+                link_bw = link.spec.seq_bw
+                resource = f"link:{link.name}"
             else:
-                link_bw = self.machine.processor(builder).local_memory.spec.seq_bw
-            broadcast += others * table_bytes / (
+                memory = self.machine.processor(builder).local_memory
+                link_bw = memory.spec.seq_bw
+                resource = f"mem:{memory.name}"
+            seconds = others * table_bytes / (
                 link_bw * self.calibration.ht_copy_bandwidth_factor
             )
-        return build_seconds, broadcast, builder_of
+            broadcast += seconds
+            occupancy[resource] = occupancy.get(resource, 0.0) + seconds
+        cost = PhaseCost(
+            seconds=broadcast,
+            bottleneck=(
+                max(occupancy, key=lambda res: occupancy[res])
+                if occupancy
+                else "(none)"
+            ),
+            occupancy=occupancy,
+            label="broadcast",
+        )
+        return fixed_phase(
+            "broadcast",
+            cost,
+            deps=("build",),
+            claims=tuple(workers),
+            span_worker=",".join(workers),
+        )
 
-    def _probe_phase(
+    def probe_phase_spec(
         self,
         fact_columns: Dict[str, np.ndarray],
         fact_location: str,
@@ -185,8 +228,9 @@ class StarJoin:
         dimensions: Sequence[Dimension],
         workers: Sequence[str],
         survival_per_dim: List[float],
-    ) -> float:
-        demands = {}
+    ) -> PhaseSpec:
+        """Compile the all-workers conjunctive probe (pool mode)."""
+        loads: Dict[str, WorkerLoad] = {}
         for worker in workers:
             is_gpu = self._is_gpu(worker)
             local = self.machine.processor(worker).local_memory.name
@@ -219,12 +263,16 @@ class StarJoin:
                 label=f"probe[{worker}]",
                 processor=worker,
             )
-            demands[worker] = self.cost_model.occupancy_per_unit(
-                profile, modeled_fact
-            )
-        rates = solve_concurrent_rates(demands)
-        combined = sum(rates.values())
-        return modeled_fact / combined if combined > 0 else 0.0
+            loads[worker] = WorkerLoad(profile, float(modeled_fact))
+        return concurrent_phase(
+            "probe",
+            loads,
+            shared_units=float(modeled_fact),
+            deps=("broadcast",),
+            claims=tuple(workers),
+            span_worker=",".join(workers),
+            span_units=float(modeled_fact),
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -294,10 +342,11 @@ class StarJoin:
         else:
             aggregate = int(payload_sum[alive].sum())
 
-        build_seconds, broadcast_seconds, builder_of = self._build_phase(
-            dimensions, workers
+        build_spec, builder_of = self.build_phase_spec(dimensions, workers)
+        broadcast_spec = self.broadcast_phase_spec(
+            dimensions, workers, builder_of
         )
-        probe_seconds = self._probe_phase(
+        probe_spec = self.probe_phase_spec(
             fact,
             fact_location,
             modeled_fact,
@@ -305,15 +354,17 @@ class StarJoin:
             workers,
             survival_per_dim,
         )
+        plan = Plan([build_spec, broadcast_spec, probe_spec], label="star")
+        executed = PlanExecutor(self.cost_model).execute(plan)
         modeled_tuples = modeled_fact + sum(
             d.relation.modeled_tuples for d in dimensions
         )
         return StarJoinResult(
             survivors=survivors,
             aggregate=aggregate,
-            build_seconds=build_seconds,
-            broadcast_seconds=broadcast_seconds,
-            probe_seconds=probe_seconds,
+            build_seconds=executed.seconds("build"),
+            broadcast_seconds=executed.seconds("broadcast"),
+            probe_seconds=executed.seconds("probe"),
             modeled_tuples=modeled_tuples,
             builder_of=builder_of,
             workers=tuple(workers),

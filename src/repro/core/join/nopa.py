@@ -39,7 +39,7 @@ from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.obs import Observability
-from repro.transfer.methods import get_method
+from repro.plan import PhaseSpec, Plan, PlanExecutor, ingest, priced_phase
 from repro.utils.units import MIB
 
 #: coherence/cache-line granularity used for payload-column line skipping.
@@ -219,51 +219,17 @@ class NoPartitioningJoin:
             gpu_reserve=self.gpu_reserve,
         )
 
-    def _ingest_streams(
-        self,
-        processor: str,
-        relation: Relation,
-        nbytes: float,
-        label: str,
-    ) -> tuple:
-        """Streams + makespan factor for reading relation bytes.
-
-        Local data (or CPU execution) reads directly; a GPU reading
-        CPU memory goes through the configured transfer method.
-        """
-        proc = self.machine.processor(processor)
-        local = self.machine.memory(relation.location).owner == processor
-        if local or not isinstance(proc, Gpu):
-            return [seq_stream(processor, relation.location, nbytes, label)], 1.0
-        method = get_method(self.transfer_method)
-        method.check_supported(
-            self.machine, processor, relation.location, kind=relation.kind
+    def _ingest(self, processor: str, relation: Relation, nbytes: float, label: str):
+        """Shared ingest glue: streams + chunked overlap for one input."""
+        return ingest(
+            self.cost_model,
+            self.transfer_method,
+            processor,
+            relation.location,
+            nbytes,
+            label,
+            kind=relation.kind,
         )
-        ingest_bw = method.ingest_bandwidth(self.cost_model, processor, relation.location)
-        route_bw = self.cost_model.sequential_bandwidth(processor, relation.location)
-        factor = min(1.0, ingest_bw / route_bw)
-        streams = [
-            seq_stream(
-                processor,
-                relation.location,
-                nbytes,
-                label=f"{label} [{method.name}]",
-                bandwidth_factor=factor,
-            )
-        ]
-        streams.extend(
-            method.side_streams(self.machine, processor, relation.location, nbytes)
-        )
-        if method.lands_in_gpu_memory():
-            landing = proc.local_memory.name
-            streams.append(
-                seq_stream(processor, landing, nbytes, label=f"{label} landing write")
-            )
-            streams.append(
-                seq_stream(processor, landing, nbytes, label=f"{label} kernel read")
-            )
-        makespan = method.pipeline_overlap_factor(self.cost_model.calibration)
-        return streams, makespan
 
     def _table_streams(
         self,
@@ -306,23 +272,22 @@ class NoPartitioningJoin:
                 )
         return streams
 
-    def build_profile(
+    def build_phase(
         self,
         r: Relation,
         processor: str,
         table: HashTableBase,
         placement: HashTablePlacement,
-    ) -> AccessProfile:
-        """Access profile of the build phase at modeled scale."""
+    ) -> PhaseSpec:
+        """The build phase at modeled scale, as a plan node."""
         proc = self.machine.processor(processor)
         is_gpu = isinstance(proc, Gpu)
         per_tuple = (
             self.GPU_BUILD_ACCESSES if is_gpu else self.CPU_BUILD_ACCESSES
         ) * table.stats.insert_factor
         modeled_inserts = r.modeled_tuples * per_tuple
-        streams, makespan = self._ingest_streams(
-            processor, r, r.modeled_bytes, "read R"
-        )
+        spec = self._ingest(processor, r, r.modeled_bytes, "read R")
+        streams = list(spec.streams)
         streams += self._table_streams(
             processor,
             placement,
@@ -336,16 +301,23 @@ class NoPartitioningJoin:
         work = self.cost_model.calibration.join_work_per_tuple[
             "gpu" if is_gpu else "cpu"
         ]
-        return AccessProfile(
+        profile = AccessProfile(
             streams=streams,
             fixed_overhead=overhead,
             compute_tuples=r.modeled_tuples * work,
-            makespan_factor=makespan,
             label="build",
             processor=processor,
         )
+        return priced_phase(
+            "build",
+            profile,
+            chunked=spec.chunked,
+            claims=(processor,),
+            span_worker=processor,
+            span_units=float(r.modeled_tuples),
+        )
 
-    def probe_profile(
+    def probe_phase(
         self,
         s: Relation,
         processor: str,
@@ -353,17 +325,17 @@ class NoPartitioningJoin:
         placement: HashTablePlacement,
         lines_loaded: float,
         hot_set: Optional[HotSetProfile],
-    ) -> AccessProfile:
-        """Access profile of the probe phase at modeled scale."""
+        matches: int = 0,
+    ) -> PhaseSpec:
+        """The probe phase at modeled scale, as a plan node."""
         proc = self.machine.processor(processor)
         is_gpu = isinstance(proc, Gpu)
         # The probe always streams S's key column; the payload column is
         # loaded at line granularity only where matches occur.
         key_bytes = s.modeled_tuples * s.key_bytes
         value_bytes = s.modeled_tuples * s.payload_bytes * lines_loaded
-        streams, makespan = self._ingest_streams(
-            processor, s, key_bytes + value_bytes, "read S"
-        )
+        spec = self._ingest(processor, s, key_bytes + value_bytes, "read S")
+        streams = list(spec.streams)
         model_factor = s.model_factor
         key_lookups = table.stats.lookup_probes * model_factor
         value_reads = table.stats.value_reads * model_factor
@@ -403,13 +375,45 @@ class NoPartitioningJoin:
         work = self.cost_model.calibration.join_work_per_tuple[
             "gpu" if is_gpu else "cpu"
         ]
-        return AccessProfile(
+        profile = AccessProfile(
             streams=streams,
             fixed_overhead=overhead,
             compute_tuples=s.modeled_tuples * work,
-            makespan_factor=makespan,
             label="probe",
             processor=processor,
+        )
+        return priced_phase(
+            "probe",
+            profile,
+            deps=("build",),
+            chunked=spec.chunked,
+            claims=(processor,),
+            span_worker=processor,
+            span_units=float(s.modeled_tuples),
+            annotations={"matches": matches},
+        )
+
+    def compile_plan(
+        self,
+        r: Relation,
+        s: Relation,
+        processor: str,
+        table: HashTableBase,
+        placement: HashTablePlacement,
+        lines_loaded: float,
+        hot_set: Optional[HotSetProfile] = None,
+        matches: int = 0,
+    ) -> Plan:
+        """Compile the two-phase NOPA DAG (build -> probe)."""
+        return Plan(
+            phases=[
+                self.build_phase(r, processor, table, placement),
+                self.probe_phase(
+                    s, processor, table, placement, lines_loaded, hot_set,
+                    matches=matches,
+                ),
+            ],
+            label="nopa",
         )
 
     # ------------------------------------------------------------------
@@ -452,28 +456,16 @@ class NoPartitioningJoin:
             )
         else:
             placement = self._resolve_placement(table, r, processor)
-        build = self.build_profile(r, processor, table, placement)
-        probe = self.probe_profile(
-            s, processor, table, placement, lines_loaded, hot_set
+        plan = self.compile_plan(
+            r, s, processor, table, placement, lines_loaded, hot_set,
+            matches=matches,
         )
-        tracer = self.obs.tracer
-        with tracer.span(
-            "build", worker=processor, units=float(r.modeled_tuples)
-        ) as span:
-            build_cost = self.cost_model.phase_cost(build)
-            span.annotate(bottleneck=build_cost.bottleneck)
-        with tracer.span(
-            "probe", worker=processor, units=float(s.modeled_tuples)
-        ) as span:
-            probe_cost = self.cost_model.phase_cost(probe)
-            span.annotate(
-                bottleneck=probe_cost.bottleneck, matches=matches
-            )
+        executed = PlanExecutor(self.cost_model).execute(plan)
         return JoinResult(
             matches=matches,
             aggregate=aggregate,
-            build_cost=build_cost,
-            probe_cost=probe_cost,
+            build_cost=executed.cost("build"),
+            probe_cost=executed.cost("probe"),
             modeled_tuples=r.modeled_tuples + s.modeled_tuples,
             placement=placement,
             payload_lines_loaded=lines_loaded,

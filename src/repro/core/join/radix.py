@@ -30,6 +30,8 @@ from repro.costmodel.model import CostModel, PhaseCost
 from repro.data.relation import Relation
 from repro.hardware.processor import Cpu
 from repro.hardware.topology import Machine
+from repro.obs import Observability
+from repro.plan import Plan, PlanExecutor, fixed_phase, priced_phase
 from repro.utils.units import GIB
 
 
@@ -77,11 +79,13 @@ class RadixJoin:
         radix_bits: int = 12,
         executed_radix_bits: Optional[int] = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not 1 <= radix_bits <= 20:
             raise ValueError(f"radix bits out of range: {radix_bits}")
         self.machine = machine
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
         self.calibration = calibration
         self.radix_bits = radix_bits
         self.executed_radix_bits = (
@@ -183,16 +187,42 @@ class RadixJoin:
         )
 
     # ------------------------------------------------------------------
+    def compile_plan(self, r: Relation, s: Relation, processor: str) -> Plan:
+        """Compile the two-pass baseline into a phase plan.
+
+        The partition pass is priced from its access profile; the join
+        pass is a fixed cost (max of re-read bandwidth and the per-core
+        cache-resident join rate, neither of which is a stream model).
+        """
+        tuples = float(r.modeled_tuples + s.modeled_tuples)
+        partition = priced_phase(
+            "partition",
+            self._partition_profile(r, s, processor),
+            claims=(processor,),
+            span_worker=processor,
+            span_units=tuples,
+        )
+        join = fixed_phase(
+            "join",
+            self._join_cost(r, s, processor),
+            deps=("partition",),
+            claims=(processor,),
+            span_worker=processor,
+            span_units=tuples,
+        )
+        return Plan([partition, join], label="radix")
+
     def run(self, r: Relation, s: Relation, processor: str = "cpu0") -> RadixJoinResult:
         """Partition, join, and price the baseline."""
         proc = self.machine.processor(processor)
         if not isinstance(proc, Cpu):
             raise ValueError("the radix baseline runs on CPUs only")
         matches, aggregate, skew = self._execute(r, s)
-        partition_cost = self.cost_model.phase_cost(
-            self._partition_profile(r, s, processor)
+        executed = PlanExecutor(self.cost_model).execute(
+            self.compile_plan(r, s, processor)
         )
-        join_cost = self._join_cost(r, s, processor)
+        partition_cost = executed.cost("partition")
+        join_cost = executed.cost("join")
         return RadixJoinResult(
             matches=matches,
             aggregate=aggregate,

@@ -15,17 +15,18 @@ Two kernel variants (Section 7.2.4):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.costmodel.access import AccessProfile, seq_stream
+from repro.costmodel.access import AccessProfile
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.ops.selection import selection_line_fractions
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
-from repro.transfer.methods import get_method
+from repro.obs import Observability
+from repro.plan import PhaseSpec, Plan, PlanExecutor, ingest, priced_phase
 from repro.workloads.tpch import (
     Q6_DISCOUNT_HI,
     Q6_DISCOUNT_LO,
@@ -75,6 +76,7 @@ class TpchQ6:
         variant: str = "predicated",
         transfer_method: str = "coherence",
         calibration: Calibration = DEFAULT_CALIBRATION,
+        obs: Optional[Observability] = None,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(
@@ -84,7 +86,8 @@ class TpchQ6:
         self.variant = variant
         self.transfer_method = transfer_method
         self.calibration = calibration
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -126,68 +129,55 @@ class TpchQ6:
             residual + (1.0 - residual) * f for f in fractions[1:]
         ]
 
-    def _profile(
+    def phase_spec(
         self, workload: Q6Workload, processor: str, fractions: List[float]
-    ) -> AccessProfile:
+    ) -> PhaseSpec:
+        """Compile the scan into a single priced phase."""
         proc = self.machine.processor(processor)
         is_gpu = isinstance(proc, Gpu)
         col_bytes = [c.dtype.itemsize for c in workload.columns().values()]
         total_bytes = workload.modeled_rows * sum(
             width * frac for width, frac in zip(col_bytes, fractions)
         )
-        local = self.machine.memory(workload.location).owner == processor
-        makespan = 1.0
-        if local or not is_gpu:
-            streams = [
-                seq_stream(processor, workload.location, total_bytes, "scan lineitem")
-            ]
-        else:
-            method = get_method(self.transfer_method)
-            method.check_supported(
-                self.machine, processor, workload.location, kind=workload.kind
-            )
-            ingest = method.ingest_bandwidth(
-                self.cost_model, processor, workload.location
-            )
-            route = self.cost_model.sequential_bandwidth(
-                processor, workload.location
-            )
-            streams = [
-                seq_stream(
-                    processor,
-                    workload.location,
-                    total_bytes,
-                    label=f"scan lineitem [{method.name}]",
-                    bandwidth_factor=min(1.0, ingest / route),
-                )
-            ]
-            streams.extend(
-                method.side_streams(
-                    self.machine, processor, workload.location, total_bytes
-                )
-            )
-            if method.lands_in_gpu_memory():
-                landing = proc.local_memory.name
-                streams.append(
-                    seq_stream(processor, landing, total_bytes, "landing write")
-                )
-                streams.append(
-                    seq_stream(processor, landing, total_bytes, "kernel read")
-                )
-            makespan = method.pipeline_overlap_factor(self.calibration)
+        spec = ingest(
+            self.cost_model,
+            self.transfer_method,
+            processor,
+            workload.location,
+            total_bytes,
+            "scan lineitem",
+            kind=workload.kind,
+        )
         work = self.calibration.scan_work_per_tuple["gpu" if is_gpu else "cpu"]
         if self.variant == "branching" and not is_gpu:
             # Branchy scalar code cannot use SIMD predication; the CPU
             # pays more per-row work but the same skipping benefit.
             work *= 2.0
         overhead = proc.kernel_launch_latency if is_gpu else 0.0
-        return AccessProfile(
-            streams=streams,
+        profile = AccessProfile(
+            streams=spec.streams,
             compute_tuples=workload.modeled_rows * work,
             fixed_overhead=overhead,
-            makespan_factor=makespan,
             label=f"q6-{self.variant}",
             processor=processor,
+        )
+        return priced_phase(
+            "scan",
+            profile,
+            chunked=spec.chunked,
+            claims=(processor,),
+            span_worker=processor,
+            span_units=float(workload.modeled_rows),
+            span_attrs={"variant": self.variant},
+        )
+
+    def compile_plan(
+        self, workload: Q6Workload, processor: str, fractions: List[float]
+    ) -> Plan:
+        """One-phase plan: the fused scan/filter/aggregate kernel."""
+        return Plan(
+            [self.phase_spec(workload, processor, fractions)],
+            label=f"q6[{self.variant}]",
         )
 
     # ------------------------------------------------------------------
@@ -195,8 +185,9 @@ class TpchQ6:
         """Execute Q6 functionally and price it."""
         revenue, qualifies, masks = self._execute(workload)
         fractions = self._column_fractions(masks)
-        profile = self._profile(workload, processor, fractions)
-        cost = self.cost_model.phase_cost(profile)
+        plan = self.compile_plan(workload, processor, fractions)
+        executed_plan = PlanExecutor(self.cost_model).execute(plan)
+        cost = executed_plan.cost("scan")
         executed = max(1, workload.executed_rows)
         return Q6Result(
             revenue=revenue,

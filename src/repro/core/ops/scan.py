@@ -14,14 +14,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.costmodel.access import AccessProfile, seq_stream
+from repro.costmodel.access import AccessProfile
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.ops.selection import selection_line_fractions
 from repro.hardware.memory import MemoryKind
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
-from repro.transfer.methods import get_method
+from repro.obs import Observability
+from repro.plan import Plan, PlanExecutor, ingest, priced_phase
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,7 @@ class SelectionScan:
         variant: str = "predicated",
         transfer_method: str = "coherence",
         calibration: Calibration = DEFAULT_CALIBRATION,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not predicates:
             raise ValueError("need at least one predicate")
@@ -94,7 +96,8 @@ class SelectionScan:
         self.variant = variant
         self.transfer_method = transfer_method
         self.calibration = calibration
-        self.cost_model = CostModel(machine, calibration)
+        self.obs = obs if obs is not None else Observability.create()
+        self.cost_model = CostModel(machine, calibration, obs=self.obs)
 
     # ------------------------------------------------------------------
     def _execute(self, columns: Dict[str, np.ndarray]):
@@ -156,42 +159,40 @@ class SelectionScan:
 
         proc = self.machine.processor(processor)
         is_gpu = isinstance(proc, Gpu)
-        local = self.machine.memory(location).owner == processor
-        makespan = 1.0
-        if local or not is_gpu:
-            streams = [seq_stream(processor, location, total_bytes, "scan")]
-        else:
-            method = get_method(self.transfer_method)
-            method.check_supported(self.machine, processor, location, kind=kind)
-            ingest = method.ingest_bandwidth(self.cost_model, processor, location)
-            route = self.cost_model.sequential_bandwidth(processor, location)
-            streams = [
-                seq_stream(
-                    processor, location, total_bytes,
-                    label=f"scan [{method.name}]",
-                    bandwidth_factor=min(1.0, ingest / route),
-                )
-            ]
-            streams.extend(
-                method.side_streams(self.machine, processor, location, total_bytes)
-            )
-            if method.lands_in_gpu_memory():
-                landing = proc.local_memory.name
-                streams.append(seq_stream(processor, landing, total_bytes))
-                streams.append(seq_stream(processor, landing, total_bytes))
-            makespan = method.pipeline_overlap_factor(self.calibration)
+        spec = ingest(
+            self.cost_model,
+            self.transfer_method,
+            processor,
+            location,
+            total_bytes,
+            "scan",
+            kind=kind,
+        )
         work = self.calibration.scan_work_per_tuple["gpu" if is_gpu else "cpu"]
         if self.variant == "branching" and not is_gpu:
             work *= 2.0
         profile = AccessProfile(
-            streams=streams,
+            streams=spec.streams,
             compute_tuples=modeled_rows * work,
             fixed_overhead=proc.kernel_launch_latency if is_gpu else 0.0,
-            makespan_factor=makespan,
             label=f"scan-{self.variant}",
             processor=processor,
         )
-        cost = self.cost_model.phase_cost(profile)
+        plan = Plan(
+            [
+                priced_phase(
+                    "scan",
+                    profile,
+                    chunked=spec.chunked,
+                    claims=(processor,),
+                    span_worker=processor,
+                    span_units=float(modeled_rows),
+                    span_attrs={"variant": self.variant},
+                )
+            ],
+            label=f"scan[{self.variant}]",
+        )
+        cost = PlanExecutor(self.cost_model).execute(plan).cost("scan")
         return ScanResult(
             aggregate=value,
             qualifying_rows=int(survivors.sum()),

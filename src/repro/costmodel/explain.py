@@ -1,9 +1,10 @@
-"""Human-readable explanations of phase costs (compatibility shim).
+"""Deprecated shim — import from :mod:`repro.obs.explain` instead.
 
 The explain utilities moved into the unified observability layer
 (:mod:`repro.obs.explain`), where they live next to the structured
-``bottleneck_chain`` used by run manifests; this module re-exports them
-so existing imports keep working.
+``bottleneck_chain`` used by run manifests.  All in-tree callers now
+import from ``repro.obs``; this re-export remains only so external
+code keeps working and may be removed in a future release.
 """
 
 from __future__ import annotations

@@ -1,0 +1,49 @@
+"""Declarative phase-plan IR and its pricing/scheduling executor.
+
+Operators compile their work into a :class:`Plan` — a validated DAG of
+:class:`PhaseSpec` nodes — and hand it to the :class:`PlanExecutor`,
+which owns all pricing, overlap arithmetic, concurrency solving, and
+observability emission.  New operators emit a DAG; they do not
+re-implement the runtime.
+"""
+
+from repro.plan.executor import PhaseOutcome, PlanExecutor, PlanResult
+from repro.plan.ingest import IngestSpec, ingest
+from repro.plan.overlap import chunk_sizes, iter_chunks, pipeline_makespan
+from repro.plan.spec import (
+    Chunked,
+    MorselWorker,
+    PhaseKind,
+    PhaseSpec,
+    Plan,
+    PlanError,
+    Surcharge,
+    WorkerLoad,
+    concurrent_phase,
+    fixed_phase,
+    morsel_phase,
+    priced_phase,
+)
+
+__all__ = [
+    "Chunked",
+    "IngestSpec",
+    "MorselWorker",
+    "PhaseKind",
+    "PhaseOutcome",
+    "PhaseSpec",
+    "Plan",
+    "PlanError",
+    "PlanExecutor",
+    "PlanResult",
+    "Surcharge",
+    "WorkerLoad",
+    "chunk_sizes",
+    "concurrent_phase",
+    "fixed_phase",
+    "ingest",
+    "iter_chunks",
+    "morsel_phase",
+    "pipeline_makespan",
+    "priced_phase",
+]

@@ -1,0 +1,423 @@
+"""The single pricing/scheduling executor for phase plans.
+
+The :class:`PlanExecutor` is the only component that calls
+``CostModel.phase_cost`` / ``occupancy_per_unit`` on behalf of
+operators (the ``executor-boundary`` analysis pass enforces this).  It
+walks a plan in topological order and, per phase:
+
+* prices the phase — through the cost model (PRICED), the max-min fair
+  concurrent-rate solver (CONCURRENT), the morsel-dispatch
+  discrete-event simulation (MORSEL), or verbatim (FIXED);
+* applies chunked transfer/compute overlap
+  (:func:`repro.plan.overlap.pipeline_makespan`) and serial surcharges
+  (hash-table broadcasts);
+* opens exactly one observability span per phase on the deterministic
+  sim clock, annotated with the phase's bottleneck, and records the
+  phase's metrics exactly once.
+
+On top of the sequential walk (which preserves the span/clock ordering
+single chains had before the IR existed), the executor computes a
+*dependency- and overlap-aware makespan* by replaying the priced phase
+durations through the discrete-event :class:`~repro.sim.engine.
+Simulator`: phases start when their dependencies finish and their
+claimed resources free up, so independent phases overlap.  For a linear
+chain the makespan equals the sum of phase seconds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.costmodel.model import CostModel, PhaseCost
+from repro.obs import Observability
+from repro.obs.manifest import phase_record
+from repro.obs.trace import Timeline
+from repro.plan.overlap import pipeline_makespan
+from repro.plan.spec import PhaseKind, PhaseSpec, Plan, PlanError
+from repro.sim.engine import Simulator
+from repro.sim.resources import solve_concurrent_rates
+
+
+@dataclass
+class PhaseOutcome:
+    """One executed phase: its cost plus scheduling detail."""
+
+    name: str
+    cost: PhaseCost
+    #: position on the sequential span timeline (sim-clock seconds).
+    start: float
+    end: float
+    #: solved per-worker rates/shares (CONCURRENT and MORSEL phases).
+    rates: Dict[str, float] = field(default_factory=dict)
+    shares: Dict[str, float] = field(default_factory=dict)
+    #: per-worker morsel timeline (MORSEL phases).
+    timeline: Optional[Timeline] = None
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds
+
+
+@dataclass
+class PlanResult:
+    """Executor output: per-phase outcomes plus schedule summaries."""
+
+    plan: Plan
+    outcomes: Dict[str, PhaseOutcome]
+    #: dependency- and claim-aware completion time (independent phases
+    #: overlap); equals :attr:`total_seconds` for linear chains.
+    makespan: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all phase durations (fully serialized execution)."""
+        return sum(o.cost.seconds for o in self.outcomes.values())
+
+    def __getitem__(self, name: str) -> PhaseOutcome:
+        return self.outcomes[name]
+
+    def cost(self, name: str) -> PhaseCost:
+        """The priced cost of phase ``name``."""
+        return self.outcomes[name].cost
+
+    def seconds(self, name: str) -> float:
+        """Shorthand for ``cost(name).seconds``."""
+        return self.outcomes[name].cost.seconds
+
+    def phase_costs(self) -> List[PhaseCost]:
+        """Per-phase costs in execution order (manifest input)."""
+        return [o.cost for o in self.outcomes.values()]
+
+    def phase_records(self) -> List[Dict[str, Any]]:
+        """JSON-ready manifest entries, one per executed phase."""
+        return [phase_record(cost) for cost in self.phase_costs()]
+
+
+class PlanExecutor:
+    """Prices and schedules one plan on one machine's cost model."""
+
+    def __init__(self, cost_model: CostModel) -> None:
+        self.cost_model = cost_model
+        self.obs: Observability = cost_model.obs
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, plan: Plan) -> PlanResult:
+        """Run every phase in topological order and emit observability.
+
+        Each phase gets exactly one outer span (its duration is the
+        phase's full seconds on the sim clock) and exactly one metrics
+        deposit; pricing-internal spans (``price[...]``, ``sim.run``)
+        nest inside it.
+        """
+        tracer = self.obs.tracer
+        clock = self.obs.clock
+        outcomes: Dict[str, PhaseOutcome] = {}
+        for phase in plan.topological_order():
+            with tracer.span(
+                phase.name,
+                worker=phase.span_worker or "plan",
+                units=phase.span_units,
+                **phase.span_attrs,
+            ) as span:
+                start = clock.now
+                outcome = self._run_phase(phase)
+                # Pricing may have advanced the clock already (priced
+                # profiles advance by their cost, the morsel simulation
+                # by its virtual time); top the span up to the phase's
+                # full duration.
+                remainder = outcome.cost.seconds - (clock.now - start)
+                if remainder > 0:
+                    span.advance(remainder)
+                span.annotate(
+                    bottleneck=outcome.cost.bottleneck, **phase.annotations
+                )
+                outcome.start = start
+                outcome.end = clock.now
+            outcomes[phase.name] = outcome
+        makespan = self._schedule_makespan(plan, outcomes)
+        return PlanResult(plan=plan, outcomes=outcomes, makespan=makespan)
+
+    # ------------------------------------------------------------------
+    # Phase pricing
+    # ------------------------------------------------------------------
+    def _run_phase(self, phase: PhaseSpec) -> PhaseOutcome:
+        if phase.kind is PhaseKind.PRICED:
+            return self._run_priced(phase)
+        if phase.kind is PhaseKind.CONCURRENT:
+            return self._run_concurrent(phase)
+        if phase.kind is PhaseKind.MORSEL:
+            return self._run_morsel(phase)
+        return self._run_fixed(phase)
+
+    def _run_priced(self, phase: PhaseSpec) -> PhaseOutcome:
+        assert phase.profile is not None
+        cost = self.cost_model.phase_cost(phase.profile)
+        if phase.chunked is not None and cost.occupancy:
+            cost = self._apply_chunked(phase, cost)
+        cost = self._apply_surcharges(phase, cost)
+        return PhaseOutcome(name=phase.name, cost=cost, start=0.0, end=0.0)
+
+    def _apply_chunked(self, phase: PhaseSpec, cost: PhaseCost) -> PhaseCost:
+        """Chunked-overlap makespan of a priced phase (Section 4.1).
+
+        The phase's transfer and compute run as a software pipeline over
+        ``chunks`` chunks: the bottleneck stage runs continuously and
+        the overlapped stage adds one chunk of fill/drain, i.e. the
+        two-stage makespan over the bottleneck's serial time.
+        """
+        assert phase.profile is not None and phase.chunked is not None
+        base = cost.occupancy[cost.bottleneck] * (
+            1.0 + self.cost_model.calibration.join_pipeline_overhead
+        )
+        seconds = pipeline_makespan(
+            [base, base],
+            phase.chunked.chunks,
+            phase.chunked.per_chunk_overhead,
+        )
+        seconds += phase.profile.fixed_overhead
+        return PhaseCost(
+            seconds=seconds,
+            bottleneck=cost.bottleneck,
+            occupancy=cost.occupancy,
+            label=cost.label,
+        )
+
+    def _apply_surcharges(self, phase: PhaseSpec, cost: PhaseCost) -> PhaseCost:
+        if not phase.surcharges:
+            return cost
+        seconds = cost.seconds
+        occupancy = dict(cost.occupancy)
+        for surcharge in phase.surcharges:
+            seconds += surcharge.seconds
+            occupancy[surcharge.resource] = (
+                occupancy.get(surcharge.resource, 0.0) + surcharge.seconds
+            )
+        bottleneck = (
+            max(occupancy, key=lambda res: occupancy[res])
+            if occupancy
+            else cost.bottleneck
+        )
+        return PhaseCost(
+            seconds=seconds,
+            bottleneck=bottleneck,
+            occupancy=occupancy,
+            label=cost.label,
+        )
+
+    # -- concurrent (solver) phases ------------------------------------
+    def _solve(self, phase: PhaseSpec) -> Dict[str, Dict[str, float]]:
+        return {
+            key: self.cost_model.occupancy_per_unit(load.profile, load.units)
+            for key, load in phase.loads.items()
+        }
+
+    @staticmethod
+    def _aggregate_cost(
+        demands: Dict[str, Dict[str, float]],
+        units_done: Dict[str, float],
+        seconds: float,
+        label: str,
+    ) -> PhaseCost:
+        """Sum per-worker occupancy at the solved shares into one cost.
+
+        The result has the same shape single-profile pricing produces,
+        so manifests report co-processed phases uniformly; its
+        bottleneck is the most-occupied shared resource.
+        """
+        occupancy: Dict[str, float] = defaultdict(float)
+        for key, demand in demands.items():
+            units = units_done.get(key, 0.0)
+            for resource, per_unit in demand.items():
+                occupancy[resource] += per_unit * units
+        bottleneck = (
+            max(occupancy, key=lambda res: occupancy[res])
+            if occupancy
+            else "(none)"
+        )
+        return PhaseCost(
+            seconds=seconds,
+            bottleneck=bottleneck,
+            occupancy=dict(occupancy),
+            label=label,
+        )
+
+    def _record_load_metrics(
+        self, phase: PhaseSpec, shares: Dict[str, float]
+    ) -> None:
+        """One metrics deposit per worker, scaled to its solved share."""
+        for key, load in phase.loads.items():
+            self.cost_model.record_profile_metrics(
+                load.profile.scaled(shares.get(key, 0.0))
+            )
+
+    def _run_concurrent(self, phase: PhaseSpec) -> PhaseOutcome:
+        demands = self._solve(phase)
+        rates = solve_concurrent_rates(demands)
+        if phase.shared_units is not None:
+            # Pool mode: all workers drain one shared unit pool.
+            combined = sum(rates.values())
+            seconds = (
+                phase.shared_units / combined if combined > 0 else 0.0
+            )
+            units_done = {key: rates[key] * seconds for key in demands}
+            shares = {
+                key: (
+                    units_done[key] / phase.shared_units
+                    if phase.shared_units
+                    else 0.0
+                )
+                for key in demands
+            }
+        else:
+            # Barrier mode: every worker finishes its own units.
+            seconds = max(
+                phase.loads[key].units / rates[key] for key in demands
+            )
+            units_done = {key: phase.loads[key].units for key in demands}
+            shares = {key: 1.0 for key in demands}
+        cost = self._aggregate_cost(demands, units_done, seconds, phase.name)
+        cost = self._apply_surcharges(phase, cost)
+        self._record_load_metrics(phase, shares)
+        return PhaseOutcome(
+            name=phase.name,
+            cost=cost,
+            start=0.0,
+            end=0.0,
+            rates=dict(rates),
+            shares=shares,
+        )
+
+    def _run_morsel(self, phase: PhaseSpec) -> PhaseOutcome:
+        # Imported here: repro.core packages compile plans, so a
+        # module-level import would be circular.
+        from repro.core.scheduler.batch import tune_batch_morsels
+        from repro.core.scheduler.morsel import MorselDispatcher
+
+        demands = self._solve(phase)
+        rates = solve_concurrent_rates(demands)
+        total_tuples = int(phase.shared_units or 0)
+        dispatcher = MorselDispatcher(
+            total_tuples, phase.morsel_tuples, metrics=self.obs.metrics
+        )
+        sim = Simulator(tracer=self.obs.tracer)
+        timeline = Timeline()
+
+        def make_worker(name: str, rate: float, batch: int, latency: float):
+            def work(simulator: Simulator) -> None:
+                grant = dispatcher.next_batch(batch, worker=name)
+                if grant is None:
+                    return
+                duration = latency + grant.tuples / rate
+                timeline.record(
+                    name,
+                    phase.name,
+                    simulator.now,
+                    simulator.now + duration,
+                    grant.tuples,
+                )
+                simulator.schedule(duration, work)
+
+            return work
+
+        for key in phase.loads:
+            rate = rates[key]
+            if rate <= 0 or rate == float("inf"):
+                raise RuntimeError(f"degenerate probe rate for {key}: {rate}")
+            worker = phase.morsel_workers[key]
+            batch = worker.batch_morsels or tune_batch_morsels(
+                phase.morsel_tuples, rate, worker.dispatch_latency
+            )
+            sim.schedule(
+                0.0, make_worker(key, rate, batch, worker.dispatch_latency)
+            )
+        seconds = sim.run()
+        shares = {
+            key: dispatcher.dispatched_tuples(key) / max(1, total_tuples)
+            for key in phase.loads
+        }
+        units_done = {
+            key: float(dispatcher.dispatched_tuples(key))
+            for key in phase.loads
+        }
+        cost = self._aggregate_cost(demands, units_done, seconds, phase.name)
+        self._record_load_metrics(phase, shares)
+        return PhaseOutcome(
+            name=phase.name,
+            cost=cost,
+            start=0.0,
+            end=0.0,
+            rates=dict(rates),
+            shares=shares,
+            timeline=timeline,
+        )
+
+    def _run_fixed(self, phase: PhaseSpec) -> PhaseOutcome:
+        assert phase.fixed_cost is not None
+        cost = phase.fixed_cost
+        for resource, busy in cost.occupancy.items():
+            self.obs.metrics.counter(
+                "resource_busy_seconds_total", resource=resource
+            ).inc(busy)
+        return PhaseOutcome(name=phase.name, cost=cost, start=0.0, end=0.0)
+
+    # ------------------------------------------------------------------
+    # Dependency-aware makespan
+    # ------------------------------------------------------------------
+    def _schedule_makespan(
+        self, plan: Plan, outcomes: Dict[str, PhaseOutcome]
+    ) -> float:
+        """Replay phase durations through the discrete-event simulator.
+
+        A phase starts when every dependency has finished and every
+        claimed resource is free; phases with disjoint dependencies and
+        claims overlap.  Runs on a throwaway simulator (no tracer) so
+        the schedule replay does not touch the observability clock.
+        """
+        sim = Simulator()
+        remaining = {p.name: len(set(p.deps)) for p in plan.phases}
+        dependents: Dict[str, List[PhaseSpec]] = defaultdict(list)
+        for phase in plan.phases:
+            for dep in set(phase.deps):
+                dependents[dep].append(phase)
+        claimed: Dict[str, bool] = {}
+        waiting: List[PhaseSpec] = []
+
+        def claims_free(phase: PhaseSpec) -> bool:
+            return not any(claimed.get(res, False) for res in phase.claims)
+
+        def try_start(phase: PhaseSpec, simulator: Simulator) -> None:
+            if not claims_free(phase):
+                waiting.append(phase)
+                return
+            for res in phase.claims:
+                claimed[res] = True
+            simulator.schedule(
+                outcomes[phase.name].cost.seconds,
+                lambda s, p=phase: finish(p, s),
+            )
+
+        def finish(phase: PhaseSpec, simulator: Simulator) -> None:
+            for res in phase.claims:
+                claimed[res] = False
+            for dependent in dependents[phase.name]:
+                remaining[dependent.name] -= 1
+                if remaining[dependent.name] == 0:
+                    try_start(dependent, simulator)
+            # Freed claims may unblock queued phases.
+            runnable = [p for p in waiting if claims_free(p)]
+            for p in runnable:
+                waiting.remove(p)
+                try_start(p, simulator)
+
+        for phase in plan.topological_order():
+            if remaining[phase.name] == 0:
+                sim.schedule(0.0, lambda s, p=phase: try_start(p, s))
+        makespan = sim.run()
+        if waiting:
+            stuck = sorted(p.name for p in waiting)
+            raise PlanError(f"deadlocked phases (claim cycle?): {stuck}")
+        return makespan

@@ -9,7 +9,7 @@ deterministic event engine plus a shared-resource throughput solver.
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import solve_concurrent_rates
-from repro.sim.trace import Span, Timeline
+from repro.obs.trace import Span, Timeline
 
 __all__ = [
     "Event",

@@ -1,9 +1,11 @@
-"""Execution timelines recorded during simulation (compatibility shim).
+"""Deprecated shim — import from :mod:`repro.obs.trace` instead.
 
 The :class:`Span` / :class:`Timeline` types moved into the unified
 observability layer (:mod:`repro.obs.trace`), where they gained
-structured attributes and a :class:`~repro.obs.trace.Tracer` front end;
-this module re-exports them so existing imports keep working.
+structured attributes and a :class:`~repro.obs.trace.Tracer` front end.
+All in-tree callers now import from ``repro.obs``; this re-export
+remains only so external code keeps working and may be removed in a
+future release.
 """
 
 from __future__ import annotations

@@ -35,7 +35,7 @@ from repro.transfer.methods import (
     ZeroCopy,
     get_method,
 )
-from repro.transfer.pipeline import chunk_sizes, pipeline_makespan
+from repro.plan.overlap import chunk_sizes, pipeline_makespan
 
 __all__ = [
     "TRANSFER_METHODS",

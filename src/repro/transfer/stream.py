@@ -3,7 +3,7 @@
 The push-based transfer methods are software pipelines (Section 4.1):
 stage a chunk, transfer it, compute on it, with stages overlapping
 across chunks.  The cost model uses the closed-form makespan of
-:func:`repro.transfer.pipeline.pipeline_makespan`; this module builds
+:func:`repro.plan.overlap.pipeline_makespan`; this module builds
 the *same* pipeline on the event engine — each stage a server that
 processes chunks in order, each chunk flowing through all stages — so
 the closed form can be validated against a mechanism simulation
@@ -21,8 +21,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.plan.overlap import chunk_sizes, iter_chunks
 from repro.sim.engine import Simulator
-from repro.transfer.pipeline import chunk_sizes, iter_chunks
 
 
 @dataclass

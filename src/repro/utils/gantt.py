@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.sim.trace import Timeline
+from repro.obs.trace import Timeline
 from repro.utils.units import format_time
 
 _BLOCK = "▇"

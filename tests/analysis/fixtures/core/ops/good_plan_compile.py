@@ -1,0 +1,15 @@
+"""Idiomatic operator: compiles a plan and lets the executor price it."""
+
+from repro.plan import Plan, PlanExecutor, priced_phase
+
+
+def run_operator(cost_model, build_profile, probe_profile):
+    plan = Plan(
+        [
+            priced_phase("build", build_profile),
+            priced_phase("probe", probe_profile, deps=("build",)),
+        ],
+        label="fixture",
+    )
+    executed = PlanExecutor(cost_model).execute(plan)
+    return executed.seconds("build") + executed.seconds("probe")

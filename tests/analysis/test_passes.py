@@ -21,6 +21,10 @@ BAD_FIXTURES = {
         fixture_path("core", "join", "coop_bad_writes.py"),
         3,
     ),
+    "executor-boundary": (
+        fixture_path("core", "ops", "bad_direct_pricing.py"),
+        3,
+    ),
 }
 
 GOOD_FIXTURES = {
@@ -30,6 +34,7 @@ GOOD_FIXTURES = {
     "simulated-coherence": fixture_path(
         "core", "join", "coop_good_accessors.py"
     ),
+    "executor-boundary": fixture_path("core", "ops", "good_plan_compile.py"),
 }
 
 
@@ -67,6 +72,7 @@ def test_fixture_tree_total_counts():
         "determinism": 5,
         "vectorization": 2,
         "simulated-coherence": 4,
+        "executor-boundary": 3,
     }
 
 
@@ -74,6 +80,18 @@ def test_out_of_scope_module_is_ignored():
     source = "LINK_BANDWIDTH = 900e9\n"
     findings = analyze_source(source, path="src/repro/utils/whatever.py")
     assert findings == []
+
+
+def test_executor_boundary_exempts_pricing_layer():
+    """The executor and the cost model itself may price directly."""
+    source = "def price(model, profile):\n    return model.phase_cost(profile)\n"
+    for exempt_path in (
+        "src/repro/plan/executor.py",
+        "src/repro/costmodel/model.py",
+    ):
+        assert analyze_source(source, path=exempt_path) == []
+    findings = analyze_source(source, path="src/repro/core/join/nopa.py")
+    assert [f.rule for f in findings] == ["executor-boundary"]
 
 
 def test_syntax_error_becomes_finding():
@@ -93,7 +111,10 @@ def test_rule_registry_is_stable():
         "determinism",
         "vectorization",
         "simulated-coherence",
+        "executor-boundary",
     ]
     for p in ALL_PASSES:
         assert p.description
-        assert p.scope
+        # Every pass constrains where it applies: an inclusion scope,
+        # or (executor-boundary) repo-wide with an exemption list.
+        assert p.scope or getattr(p, "exempt", ())

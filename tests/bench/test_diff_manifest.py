@@ -1,0 +1,86 @@
+"""The manifest diff tool: identity passes, perturbations fail."""
+
+import copy
+import json
+import os
+
+from repro.bench.diff_manifest import diff_files, iter_differences, main
+
+from tests.analysis.conftest import REPO_ROOT
+
+BASELINE = os.path.join(REPO_ROOT, "BENCH_pr2.json")
+
+
+def _runs():
+    with open(BASELINE) as handle:
+        return json.load(handle)["runs"]
+
+
+def test_baseline_matches_itself():
+    assert diff_files(BASELINE, BASELINE) == []
+
+
+def test_cli_identity_exit_zero(capsys):
+    assert main([BASELINE, BASELINE]) == 0
+    assert "match" in capsys.readouterr().out
+
+
+def test_seconds_drift_detected():
+    runs = _runs()
+    drifted = copy.deepcopy(runs)
+    drifted[0]["phases"][0]["seconds"] *= 1.001
+    diffs = list(iter_differences(drifted, runs))
+    assert len(diffs) == 1
+    assert "seconds" in diffs[0]
+
+
+def test_small_drift_within_tolerance_passes():
+    runs = _runs()
+    drifted = copy.deepcopy(runs)
+    drifted[0]["phases"][0]["seconds"] *= 1 + 1e-9
+    assert list(iter_differences(drifted, runs)) == []
+
+
+def test_bottleneck_flip_detected():
+    runs = _runs()
+    drifted = copy.deepcopy(runs)
+    drifted[0]["phases"][0]["bottleneck"] = "compute:elsewhere"
+    diffs = list(iter_differences(drifted, runs))
+    assert len(diffs) == 1
+    assert "bottleneck" in diffs[0]
+
+
+def test_occupancy_resource_changes_detected():
+    runs = _runs()
+    drifted = copy.deepcopy(runs)
+    occupancy = drifted[0]["phases"][0]["occupancy"]
+    resource = sorted(occupancy)[0]
+    occupancy[resource] *= 2.0
+    occupancy["link:phantom"] = 1.0
+    diffs = list(iter_differences(drifted, runs))
+    assert any(resource in d for d in diffs)
+    assert any("gained resource" in d for d in diffs)
+
+
+def test_missing_phase_and_run_detected():
+    runs = _runs()
+    drifted = copy.deepcopy(runs)
+    dropped_phase = drifted[0]["phases"].pop()
+    dropped_run = drifted.pop()
+    diffs = list(iter_differences(drifted, runs))
+    assert any(
+        f"phase {dropped_phase['label']!r}: missing" in d for d in diffs
+    )
+    assert any(
+        f"run {dropped_run['kind']!r}: missing" in d for d in diffs
+    )
+
+
+def test_cli_reports_failure(tmp_path, capsys):
+    with open(BASELINE) as handle:
+        document = json.load(handle)
+    document["runs"][0]["phases"][0]["seconds"] *= 2.0
+    drifted_path = tmp_path / "drifted.json"
+    drifted_path.write_text(json.dumps(document))
+    assert main([str(drifted_path), BASELINE]) == 1
+    assert "difference" in capsys.readouterr().out

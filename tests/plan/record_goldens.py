@@ -1,0 +1,28 @@
+"""Record golden reference summaries into ``golden_reference.json``.
+
+Run from the repo root against the code revision whose behavior should
+become the reference (the recording for this file was made from the
+pre-refactor seed, *before* operators were compiled to plans)::
+
+    PYTHONPATH=src:. python tests/plan/record_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.plan.golden_cases import build_all
+
+OUT = Path(__file__).parent / "golden_reference.json"
+
+
+def main() -> int:
+    summaries = build_all()
+    OUT.write_text(json.dumps(summaries, indent=2, sort_keys=False) + "\n")
+    print(f"recorded {len(summaries)} cases -> {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Golden equivalence: plan-compiled operators == pre-refactor seed.
+
+``golden_reference.json`` was recorded by running the case builders in
+:mod:`tests.plan.golden_cases` against the seed code, *before* the
+operators were refactored onto the phase-plan IR.  Re-running the same
+builders now must reproduce every functional integer exactly and every
+cost float to numerical equality — the refactor moved pricing into the
+executor without changing a single number.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from tests.plan.golden_cases import CASES, flatten
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_reference.json")
+
+with open(GOLDEN_PATH) as fh:
+    GOLDEN = json.load(fh)
+
+
+def test_every_case_has_a_golden():
+    assert sorted(GOLDEN) == sorted(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_case_matches_golden(name):
+    got = dict(flatten(CASES[name]()))
+    want = dict(flatten(GOLDEN[name]))
+    assert got.keys() == want.keys(), sorted(
+        got.keys() ^ want.keys()
+    )
+    mismatches = []
+    for key, expected in want.items():
+        actual = got[key]
+        if isinstance(expected, float):
+            if not math.isclose(
+                actual, expected, rel_tol=1e-9, abs_tol=1e-15
+            ):
+                mismatches.append((key, expected, actual))
+        elif actual != expected:
+            mismatches.append((key, expected, actual))
+    assert mismatches == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.trace import Timeline
+from repro.obs.trace import Timeline
 from repro.utils.gantt import render_gantt
 
 
