@@ -59,6 +59,13 @@ from repro.core.hashtable import (
 from repro.core.hashtable.placement import HashTablePlacement, place_hash_table
 from repro.core.scheduler.morsel import MorselDispatcher
 from repro.core.scheduler.batch import tune_batch_morsels
+from repro.exec import (
+    EXEC_BACKENDS,
+    MorselExecutor,
+    execute_build,
+    execute_probe,
+    make_executor,
+)
 from repro.data.relation import Morsel, Relation
 from repro.hardware.topology import Machine, ibm_ac922, intel_xeon_v100
 from repro.memory.allocator import Allocation, Allocator, OutOfMemoryError
@@ -106,6 +113,11 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "JoinResult",
     "NoPartitioningJoin",
+    "EXEC_BACKENDS",
+    "MorselExecutor",
+    "execute_build",
+    "execute_probe",
+    "make_executor",
     "RadixJoin",
     "RadixJoinResult",
     "Plan",

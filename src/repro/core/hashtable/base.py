@@ -13,6 +13,7 @@ selectivity most value bytes are never loaded.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -35,6 +36,29 @@ class TableStats:
         self.lookups = 0
         self.lookup_probes = 0
         self.value_reads = 0
+
+    def merge(self, other: "TableStats") -> None:
+        """Fold another stats block into this one.
+
+        Every counter is an order-independent sum over tuples, so
+        merging per-worker blocks in any order equals the counts a
+        serial execution would have recorded.
+        """
+        self.inserts += other.inserts
+        self.insert_probes += other.insert_probes
+        self.lookups += other.lookups
+        self.lookup_probes += other.lookup_probes
+        self.value_reads += other.value_reads
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """All counters, for cross-backend equality assertions."""
+        return (
+            self.inserts,
+            self.insert_probes,
+            self.lookups,
+            self.lookup_probes,
+            self.value_reads,
+        )
 
     @property
     def probe_factor(self) -> float:
@@ -89,6 +113,28 @@ class HashTableBase:
             return self.capacity * self.entry_bytes
         ratio = self.capacity / self.size
         return int(modeled_build_tuples * ratio) * self.entry_bytes
+
+    # ------------------------------------------------------------------
+    # Concurrent-worker support
+    # ------------------------------------------------------------------
+    def stats_view(self) -> "HashTableBase":
+        """A shallow view sharing this table's storage with private counters.
+
+        Concurrent workers each probe (or, for slot-disjoint schemes,
+        build) through their own view so the ``stats``/``size``
+        read-modify-writes never race; :meth:`absorb_view` folds the
+        per-worker deltas back.  The view's ``size`` starts at zero and
+        accumulates only the view's own inserts.
+        """
+        view = copy.copy(self)
+        view.stats = TableStats()
+        view.size = 0
+        return view
+
+    def absorb_view(self, view: "HashTableBase") -> None:
+        """Fold a view's private counters back into this table."""
+        self.stats.merge(view.stats)
+        self.size += view.size
 
     # ------------------------------------------------------------------
     def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:

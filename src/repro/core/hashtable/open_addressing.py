@@ -49,6 +49,16 @@ class OpenAddressingHashTable(HashTableBase):
             raise ValueError(
                 f"batch of {len(keys)} does not fit: {self.size}/{self.capacity}"
             )
+        # Within-batch duplicates would both pass the post-scatter `won`
+        # re-read (both compare equal to the stored key), silently
+        # dropping one value while counting two winners — reject them
+        # up front with the same error the existing-key path raises.
+        unique, counts = np.unique(keys, return_counts=True)
+        if len(unique) != len(keys):
+            raise ValueError(
+                "duplicate key insert (join build expects unique keys): "
+                f"{int(unique[counts > 1][0])}"
+            )
         pending_keys = keys.astype(self.keys.dtype, copy=True)
         pending_values = values.astype(self.values.dtype, copy=True)
         slots = self._home_slots(pending_keys)
@@ -96,10 +106,12 @@ class OpenAddressingHashTable(HashTableBase):
         probe_keys = keys.astype(self.keys.dtype)
         slots = self._home_slots(probe_keys)
         rounds = 0
-        while len(pending):
+        # After `capacity` rounds every key has inspected every slot, so
+        # still-pending keys are absent.  This bound (not an EMPTY
+        # sentinel) terminates probes for absent keys in a 100%-full
+        # table, which insert_batch permits.
+        while len(pending) and rounds < self.capacity:
             rounds += 1
-            if rounds > self.capacity + 1:
-                raise RuntimeError("lookup did not converge; table corrupted?")
             self.stats.lookup_probes += len(pending)
             slot_keys = self.keys[slots]
             hit = slot_keys == probe_keys[pending]

@@ -34,6 +34,14 @@ from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.hashtable import create_hash_table
 from repro.data.relation import Relation
+from repro.exec import (
+    DEFAULT_EXEC_MORSEL_TUPLES,
+    DEFAULT_WORKERS,
+    check_backend,
+    execute_build,
+    execute_probe,
+    make_executor,
+)
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
@@ -103,8 +111,16 @@ class CoopJoin:
         machine: the simulated machine (must have a coherent GPU link for
             the shared-table Het strategy).
         strategy: ``het`` or ``gpu+het``.
-        morsel_tuples: dispatcher morsel size (modeled tuples).
+        morsel_tuples: dispatcher morsel size (modeled tuples) of the
+            *simulated* probe-phase dispatcher.
         gpu_batch_morsels: morsels per GPU batch; ``None`` auto-tunes.
+        backend: ``serial`` | ``threads`` — how the functional build and
+            probe execute on the host.  Results and TableStats are
+            identical either way; the simulated Het schedule is priced
+            from the same counters regardless.
+        exec_workers: thread count for ``backend="threads"``.
+        exec_morsel_tuples: *executed*-tuple morsel size for the thread
+            backend (unrelated to the modeled ``morsel_tuples``).
     """
 
     def __init__(
@@ -116,6 +132,9 @@ class CoopJoin:
         gpu_batch_morsels: Optional[int] = None,
         hash_scheme: str = "perfect",
         obs: Optional[Observability] = None,
+        backend: str = "serial",
+        exec_workers: int = DEFAULT_WORKERS,
+        exec_morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -129,6 +148,10 @@ class CoopJoin:
         self.morsel_tuples = morsel_tuples
         self.gpu_batch_morsels = gpu_batch_morsels
         self.hash_scheme = hash_scheme
+        self.backend = check_backend(backend)
+        self.exec_workers = exec_workers
+        self.exec_morsel_tuples = exec_morsel_tuples
+        self.last_executor = None
 
     # ------------------------------------------------------------------
     # Placement per strategy
@@ -379,8 +402,12 @@ class CoopJoin:
         table = create_hash_table(
             self.hash_scheme, r.executed_tuples, r.key.dtype, r.payload.dtype
         )
-        table.insert_batch(r.key, r.payload)
-        found, values = table.lookup_batch(s.key)
+        executor = make_executor(
+            self.backend, self.exec_workers, self.exec_morsel_tuples, name="coop"
+        )
+        self.last_executor = executor
+        execute_build(table, r.key, r.payload, executor)
+        found, values = execute_probe(table, s.key, executor)
         matches = int(found.sum())
         aggregate = int(values[found].astype(np.int64).sum())
         lines_loaded = _line_fraction(found, s.payload_bytes)

@@ -35,6 +35,14 @@ from repro.core.hashtable import create_hash_table
 from repro.core.hashtable.base import HashTableBase
 from repro.core.hashtable.placement import HashTablePlacement, place_hash_table
 from repro.data.relation import Relation
+from repro.exec import (
+    DEFAULT_EXEC_MORSEL_TUPLES,
+    DEFAULT_WORKERS,
+    check_backend,
+    execute_build,
+    execute_probe,
+    make_executor,
+)
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
@@ -134,6 +142,14 @@ class NoPartitioningJoin:
             materialization)").
         calibration: cost-model constants.
         gpu_reserve: GPU bytes kept free when placing the table.
+        backend: how the *functional* execution runs — ``serial`` (one
+            thread, the default) or ``threads`` (morsel-parallel via
+            ``repro.exec``).  Results, ``TableStats``, and everything
+            priced from them are identical across backends; only
+            wall-clock behaviour differs.
+        workers: thread count for ``backend="threads"``.
+        exec_morsel_tuples: executed-tuple morsel size for the thread
+            backend's dispatcher.
     """
 
     #: calibrated accounting: a GPU insert is one 16-byte CAS; a CPU
@@ -153,6 +169,9 @@ class NoPartitioningJoin:
         layout: str = "soa",
         output: str = "aggregate",
         obs: Optional[Observability] = None,
+        backend: str = "serial",
+        workers: int = DEFAULT_WORKERS,
+        exec_morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
     ) -> None:
         if layout not in ("soa", "aos"):
             raise ValueError(f"layout must be 'soa' or 'aos', got {layout!r}")
@@ -170,6 +189,12 @@ class NoPartitioningJoin:
         self.gpu_name = gpu_name
         self.layout = layout
         self.output = output
+        self.backend = check_backend(backend)
+        self.workers = workers
+        self.exec_morsel_tuples = exec_morsel_tuples
+        #: the executor of the most recent run (None for serial) — its
+        #: metrics/timeline expose worker-level dispatch for inspection.
+        self.last_executor = None
 
     # ------------------------------------------------------------------
     # Functional execution
@@ -181,8 +206,12 @@ class NoPartitioningJoin:
             r.key.dtype,
             r.payload.dtype,
         )
-        table.insert_batch(r.key, r.payload)
-        found, values = table.lookup_batch(s.key)
+        executor = make_executor(
+            self.backend, self.workers, self.exec_morsel_tuples, name="nopa"
+        )
+        self.last_executor = executor
+        execute_build(table, r.key, r.payload, executor)
+        found, values = execute_probe(table, s.key, executor)
         matches = int(found.sum())
         aggregate = int(values[found].astype(np.int64).sum())
         lines = payload_line_fraction(found, s.payload_bytes)

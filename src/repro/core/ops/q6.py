@@ -23,6 +23,13 @@ from repro.costmodel.access import AccessProfile
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.ops.selection import selection_line_fractions
+from repro.exec import (
+    DEFAULT_EXEC_MORSEL_TUPLES,
+    DEFAULT_WORKERS,
+    check_backend,
+    execute_masks,
+    make_executor,
+)
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
 from repro.obs import Observability
@@ -77,6 +84,9 @@ class TpchQ6:
         transfer_method: str = "coherence",
         calibration: Calibration = DEFAULT_CALIBRATION,
         obs: Optional[Observability] = None,
+        backend: str = "serial",
+        workers: int = DEFAULT_WORKERS,
+        exec_morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
     ) -> None:
         if variant not in VARIANTS:
             raise ValueError(
@@ -88,20 +98,43 @@ class TpchQ6:
         self.calibration = calibration
         self.obs = obs if obs is not None else Observability.create()
         self.cost_model = CostModel(machine, calibration, obs=self.obs)
+        self.backend = check_backend(backend)
+        self.workers = workers
+        self.exec_morsel_tuples = exec_morsel_tuples
+        self.last_executor = None
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _predicate_masks(workload: Q6Workload) -> List[np.ndarray]:
+    def _predicate_evaluators(workload: Q6Workload):
+        """Range-sliced predicate evaluators (element-wise, so a
+        morsel-split evaluation concatenates to the whole-array masks
+        bit for bit)."""
         return [
-            (workload.shipdate >= Q6_SHIPDATE_LO)
-            & (workload.shipdate < Q6_SHIPDATE_HI),
-            (workload.discount >= np.float32(Q6_DISCOUNT_LO - 1e-6))
-            & (workload.discount <= np.float32(Q6_DISCOUNT_HI + 1e-6)),
-            workload.quantity < Q6_QUANTITY_LT,
+            lambda lo, hi: (workload.shipdate[lo:hi] >= Q6_SHIPDATE_LO)
+            & (workload.shipdate[lo:hi] < Q6_SHIPDATE_HI),
+            lambda lo, hi: (
+                workload.discount[lo:hi] >= np.float32(Q6_DISCOUNT_LO - 1e-6)
+            )
+            & (workload.discount[lo:hi] <= np.float32(Q6_DISCOUNT_HI + 1e-6)),
+            lambda lo, hi: workload.quantity[lo:hi] < Q6_QUANTITY_LT,
         ]
 
+    @staticmethod
+    def _predicate_masks(workload: Q6Workload) -> List[np.ndarray]:
+        evaluators = TpchQ6._predicate_evaluators(workload)
+        n = len(workload.shipdate)
+        return [evaluator(0, n) for evaluator in evaluators]
+
     def _execute(self, workload: Q6Workload):
-        masks = self._predicate_masks(workload)
+        executor = make_executor(
+            self.backend, self.workers, self.exec_morsel_tuples, name="q6"
+        )
+        self.last_executor = executor
+        masks = execute_masks(
+            len(workload.shipdate),
+            self._predicate_evaluators(workload),
+            executor,
+        )
         qualifies = masks[0] & masks[1] & masks[2]
         revenue = float(
             (

@@ -18,6 +18,13 @@ from repro.costmodel.access import AccessProfile
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.ops.selection import selection_line_fractions
+from repro.exec import (
+    DEFAULT_EXEC_MORSEL_TUPLES,
+    DEFAULT_WORKERS,
+    check_backend,
+    execute_masks,
+    make_executor,
+)
 from repro.hardware.memory import MemoryKind
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
@@ -84,6 +91,9 @@ class SelectionScan:
         transfer_method: str = "coherence",
         calibration: Calibration = DEFAULT_CALIBRATION,
         obs: Optional[Observability] = None,
+        backend: str = "serial",
+        workers: int = DEFAULT_WORKERS,
+        exec_morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
     ) -> None:
         if not predicates:
             raise ValueError("need at least one predicate")
@@ -98,10 +108,23 @@ class SelectionScan:
         self.calibration = calibration
         self.obs = obs if obs is not None else Observability.create()
         self.cost_model = CostModel(machine, calibration, obs=self.obs)
+        self.backend = check_backend(backend)
+        self.workers = workers
+        self.exec_morsel_tuples = exec_morsel_tuples
+        self.last_executor = None
 
     # ------------------------------------------------------------------
     def _execute(self, columns: Dict[str, np.ndarray]):
-        masks = [p.evaluate(columns[p.column]) for p in self.predicates]
+        n_rows = len(columns[self.predicates[0].column])
+        executor = make_executor(
+            self.backend, self.workers, self.exec_morsel_tuples, name="scan"
+        )
+        self.last_executor = executor
+        evaluators = [
+            (lambda lo, hi, p=p: p.evaluate(columns[p.column][lo:hi]))
+            for p in self.predicates
+        ]
+        masks = execute_masks(n_rows, evaluators, executor)
         survivors = masks[0].copy()
         for mask in masks[1:]:
             survivors &= mask

@@ -5,10 +5,17 @@ morsels) from a central dispatcher, that is implemented as a read
 cursor."  The dispatcher hands out ranges of the probe (or build)
 relation; GPUs request *batches* of morsels to amortize kernel-launch
 latency over more data.
+
+The dispatcher is thread-safe: ``repro.exec`` drives it from real
+concurrent workers, so the cursor advance, the dispatch log, and the
+metric emission happen under one lock — N workers hammering
+:meth:`next_batch` receive disjoint ranges that exactly cover
+``[0, total_tuples)``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -44,11 +51,13 @@ class MorselDispatcher:
         self.morsel_tuples = morsel_tuples
         self.metrics = metrics
         self._cursor = 0
+        self._lock = threading.Lock()
         self.dispatched: List[Tuple[str, WorkRange]] = []
 
     @property
     def remaining(self) -> int:
-        return self.total_tuples - self._cursor
+        with self._lock:
+            return self.total_tuples - self._cursor
 
     @property
     def exhausted(self) -> bool:
@@ -59,17 +68,19 @@ class MorselDispatcher:
 
         Returns None once the input is exhausted.  The final range may be
         shorter than requested — the source of end-of-input skew the
-        batching trade-off has to balance.
+        batching trade-off has to balance.  Safe to call from concurrent
+        workers: ranges never overlap and never leave gaps.
         """
         if morsels <= 0:
             raise ValueError(f"must request at least one morsel: {morsels}")
-        if self.exhausted:
-            return None
-        start = self._cursor
-        end = min(self.total_tuples, start + morsels * self.morsel_tuples)
-        self._cursor = end
-        work = WorkRange(start=start, end=end)
-        self.dispatched.append((worker, work))
+        with self._lock:
+            if self._cursor >= self.total_tuples:
+                return None
+            start = self._cursor
+            end = min(self.total_tuples, start + morsels * self.morsel_tuples)
+            self._cursor = end
+            work = WorkRange(start=start, end=end)
+            self.dispatched.append((worker, work))
         if self.metrics is not None:
             granted = -(-work.tuples // self.morsel_tuples)
             self.metrics.counter(
@@ -82,4 +93,5 @@ class MorselDispatcher:
 
     def dispatched_tuples(self, worker: str) -> int:
         """Total tuples handed to one worker so far."""
-        return sum(w.tuples for name, w in self.dispatched if name == worker)
+        with self._lock:
+            return sum(w.tuples for name, w in self.dispatched if name == worker)

@@ -1,0 +1,172 @@
+"""Morsel-parallel drivers for the functional layer's kernels.
+
+These helpers run a hash-table build, a probe, or a predicate cascade
+either serially (``executor is None`` — the exact code path the
+operators always had) or across a :class:`~repro.exec.pool.MorselExecutor`.
+The contract, enforced by the equivalence tests, is that the two paths
+produce **bit-identical outputs and identical TableStats**, so the
+``backend`` knob changes wall-clock behaviour only — never a result,
+a priced manifest, or a metric snapshot.
+
+Build decomposition is scheme-aware, because not every table build is
+morsel-divisible:
+
+* **perfect** — ``slot = key`` with unique keys means writes are
+  slot-disjoint; workers build fully in parallel through private
+  :meth:`~repro.core.hashtable.base.HashTableBase.stats_view`\\ s.  A
+  post-build occupancy audit catches the one race the per-batch
+  duplicate check cannot see (the same key arriving in two concurrent
+  morsels).
+* **chaining** — head-pointer prepends commute per bucket but the chain
+  *layout* depends on application order, so morsels are applied through
+  the executor's sequencer in morsel order; the resulting table is
+  bit-identical to a serial morsel-order build.
+* **open addressing** — the numpy CAS emulation resolves within-round
+  races per *batch*; splitting the batch changes which keys race and
+  therefore the final slot layout (and downstream probe counts).  The
+  build stays one whole batch regardless of backend.
+
+Probes and predicate masks are read-only and element-independent, so
+they decompose for every scheme: each morsel produces a private output
+slice, merged by stable morsel-order concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hashtable.base import HashTableBase
+from repro.core.hashtable.chaining import ChainingHashTable
+from repro.core.hashtable.perfect import PerfectHashTable
+from repro.core.scheduler.morsel import WorkRange
+from repro.exec.pool import MorselExecutor
+
+#: a predicate-mask evaluator over a half-open row range.
+MaskEvaluator = Callable[[int, int], np.ndarray]
+
+
+def _worker_views(table: HashTableBase) -> Dict[str, HashTableBase]:
+    """Lazily-populated per-worker stats views (created under the GIL;
+    dict item assignment is atomic, and each worker only touches its own
+    key)."""
+    return {}
+
+
+def _view_for(
+    views: Dict[str, HashTableBase], table: HashTableBase, worker: str
+) -> HashTableBase:
+    view = views.get(worker)
+    if view is None:
+        view = table.stats_view()
+        views[worker] = view
+    return view
+
+
+def _absorb_all(
+    table: HashTableBase, views: Dict[str, HashTableBase]
+) -> None:
+    """Fold per-worker counters back, in worker-name order.
+
+    The merge is a commutative integer sum, so any order yields the
+    serial counts; sorting just makes the absorption itself
+    deterministic."""
+    for worker in sorted(views):
+        table.absorb_view(views[worker])
+
+
+def execute_build(
+    table: HashTableBase,
+    keys: np.ndarray,
+    values: np.ndarray,
+    executor: Optional[MorselExecutor] = None,
+) -> None:
+    """Populate ``table`` with (keys, values); scheme-aware decomposition."""
+    if executor is None or len(keys) == 0:
+        table.insert_batch(keys, values)
+        return
+    if isinstance(table, PerfectHashTable):
+        views = _worker_views(table)
+
+        def build_morsel(work: WorkRange, worker: str) -> None:
+            view = _view_for(views, table, worker)
+            view.insert_batch(keys[work.start : work.end],
+                              values[work.start : work.end])
+
+        executor.run(len(keys), build_morsel)
+        _absorb_all(table, views)
+        # Two concurrent morsels carrying the same key can both observe
+        # the slot EMPTY and both count a successful insert; audit the
+        # actual occupancy against the claimed size.
+        occupied = int(np.count_nonzero(table.keys != table.EMPTY))
+        if occupied != table.size:
+            raise ValueError(
+                "perfect hashing requires unique keys; concurrent build "
+                f"claimed {table.size} inserts but occupies {occupied} slots"
+            )
+        return
+    if isinstance(table, ChainingHashTable):
+        # Chain layout follows application order: sequence the morsels.
+        def build_ordered(work: WorkRange, worker: str) -> None:
+            table.insert_batch(keys[work.start : work.end],
+                               values[work.start : work.end])
+
+        executor.run(len(keys), build_ordered, ordered=True)
+        return
+    # Open addressing: batch-scoped race resolution — not morsel-divisible.
+    table.insert_batch(keys, values)
+
+
+def execute_probe(
+    table: HashTableBase,
+    keys: np.ndarray,
+    executor: Optional[MorselExecutor] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Look up ``keys``; returns (found, values) bit-identical to serial.
+
+    Linear probing, chain walks, and perfect lookups are pure functions
+    of the (frozen) table and the key slice, and all counters are
+    per-tuple sums — so a morsel-split probe returns the same outputs
+    and records the same TableStats as one whole-batch lookup.
+    """
+    if executor is None or len(keys) == 0:
+        return table.lookup_batch(keys)
+    views = _worker_views(table)
+
+    def probe_morsel(
+        work: WorkRange, worker: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        view = _view_for(views, table, worker)
+        return view.lookup_batch(keys[work.start : work.end])
+
+    parts = executor.map_values(len(keys), probe_morsel)
+    _absorb_all(table, views)
+    found = np.concatenate([part[0] for part in parts])
+    values = np.concatenate([part[1] for part in parts])
+    return found, values
+
+
+def execute_masks(
+    n_rows: int,
+    evaluators: Sequence[MaskEvaluator],
+    executor: Optional[MorselExecutor] = None,
+) -> List[np.ndarray]:
+    """Evaluate row-range predicates over ``[0, n_rows)``.
+
+    Each evaluator maps a half-open row range to a boolean (or
+    element-wise) mask for those rows; masks are merged by morsel-order
+    concatenation.  Element-wise predicates make slice-then-concatenate
+    bit-identical to whole-array evaluation.
+    """
+    if executor is None or n_rows == 0:
+        return [evaluator(0, n_rows) for evaluator in evaluators]
+
+    def masks_morsel(work: WorkRange, worker: str) -> List[np.ndarray]:
+        return [evaluator(work.start, work.end) for evaluator in evaluators]
+
+    parts = executor.map_values(n_rows, masks_morsel)
+    return [
+        np.concatenate([part[i] for part in parts])
+        for i in range(len(evaluators))
+    ]

@@ -30,17 +30,21 @@ class HotSetProfile:
     distribution over ``n`` targets that is ``k / n``; for Zipf it is the
     partial sum of the (normalized) Zipf pmf, which the workload layer
     computes empirically from generated keys.
+
+    ``k`` may be fractional (cache-capacity queries divide a byte budget
+    by an entry size): every profile linearly interpolates between
+    integer ``k``s.
     """
 
     distinct_targets: int
-    mass_of_top: Callable[[int], float]
+    mass_of_top: Callable[[float], float]
 
     @staticmethod
     def uniform(distinct_targets: int) -> "HotSetProfile":
         if distinct_targets <= 0:
             raise ValueError("need at least one target")
 
-        def mass(k: int) -> float:
+        def mass(k: float) -> float:
             return min(1.0, max(0.0, k / distinct_targets))
 
         return HotSetProfile(distinct_targets, mass)
@@ -75,11 +79,16 @@ class HotSetProfile:
 
         total = harmonic(distinct_targets)
 
-        def mass(k: int) -> float:
-            k = max(0, min(k, distinct_targets))
+        def mass(k: float) -> float:
+            k = max(0.0, min(float(k), float(distinct_targets)))
             if k == 0:
                 return 0.0
-            return harmonic(k) / total
+            lower = int(k)
+            fraction = k - lower
+            value = harmonic(lower)
+            if fraction:
+                value += fraction * (harmonic(lower + 1) - harmonic(lower))
+            return value / total
 
         return HotSetProfile(distinct_targets, mass)
 

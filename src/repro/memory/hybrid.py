@@ -34,24 +34,47 @@ class HybridAllocation:
     address_space: AddressSpace
     pieces: List[Allocation] = field(default_factory=list)
     label: str = ""
+    freed: bool = field(default=False, repr=False)
 
     @property
     def gpu_fraction(self) -> float:
-        """Fraction of bytes resident in GPU memory (A_GPU of Section 5.3)."""
+        """Fraction of bytes resident in GPU memory (A_GPU of Section 5.3).
+
+        Returns 0.0 once the allocation has been freed — nothing is
+        resident anywhere.
+        """
         gpu_bytes = sum(p.nbytes for p in self.pieces if p.is_gpu_memory)
         if self.nbytes == 0:
             return 0.0
         return gpu_bytes / self.nbytes
 
     def bytes_per_region(self) -> Dict[str, int]:
-        """Mapped bytes per memory region."""
+        """Mapped bytes per memory region.
+
+        Raises:
+            RuntimeError: if the allocation has been freed — the address
+                space no longer maps any bytes.
+        """
+        if self.freed:
+            raise RuntimeError(
+                f"hybrid allocation {self.label!r} has been freed; "
+                "its address space maps no bytes"
+            )
         return self.address_space.bytes_per_region()
 
     def free(self, allocator: Allocator) -> None:
-        """Release every physical piece of the allocation."""
+        """Release every physical piece and invalidate the address space."""
+        if self.freed:
+            raise RuntimeError(
+                f"hybrid allocation {self.label!r} already freed"
+            )
         for piece in self.pieces:
             allocator.free(piece)
         self.pieces.clear()
+        # Invalidate the virtual mapping too: a freed allocation must not
+        # keep reporting mapped bytes through bytes_per_region().
+        self.address_space = AddressSpace()
+        self.freed = True
 
 
 def allocate_hybrid(

@@ -10,11 +10,17 @@ Metric identity is ``(name, sorted labels)``, Prometheus-style::
 
     registry.counter("link_bytes_total", link="nvlink0").inc(4096)
     registry.histogram("dispatch_batch_tuples", worker="gpu0").observe(2**22)
+
+Registry and cells are thread-safe: the morsel-parallel execution
+backend (``repro.exec``) updates metrics from real concurrent workers,
+so get-or-create and every read-modify-write (``inc``, ``set``,
+``observe``) are lock-guarded — concurrent increments lose nothing.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -36,11 +42,15 @@ class Counter:
     name: str
     labels: LabelKey = ()
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease: {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
         return {"labels": dict(self.labels), "value": self.value}
@@ -53,9 +63,13 @@ class Gauge:
     name: str
     labels: LabelKey = ()
     value: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def snapshot(self) -> Dict[str, Any]:
         return {"labels": dict(self.labels), "value": self.value}
@@ -71,6 +85,9 @@ class Histogram:
     counts: List[int] = field(default_factory=list)
     total: float = 0.0
     count: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if list(self.buckets) != sorted(self.buckets):
@@ -80,9 +97,10 @@ class Histogram:
             self.counts = [0] * (len(self.buckets) + 1)
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.total += value
-        self.count += 1
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.total += value
+            self.count += 1
 
     @property
     def mean(self) -> float:
@@ -107,13 +125,15 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, str, LabelKey], Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, kind: str, name: str, labels: Dict[str, Any], factory):
         key = (kind, name, _label_key(labels))
-        metric = self._metrics.get(key)
-        if metric is None:
-            metric = factory(name, key[2])
-            self._metrics[key] = metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, key[2])
+                self._metrics[key] = metric
         return metric
 
     def counter(self, name: str, **labels: Any) -> Counter:
@@ -145,23 +165,26 @@ class MetricsRegistry:
         )
 
     def __iter__(self) -> Iterator[Any]:
-        for key in sorted(self._metrics):
+        with self._lock:
+            keys = sorted(self._metrics)
+        for key in keys:
             yield self._metrics[key]
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def snapshot(self) -> Dict[str, List[Dict[str, Any]]]:
         """``{"counter:name": [{labels, value}, ...], ...}``, sorted."""
+        with self._lock:
+            items = sorted(self._metrics.items())
         out: Dict[str, List[Dict[str, Any]]] = {}
-        for key in sorted(self._metrics):
-            kind, name, _labels = key
-            out.setdefault(f"{kind}:{name}", []).append(
-                self._metrics[key].snapshot()
-            )
+        for (kind, name, _labels), metric in items:
+            out.setdefault(f"{kind}:{name}", []).append(metric.snapshot())
         return out
 
     def value(self, kind: str, name: str, **labels: Any) -> Optional[float]:
         """Convenience lookup of a counter/gauge value (None if absent)."""
-        metric = self._metrics.get((kind, name, _label_key(labels)))
+        with self._lock:
+            metric = self._metrics.get((kind, name, _label_key(labels)))
         return None if metric is None else metric.value

@@ -12,10 +12,16 @@ gain structured attributes plus a :class:`Tracer` front end:
 Spans are timed against a :class:`~repro.obs.clock.SimClock`, so a
 trace of a priced join is a deterministic function of the workload and
 machine — there is no wall-clock anywhere in the pipeline.
+
+Span emission is thread-safe: :meth:`Timeline.record` appends under a
+lock and the tracer's span-nesting stack is thread-local, so the
+morsel-parallel execution backend (``repro.exec``) can record from
+concurrent workers without corrupting the trace.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
@@ -60,9 +66,12 @@ class Span:
 
 @dataclass
 class Timeline:
-    """Append-only record of spans."""
+    """Append-only record of spans (appends are lock-guarded)."""
 
     spans: List[Span] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(
         self,
@@ -84,7 +93,8 @@ class Timeline:
             parent=parent,
             attrs=attrs,
         )
-        self.spans.append(span)
+        with self._lock:
+            self.spans.append(span)
         return span
 
     def by_worker(self) -> Dict[str, List[Span]]:
@@ -177,7 +187,18 @@ class Tracer:
     ) -> None:
         self.clock = clock or SimClock()
         self.timeline = timeline or Timeline()
-        self._stack: List[ActiveSpan] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[ActiveSpan]:
+        # Span nesting is per-thread: concurrent workers each keep their
+        # own stack, so one worker's open span never becomes another's
+        # parent (and push/pop need no lock).
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     @property
     def current_label(self) -> str:

@@ -60,7 +60,8 @@ def empirical_hot_mass(keys: np.ndarray) -> HotSetProfile:
 
     Counts key frequencies, sorts them descending, and exposes the
     cumulative access mass of the top-k distinct keys (with linear
-    interpolation between integer ks for cache-capacity queries).
+    interpolation between integer ks for cache-capacity queries):
+    ``mass(2.5)`` sits halfway between ``mass(2)`` and ``mass(3)``.
     """
     if keys.size == 0:
         raise ValueError("cannot profile an empty key stream")
@@ -70,11 +71,17 @@ def empirical_hot_mass(keys: np.ndarray) -> HotSetProfile:
     total = cumulative[-1]
     distinct = len(counts)
 
-    def mass(k: int) -> float:
+    def mass(k: float) -> float:
         if k <= 0:
             return 0.0
         if k >= distinct:
             return 1.0
-        return float(cumulative[k - 1] / total)
+        lower = int(k)
+        mass_lower = float(cumulative[lower - 1] / total) if lower else 0.0
+        fraction = k - lower
+        if fraction == 0.0:
+            return mass_lower
+        mass_upper = float(cumulative[lower] / total)
+        return mass_lower + fraction * (mass_upper - mass_lower)
 
     return HotSetProfile(distinct_targets=distinct, mass_of_top=mass)

@@ -172,6 +172,34 @@ class TestOpenAddressingSpecifics:
         with pytest.raises(ValueError):
             table.insert_batch(keys, keys)
 
+    def test_within_batch_duplicate_rejected(self):
+        # Regression: a duplicate inside one batch used to be silently
+        # dropped (both copies pass the post-scatter re-read, one value
+        # lost) while still inflating `size` by two.
+        table = OpenAddressingHashTable(16)
+        keys = np.array([3, 7, 3], dtype=np.int64)
+        with pytest.raises(ValueError, match="duplicate key insert"):
+            table.insert_batch(keys, keys * 10)
+        assert table.size == 0  # rejected up front, nothing inserted
+
+    def test_lookup_absent_key_in_full_table_terminates(self):
+        # Regression: with the table 100% full no slot is ever EMPTY, so
+        # lookups for absent keys never hit the miss sentinel and the
+        # probe loop used to exhaust its round budget and raise
+        # RuntimeError("lookup did not converge").  Absent keys in a full
+        # table are a legal query and must simply return not-found.
+        table = OpenAddressingHashTable(8, load_factor=0.9)
+        keys = np.arange(table.capacity, dtype=np.int64)
+        table.insert_batch(keys, keys * 2)
+        assert table.load_factor == 1.0
+        absent = np.array([table.capacity + 5, table.capacity + 9], dtype=np.int64)
+        found, _ = table.lookup_batch(absent)
+        assert not found.any()
+        # present keys still resolve in the same full table
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, keys * 2)
+
     def test_load_factor_validation(self):
         with pytest.raises(ValueError):
             OpenAddressingHashTable(16, load_factor=0.95)

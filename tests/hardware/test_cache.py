@@ -50,6 +50,26 @@ class TestHotSetProfile:
     def test_mass_of_zero_is_zero(self):
         assert HotSetProfile.zipf(100, 1.0).mass_of_top(0) == 0.0
 
+    def test_fractional_k_interpolates_linearly(self):
+        # cache-capacity queries divide a byte budget by an entry size,
+        # producing fractional ks; the contract is linear interpolation
+        # between the integer masses, not truncation.
+        for profile in (
+            HotSetProfile.uniform(1000),
+            HotSetProfile.zipf(1000, 1.2),
+        ):
+            lower, upper = profile.mass_of_top(10), profile.mass_of_top(11)
+            assert profile.mass_of_top(10.5) == pytest.approx(
+                (lower + upper) / 2
+            )
+            assert lower < profile.mass_of_top(10.5) < upper
+
+    def test_fractional_k_clamped_to_domain(self):
+        profile = HotSetProfile.zipf(50, 1.0)
+        assert profile.mass_of_top(0.0) == 0.0
+        assert profile.mass_of_top(50.5) == pytest.approx(1.0)
+        assert profile.mass_of_top(-3.0) == 0.0
+
 
 class TestCacheModel:
     def test_fitting_working_set_hits(self):

@@ -78,6 +78,24 @@ class TestHybrid:
         assert allocation.nbytes == 0
         assert allocation.gpu_fraction == 0.0
 
+    def test_free_invalidates_address_space(self, allocator):
+        # Regression: free() used to clear pieces but leave the address
+        # space mapped, so a freed allocation still reported resident
+        # bytes per region.
+        allocation = allocate_hybrid(allocator, "gpu0", 20 * GIB, gpu_reserve=0)
+        assert allocation.bytes_per_region()  # valid before the free
+        allocation.free(allocator)
+        assert allocation.freed
+        assert allocation.gpu_fraction == 0.0
+        with pytest.raises(RuntimeError, match="has been freed"):
+            allocation.bytes_per_region()
+
+    def test_double_free_rejected(self, allocator):
+        allocation = allocate_hybrid(allocator, "gpu0", 4 * GIB, gpu_reserve=0)
+        allocation.free(allocator)
+        with pytest.raises(RuntimeError, match="already freed"):
+            allocation.free(allocator)
+
 
 class TestInterleaved:
     def test_round_robin_over_gpus(self, allocator):

@@ -66,6 +66,25 @@ class TestEmpiricalHotMass:
         with pytest.raises(ValueError):
             empirical_hot_mass(np.array([]))
 
+    def test_fractional_k_interpolates_linearly(self):
+        # counts sorted descending: [3, 2, 1] of 6 accesses total
+        profile = empirical_hot_mass(np.array([0, 0, 0, 1, 1, 2]))
+        # halfway between mass(1)=1/2 and mass(2)=5/6
+        assert profile.mass_of_top(1.5) == pytest.approx(2 / 3)
+        # a quarter of the way between mass(2)=5/6 and mass(3)=1
+        assert profile.mass_of_top(2.25) == pytest.approx(5 / 6 + 0.25 * 1 / 6)
+        # fractional k below one interpolates from zero
+        assert profile.mass_of_top(0.5) == pytest.approx(0.25)
+
+    def test_fractional_k_monotone_and_bounded(self):
+        rng = np.random.default_rng(9)
+        profile = empirical_hot_mass(zipf_ranks(500, 1.2, 20_000, rng))
+        ks = np.linspace(0.0, profile.distinct_targets + 2, 301)
+        masses = [profile.mass_of_top(float(k)) for k in ks]
+        assert all(b >= a for a, b in zip(masses, masses[1:]))
+        assert masses[0] == 0.0
+        assert masses[-1] == 1.0
+
     def test_empirical_close_to_analytic(self):
         rng = np.random.default_rng(5)
         n = 10_000
