@@ -61,10 +61,27 @@ from repro.core.scheduler.morsel import MorselDispatcher
 from repro.core.scheduler.batch import tune_batch_morsels
 from repro.exec import (
     EXEC_BACKENDS,
+    AbortedError,
     MorselExecutor,
+    MorselFailedError,
     execute_build,
     execute_probe,
     make_executor,
+)
+from repro.faults import (
+    RESILIENCE_SCHEMA_VERSION,
+    CrashWorker,
+    DegradeLink,
+    FaultPlan,
+    InjectedFault,
+    InjectedOutOfMemoryError,
+    OomAt,
+    ResilienceLog,
+    RetryPolicy,
+    TransientError,
+    TransientKernelFault,
+    WorkerCrashFault,
+    active_plan,
 )
 from repro.data.relation import Morsel, Relation
 from repro.hardware.topology import Machine, ibm_ac922, intel_xeon_v100
@@ -115,9 +132,24 @@ __all__ = [
     "NoPartitioningJoin",
     "EXEC_BACKENDS",
     "MorselExecutor",
+    "AbortedError",
+    "MorselFailedError",
     "execute_build",
     "execute_probe",
     "make_executor",
+    "FaultPlan",
+    "CrashWorker",
+    "TransientError",
+    "OomAt",
+    "DegradeLink",
+    "InjectedFault",
+    "WorkerCrashFault",
+    "TransientKernelFault",
+    "InjectedOutOfMemoryError",
+    "RetryPolicy",
+    "ResilienceLog",
+    "RESILIENCE_SCHEMA_VERSION",
+    "active_plan",
     "RadixJoin",
     "RadixJoinResult",
     "Plan",

@@ -8,19 +8,36 @@
 * :mod:`repro.core.ops` — selection/aggregation operators and TPC-H Q6.
 * :mod:`repro.core.scheduler` — morsel-driven heterogeneous scheduling.
 * :mod:`repro.core.placement` — the hash-table placement decision tree.
+
+The operator classes are exposed lazily: the join operators import
+:mod:`repro.exec`, whose modules import ``repro.core`` submodules (the
+dispatcher, the hash tables) right back.  An eager import here would
+make ``import repro.exec`` fail whenever it runs before ``repro.core``
+has initialized; deferring to first attribute access breaks the cycle
+for both import orders.
 """
 
-from repro.core.join.nopa import JoinResult, NoPartitioningJoin
-from repro.core.join.radix import RadixJoin
-from repro.core.join.coop import CoopJoin, CoopResult
-from repro.core.placement import PlacementDecision, decide_placement
+_LAZY = {
+    "JoinResult": ("repro.core.join.nopa", "JoinResult"),
+    "NoPartitioningJoin": ("repro.core.join.nopa", "NoPartitioningJoin"),
+    "RadixJoin": ("repro.core.join.radix", "RadixJoin"),
+    "CoopJoin": ("repro.core.join.coop", "CoopJoin"),
+    "CoopResult": ("repro.core.join.coop", "CoopResult"),
+    "PlacementDecision": ("repro.core.placement", "PlacementDecision"),
+    "decide_placement": ("repro.core.placement", "decide_placement"),
+}
 
-__all__ = [
-    "JoinResult",
-    "NoPartitioningJoin",
-    "RadixJoin",
-    "CoopJoin",
-    "CoopResult",
-    "PlacementDecision",
-    "decide_placement",
-]
+__all__ = list(_LAZY)
+
+
+def __getattr__(name):
+    """Resolve the operator re-exports on first access (see module doc)."""
+    import importlib
+
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.core' has no attribute {name!r}"
+        ) from None
+    return getattr(importlib.import_module(module_name), attr)

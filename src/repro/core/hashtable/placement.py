@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.faults.runtime import active_plan
 from repro.hardware.memory import MemoryKind
 from repro.hardware.topology import Machine
 from repro.memory.allocator import Allocator, OutOfMemoryError
@@ -106,6 +107,16 @@ def place_hash_table(
     gpu_region = gpu.local_memory
 
     if strategy == "gpu":
+        plan = active_plan()
+        if plan is not None:
+            # Fault-injection site: the capacity check *is* the placement
+            # decision, so an OomAt rule targeting label "ht gpu placement"
+            # simulates a full GPU even when the table would fit.
+            plan.check_alloc(
+                region=gpu_region.name,
+                nbytes=table_bytes,
+                label="ht gpu placement",
+            )
         available = gpu_region.capacity - gpu_region.allocated - gpu_reserve
         if table_bytes > available:
             raise OutOfMemoryError(

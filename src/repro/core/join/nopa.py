@@ -43,9 +43,12 @@ from repro.exec import (
     execute_probe,
     make_executor,
 )
+from repro.faults.recovery import RetryPolicy
+from repro.faults.resilience import ResilienceLog
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
+from repro.memory.allocator import OutOfMemoryError
 from repro.obs import Observability
 from repro.plan import PhaseSpec, Plan, PlanExecutor, ingest, priced_phase
 from repro.utils.units import MIB
@@ -150,6 +153,12 @@ class NoPartitioningJoin:
         workers: thread count for ``backend="threads"``.
         exec_morsel_tuples: executed-tuple morsel size for the thread
             backend's dispatcher.
+        oom_policy: what to do when the ``gpu`` placement cannot fit the
+            table — ``raise`` (the paper's pre-NVLink scalability cliff,
+            the default) or ``spill`` (degrade gracefully to the hybrid
+            GPU-first/CPU-spill placement of Section 5.3 / Figure 8).
+        retry_policy: bounded retry/backoff for transient morsel faults
+            in the thread backend (None uses the executor default).
     """
 
     #: calibrated accounting: a GPU insert is one 16-byte CAS; a CPU
@@ -172,12 +181,18 @@ class NoPartitioningJoin:
         backend: str = "serial",
         workers: int = DEFAULT_WORKERS,
         exec_morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
+        oom_policy: str = "raise",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if layout not in ("soa", "aos"):
             raise ValueError(f"layout must be 'soa' or 'aos', got {layout!r}")
         if output not in ("aggregate", "materialize"):
             raise ValueError(
                 f"output must be 'aggregate' or 'materialize', got {output!r}"
+            )
+        if oom_policy not in ("raise", "spill"):
+            raise ValueError(
+                f"oom_policy must be 'raise' or 'spill', got {oom_policy!r}"
             )
         self.machine = machine
         self.obs = obs if obs is not None else Observability.create()
@@ -192,9 +207,16 @@ class NoPartitioningJoin:
         self.backend = check_backend(backend)
         self.workers = workers
         self.exec_morsel_tuples = exec_morsel_tuples
+        self.oom_policy = oom_policy
+        self.retry_policy = retry_policy
         #: the executor of the most recent run (None for serial) — its
         #: metrics/timeline expose worker-level dispatch for inspection.
         self.last_executor = None
+        #: recovery audit of the most recent run: retries, re-dispatches,
+        #: serial fallbacks, and placement spills land here.  Feed its
+        #: ``section()`` to ``build_manifest(resilience=...)`` for chaos
+        #: manifests; it stays empty for fault-free runs.
+        self.last_resilience = ResilienceLog()
 
     # ------------------------------------------------------------------
     # Functional execution
@@ -206,8 +228,14 @@ class NoPartitioningJoin:
             r.key.dtype,
             r.payload.dtype,
         )
+        self.last_resilience = ResilienceLog()
         executor = make_executor(
-            self.backend, self.workers, self.exec_morsel_tuples, name="nopa"
+            self.backend,
+            self.workers,
+            self.exec_morsel_tuples,
+            name="nopa",
+            retry=self.retry_policy,
+            resilience=self.last_resilience,
         )
         self.last_executor = executor
         execute_build(table, r.key, r.payload, executor)
@@ -228,10 +256,14 @@ class NoPartitioningJoin:
     # Traffic assembly
     # ------------------------------------------------------------------
     def _resolve_placement(
-        self, table: HashTableBase, r: Relation, processor: str
+        self,
+        table: HashTableBase,
+        r: Relation,
+        processor: str,
+        strategy: Optional[str] = None,
     ) -> HashTablePlacement:
         modeled_bytes = table.modeled_bytes(r.modeled_tuples)
-        strategy = self.hash_table_placement
+        strategy = strategy if strategy is not None else self.hash_table_placement
         proc = self.machine.processor(processor)
         if not isinstance(proc, Gpu) and strategy in ("gpu", "hybrid"):
             # A CPU-only join keeps its table in local CPU memory.
@@ -445,6 +477,35 @@ class NoPartitioningJoin:
             label="nopa",
         )
 
+    def _place_with_oom_policy(
+        self, table: HashTableBase, r: Relation, processor: str
+    ) -> HashTablePlacement:
+        """Resolve the placement, degrading to hybrid on build-side OOM.
+
+        This is the operator-level graceful degradation of Section 5.3 /
+        Figure 8: when ``oom_policy="spill"`` and the requested placement
+        cannot fit the build side in GPU memory, the join falls back to
+        the hybrid hash table (GPU-first, CPU-spill) instead of failing,
+        and records the decision as a ``spill`` resilience event.
+        """
+        try:
+            return self._resolve_placement(table, r, processor)
+        except OutOfMemoryError as exc:
+            if self.oom_policy != "spill" or self.hash_table_placement == "hybrid":
+                raise
+            placement = self._resolve_placement(
+                table, r, processor, strategy="hybrid"
+            )
+            self.last_resilience.record(
+                "spill",
+                phase="placement",
+                from_strategy=self.hash_table_placement,
+                to_strategy="hybrid",
+                reason=str(exc),
+                fractions=dict(placement.fractions),
+            )
+            return placement
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
@@ -484,7 +545,7 @@ class NoPartitioningJoin:
                 label="explicit",
             )
         else:
-            placement = self._resolve_placement(table, r, processor)
+            placement = self._place_with_oom_policy(table, r, processor)
         plan = self.compile_plan(
             r, s, processor, table, placement, lines_loaded, hot_set,
             matches=matches,

@@ -71,8 +71,15 @@ class MorselDispatcher:
         batching trade-off has to balance.  Safe to call from concurrent
         workers: ranges never overlap and never leave gaps.
         """
-        if morsels <= 0:
+        if morsels < 1:
             raise ValueError(f"must request at least one morsel: {morsels}")
+        if not isinstance(worker, str):
+            # A non-string worker would silently corrupt the dispatch
+            # log and metric labels (e.g. worker=0 vs worker="0").
+            raise ValueError(
+                f"worker must be a string label, got {type(worker).__name__}: "
+                f"{worker!r}"
+            )
         with self._lock:
             if self._cursor >= self.total_tuples:
                 return None

@@ -19,17 +19,21 @@ from repro.exec.pool import (
     DEFAULT_EXEC_MORSEL_TUPLES,
     DEFAULT_WORKERS,
     EXEC_BACKENDS,
+    AbortedError,
     MorselExecutor,
+    MorselFailedError,
     MorselOutcome,
     check_backend,
     make_executor,
 )
 
 __all__ = [
+    "AbortedError",
     "DEFAULT_EXEC_MORSEL_TUPLES",
     "DEFAULT_WORKERS",
     "EXEC_BACKENDS",
     "MorselExecutor",
+    "MorselFailedError",
     "MorselOutcome",
     "check_backend",
     "execute_build",

@@ -33,15 +33,28 @@ slice, merged by stable morsel-order concatenation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
-from repro.core.hashtable.base import HashTableBase
-from repro.core.hashtable.chaining import ChainingHashTable
-from repro.core.hashtable.perfect import PerfectHashTable
 from repro.core.scheduler.morsel import WorkRange
 from repro.exec.pool import MorselExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.hashtable.base import HashTableBase
+
+# The concrete hash-table classes are imported inside execute_build():
+# importing them at module scope triggers the repro.core package
+# __init__, whose operators import repro.exec right back — a cycle that
+# breaks whichever side is imported first.
 
 #: a predicate-mask evaluator over a half-open row range.
 MaskEvaluator = Callable[[int, int], np.ndarray]
@@ -83,6 +96,9 @@ def execute_build(
     executor: Optional[MorselExecutor] = None,
 ) -> None:
     """Populate ``table`` with (keys, values); scheme-aware decomposition."""
+    from repro.core.hashtable.chaining import ChainingHashTable
+    from repro.core.hashtable.perfect import PerfectHashTable
+
     if executor is None or len(keys) == 0:
         table.insert_batch(keys, values)
         return

@@ -14,20 +14,50 @@ stable morsel-order concatenation).  Parallel output is therefore
 bit-identical to a serial execution of the same morsel decomposition,
 regardless of worker count or interleaving.
 
+Resilience (``repro.faults``): when a :class:`~repro.faults.FaultPlan`
+is installed, the executor checks each morsel receipt *before* the task
+runs — the crash-safe injection point — and recovers:
+
+* a :class:`~repro.faults.TransientKernelFault` retries the same range
+  in place with bounded backoff (:class:`~repro.faults.RetryPolicy`);
+* a :class:`~repro.faults.WorkerCrashFault` kills the worker; its range
+  is re-dispatched to a surviving worker (unordered runs) or the pool
+  degrades to a serial morsel-order replay (ordered runs, where blocked
+  peers cannot take over);
+* if every worker dies, the main thread replays the remaining ranges
+  serially — output stays bit-identical because ranges still run
+  exactly once and merge in morsel order;
+* an exhausted retry budget raises :class:`MorselFailedError` naming
+  the failed range, with every peer woken (no stranded waiters).
+
+Genuine (non-injected) task exceptions propagate unchanged, with the
+failed range attached as ``failed_work`` / ``failed_worker`` attributes.
+
 The executor keeps its *own* metrics registry and span timeline.  The
 observability bundle attached to an operator records the *priced*
 (modeled) execution; wall-clock worker scheduling is a property of the
 host machine and must not leak into run manifests, which are diffed
-bit-for-bit across backends and PRs.
+bit-for-bit across backends and PRs.  Recovery actions additionally
+land in a :class:`~repro.faults.ResilienceLog` for the manifest's
+``resilience`` section.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Optional, TypeVar
+from typing import Callable, Deque, Generic, List, Optional, Tuple, TypeVar
 
 from repro.core.scheduler.morsel import MorselDispatcher, WorkRange
+from repro.faults.plan import (
+    FaultPlan,
+    TransientKernelFault,
+    WorkerCrashFault,
+)
+from repro.faults.recovery import RetryPolicy
+from repro.faults.resilience import ResilienceLog
+from repro.faults.runtime import active_plan
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Timeline
 
@@ -55,6 +85,41 @@ def check_backend(backend: str) -> str:
     return backend
 
 
+class AbortedError(RuntimeError):
+    """Ordered execution was aborted before this range could be applied.
+
+    Raised out of :meth:`_Sequencer.run_in_order` to every waiter when a
+    peer worker fails (or crashes); the range the waiter held was *not*
+    applied and is safe to replay.
+    """
+
+
+class MorselFailedError(RuntimeError):
+    """A work range exhausted its retry budget.
+
+    Attributes:
+        work: the failed :class:`WorkRange`.
+        worker: the worker holding the range on the final attempt.
+        attempts: attempts consumed (including the first).
+    """
+
+    def __init__(
+        self, work: WorkRange, worker: str, attempts: int, cause: BaseException
+    ) -> None:
+        super().__init__(
+            f"morsel [{work.start}, {work.end}) failed on {worker} after "
+            f"{attempts} attempt(s): {cause}"
+        )
+        self.work = work
+        self.worker = worker
+        self.attempts = attempts
+        self.__cause__ = cause
+
+
+class _WorkerCrashed(Exception):
+    """Internal control flow: this worker was killed by an injected crash."""
+
+
 @dataclass(frozen=True)
 class MorselOutcome(Generic[T]):
     """One dispatched range, the worker that ran it, and its result."""
@@ -70,6 +135,14 @@ class _Sequencer:
     A worker holding range ``[s, e)`` blocks until every earlier range
     has been applied; hash-table builds use this so the shared table
     evolves exactly as a serial morsel-order build would.
+
+    Abort protocol: :meth:`abort` wakes every waiter, which raises
+    :class:`AbortedError` *without* applying its range; a task that
+    raises mid-apply aborts its peers and never advances the cursor, so
+    nothing is applied out of order and nobody is left blocked.  A task
+    already past the fault check finishes its application even if an
+    abort lands meanwhile — its side effects are real, so the cursor
+    must record them.
     """
 
     def __init__(self) -> None:
@@ -77,18 +150,32 @@ class _Sequencer:
         self._next = 0
         self._aborted = False
 
+    @property
+    def applied_through(self) -> int:
+        """Every range below this tuple index has been applied."""
+        with self._cond:
+            return self._next
+
     def run_in_order(self, start: int, end: int, fn: Callable[[], T]) -> T:
         with self._cond:
             while self._next != start and not self._aborted:
                 self._cond.wait()
             if self._aborted:
-                raise RuntimeError("ordered execution aborted by a peer worker")
+                raise AbortedError(
+                    f"ordered execution aborted; range [{start}, {end}) "
+                    "was not applied"
+                )
         try:
-            return fn()
-        finally:
-            with self._cond:
-                self._next = end
-                self._cond.notify_all()
+            value = fn()
+        except BaseException:
+            # The range may be partially applied: poison the sequence so
+            # no later range is applied after the gap, and wake everyone.
+            self.abort()
+            raise
+        with self._cond:
+            self._next = end
+            self._cond.notify_all()
+        return value
 
     def abort(self) -> None:
         with self._cond:
@@ -105,6 +192,13 @@ class MorselExecutor:
         morsel_tuples: dispatcher morsel size in executed tuples.
         batch_morsels: morsels per dispatch request (GPU-style batching).
         name: label prefix for executor-local spans and metrics.
+        retry: bounded retry/backoff policy for injected faults.
+        resilience: recovery audit log (a fresh one is created when not
+            injected; operators share one per run so it lands in the
+            manifest's ``resilience`` section).
+        serial_fallback: allow degradation to a serial morsel-order
+            replay when the whole pool dies; disabling it turns that
+            situation into an error.
     """
 
     def __init__(
@@ -113,6 +207,9 @@ class MorselExecutor:
         morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
         batch_morsels: int = 1,
         name: str = "exec",
+        retry: Optional[RetryPolicy] = None,
+        resilience: Optional[ResilienceLog] = None,
+        serial_fallback: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker: {workers}")
@@ -124,6 +221,9 @@ class MorselExecutor:
         self.morsel_tuples = morsel_tuples
         self.batch_morsels = batch_morsels
         self.name = name
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.resilience = resilience if resilience is not None else ResilienceLog()
+        self.serial_fallback = serial_fallback
         #: executor-local observability (never merged into run manifests).
         self.metrics = MetricsRegistry()
         self.timeline = Timeline()
@@ -150,75 +250,8 @@ class MorselExecutor:
         Returns the outcomes sorted by ``work.start`` — the morsel-order
         merge — after verifying the ranges exactly cover the input.
         """
-        dispatcher = MorselDispatcher(
-            total_tuples, self.morsel_tuples, metrics=self.metrics
-        )
-        buffers: List[List[MorselOutcome[T]]] = [[] for _ in range(self.workers)]
-        errors: List[BaseException] = []
-        errors_lock = threading.Lock()
-        stop = threading.Event()
-        sequencer = _Sequencer() if ordered else None
-
-        def worker_loop(worker: str, buffer: List[MorselOutcome[T]]) -> None:
-            try:
-                while not stop.is_set():
-                    work = dispatcher.next_batch(self.batch_morsels, worker=worker)
-                    if work is None:
-                        return
-                    if sequencer is not None:
-                        value = sequencer.run_in_order(
-                            work.start, work.end, lambda: task(work, worker)
-                        )
-                    else:
-                        value = task(work, worker)
-                    buffer.append(MorselOutcome(work, worker, value))
-                    self.timeline.record(
-                        worker, f"{self.name}:morsel", 0.0, 0.0, units=work.tuples
-                    )
-            except BaseException as exc:  # noqa: B036 - propagate to caller
-                with errors_lock:
-                    errors.append(exc)
-                stop.set()
-                if sequencer is not None:
-                    sequencer.abort()
-
-        names = self.worker_names()
-        if self.workers == 1:
-            worker_loop(names[0], buffers[0])
-        else:
-            threads = [
-                threading.Thread(
-                    target=worker_loop,
-                    args=(names[i], buffers[i]),
-                    name=names[i],
-                    daemon=True,
-                )
-                for i in range(self.workers)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        if errors:
-            raise errors[0]
-
-        merged: List[MorselOutcome[T]] = sorted(
-            (outcome for buffer in buffers for outcome in buffer),
-            key=lambda outcome: outcome.work.start,
-        )
-        cursor = 0
-        for outcome in merged:
-            if outcome.work.start != cursor:
-                raise RuntimeError(
-                    f"morsel merge lost coverage at tuple {cursor}: "
-                    f"next range starts at {outcome.work.start}"
-                )
-            cursor = outcome.work.end
-        if cursor != total_tuples:
-            raise RuntimeError(
-                f"morsel merge covers {cursor} of {total_tuples} tuples"
-            )
-        return merged
+        run = _PoolRun(self, total_tuples, task, ordered, active_plan())
+        return run.execute()
 
     def map_values(
         self,
@@ -230,14 +263,315 @@ class MorselExecutor:
         return [outcome.value for outcome in self.run(total_tuples, task, ordered)]
 
 
+class _PoolRun(Generic[T]):
+    """One :meth:`MorselExecutor.run` invocation's mutable state.
+
+    Separated from the executor so concurrent state (pending queues,
+    stop events, the sequencer) has run lifetime, while the executor
+    keeps only configuration plus cumulative observability.
+    """
+
+    def __init__(
+        self,
+        executor: MorselExecutor,
+        total_tuples: int,
+        task: Callable[[WorkRange, str], T],
+        ordered: bool,
+        plan: Optional[FaultPlan],
+    ) -> None:
+        self.executor = executor
+        self.task = task
+        self.ordered = ordered
+        self.plan = plan
+        self.total_tuples = total_tuples
+        self.dispatcher = MorselDispatcher(
+            total_tuples, executor.morsel_tuples, metrics=executor.metrics
+        )
+        self.buffers: List[List[MorselOutcome[T]]] = [
+            [] for _ in range(executor.workers + 1)  # +1: serial-fallback buffer
+        ]
+        self.errors: List[BaseException] = []
+        self.fatal = threading.Event()
+        self.degrade = threading.Event()
+        #: ranges pulled but not executed, awaiting another worker:
+        #: re-dispatch queue (unordered) / replay backlog (ordered).
+        self.pending: Deque[Tuple[WorkRange, int]] = deque()
+        self.lock = threading.Lock()
+        self.sequencer = _Sequencer() if ordered else None
+
+    # -- fault bookkeeping ----------------------------------------------
+    def _record_fault(self, kind: str, worker: str) -> None:
+        self.executor.metrics.counter(
+            "faults_injected_total", kind=kind, worker=worker
+        ).inc()
+
+    def _fail(
+        self, work: WorkRange, worker: str, attempts: int, cause: BaseException
+    ) -> MorselFailedError:
+        """Build the typed budget-exhausted error and stop the pool."""
+        failure = MorselFailedError(work, worker, attempts, cause)
+        with self.lock:
+            self.errors.append(failure)
+        self.fatal.set()
+        if self.sequencer is not None:
+            self.sequencer.abort()
+        return failure
+
+    # -- per-range execution with recovery -------------------------------
+    def _attempt(
+        self,
+        work: WorkRange,
+        worker: str,
+        attempt: int,
+        buffer: List[MorselOutcome[T]],
+        in_pool: bool,
+    ) -> None:
+        """Run one range, retrying injected faults within the budget.
+
+        ``in_pool`` distinguishes pool workers (which may die and hand
+        their range to a peer) from the serial-fallback driver (which
+        has no peers and converts crashes into in-place retries).
+        Raises :class:`_WorkerCrashed` to unwind a killed pool worker.
+        """
+        executor = self.executor
+        retry = executor.retry
+        while True:
+            try:
+                if self.plan is not None:
+                    self.plan.check_morsel(
+                        worker=worker,
+                        start=work.start,
+                        end=work.end,
+                        attempt=attempt,
+                    )
+                if self.sequencer is not None and in_pool:
+                    value = self.sequencer.run_in_order(
+                        work.start, work.end, lambda: self.task(work, worker)
+                    )
+                else:
+                    value = self.task(work, worker)
+            except TransientKernelFault as fault:
+                self._record_fault("transient", worker)
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    raise self._fail(work, worker, attempt, fault) from fault
+                delay = retry.delay(attempt)
+                executor.resilience.record(
+                    "retry",
+                    worker=worker,
+                    start=work.start,
+                    end=work.end,
+                    attempt=attempt,
+                    backoff_seconds=delay,
+                )
+                executor.metrics.counter("retries_total", worker=worker).inc()
+                retry.sleep(attempt)
+                continue
+            except WorkerCrashFault as fault:
+                self._record_fault("crash", worker)
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    raise self._fail(work, worker, attempt, fault) from fault
+                if not in_pool:
+                    # The fallback driver has no peers to die for; treat
+                    # the crash as one more retry against the budget.
+                    delay = retry.delay(attempt)
+                    executor.resilience.record(
+                        "retry",
+                        worker=worker,
+                        start=work.start,
+                        end=work.end,
+                        attempt=attempt,
+                        backoff_seconds=delay,
+                    )
+                    executor.metrics.counter("retries_total", worker=worker).inc()
+                    retry.sleep(attempt)
+                    continue
+                # Hand the (side-effect free) range to the survivors and
+                # die.  Ordered runs additionally degrade: peers may be
+                # blocked in the sequencer and cannot pull the queue, so
+                # the pool drains and the main thread replays serially.
+                with self.lock:
+                    self.pending.append((work, attempt))
+                if self.ordered:
+                    self.degrade.set()
+                    assert self.sequencer is not None
+                    self.sequencer.abort()
+                raise _WorkerCrashed(worker) from fault
+            else:
+                buffer.append(MorselOutcome(work, worker, value))
+                executor.timeline.record(
+                    worker, f"{executor.name}:morsel", 0.0, 0.0, units=work.tuples
+                )
+                return
+
+    # -- work acquisition -------------------------------------------------
+    def _take_work(self, worker: str) -> Optional[Tuple[WorkRange, int]]:
+        """Next unit: a re-dispatched crashed range, else the cursor."""
+        if not self.ordered:
+            with self.lock:
+                if self.pending:
+                    work, attempt = self.pending.popleft()
+                    self.executor.resilience.record(
+                        "redispatch",
+                        worker=worker,
+                        start=work.start,
+                        end=work.end,
+                        attempt=attempt,
+                    )
+                    self.executor.metrics.counter(
+                        "redispatches_total", worker=worker
+                    ).inc()
+                    return work, attempt
+        grant = self.dispatcher.next_batch(
+            self.executor.batch_morsels, worker=worker
+        )
+        if grant is None:
+            return None
+        return grant, 0
+
+    # -- worker loop -------------------------------------------------------
+    def _worker_loop(self, worker: str, buffer: List[MorselOutcome[T]]) -> None:
+        while not self.fatal.is_set() and not self.degrade.is_set():
+            got = self._take_work(worker)
+            if got is None:
+                return
+            work, attempt = got
+            try:
+                self._attempt(work, worker, attempt, buffer, in_pool=True)
+            except _WorkerCrashed:
+                return  # range already re-queued (or error recorded)
+            except AbortedError:
+                if not self.fatal.is_set():
+                    # Degrading: the range this worker held was never
+                    # applied; park it for the serial replay.
+                    with self.lock:
+                        self.pending.append((work, attempt))
+                return
+            except MorselFailedError:
+                return  # _fail already recorded it and stopped the pool
+            except BaseException as exc:  # noqa: B036 - propagate to caller
+                # A genuine task bug: attach the failed range and stop.
+                exc.failed_work = work  # type: ignore[attr-defined]
+                exc.failed_worker = worker  # type: ignore[attr-defined]
+                with self.lock:
+                    self.errors.append(exc)
+                self.fatal.set()
+                if self.sequencer is not None:
+                    self.sequencer.abort()
+                return
+
+    # -- serial replay fallback ---------------------------------------------
+    def _serial_replay(self) -> None:
+        """Drain every unexecuted range in morsel order on this thread.
+
+        Reached when the pool died (all workers crashed) or an ordered
+        run degraded after a crash.  Ranges still execute exactly once —
+        the applied prefix is in the buffers, the rest is here — so the
+        merged output stays bit-identical.
+        """
+        executor = self.executor
+        fallback = f"{executor.name}-fallback"
+        with self.lock:
+            backlog = sorted(self.pending, key=lambda item: item[0].start)
+            self.pending.clear()
+        executor.resilience.record(
+            "serial_fallback",
+            worker=fallback,
+            pending_ranges=len(backlog),
+            ordered=self.ordered,
+        )
+        executor.metrics.counter("serial_fallbacks_total").inc()
+        buffer = self.buffers[-1]
+        for work, attempt in backlog:
+            executor.resilience.record(
+                "redispatch",
+                worker=fallback,
+                start=work.start,
+                end=work.end,
+                attempt=attempt,
+            )
+            executor.metrics.counter(
+                "redispatches_total", worker=fallback
+            ).inc()
+            self._attempt(work, fallback, attempt, buffer, in_pool=False)
+        while True:
+            grant = self.dispatcher.next_batch(
+                executor.batch_morsels, worker=fallback
+            )
+            if grant is None:
+                return
+            self._attempt(grant, fallback, 0, buffer, in_pool=False)
+
+    # -- top level ------------------------------------------------------------
+    def execute(self) -> List[MorselOutcome[T]]:
+        executor = self.executor
+        names = executor.worker_names()
+        if executor.workers == 1:
+            self._worker_loop(names[0], self.buffers[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(names[i], self.buffers[i]),
+                    name=names[i],
+                    daemon=True,
+                )
+                for i in range(executor.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if self.errors:
+            raise self.errors[0]
+        with self.lock:
+            leftover = bool(self.pending)
+        if leftover or not self.dispatcher.exhausted:
+            if not executor.serial_fallback:
+                raise RuntimeError(
+                    f"{executor.name}: every worker died with work "
+                    "remaining and serial_fallback is disabled"
+                )
+            self._serial_replay()
+        return self._merge()
+
+    def _merge(self) -> List[MorselOutcome[T]]:
+        merged: List[MorselOutcome[T]] = sorted(
+            (outcome for buffer in self.buffers for outcome in buffer),
+            key=lambda outcome: outcome.work.start,
+        )
+        cursor = 0
+        for outcome in merged:
+            if outcome.work.start != cursor:
+                raise RuntimeError(
+                    f"morsel merge lost coverage at tuple {cursor}: "
+                    f"next range starts at {outcome.work.start}"
+                )
+            cursor = outcome.work.end
+        if cursor != self.total_tuples:
+            raise RuntimeError(
+                f"morsel merge covers {cursor} of {self.total_tuples} tuples"
+            )
+        return merged
+
+
 def make_executor(
     backend: str,
     workers: int = DEFAULT_WORKERS,
     morsel_tuples: int = DEFAULT_EXEC_MORSEL_TUPLES,
     name: str = "exec",
+    retry: Optional[RetryPolicy] = None,
+    resilience: Optional[ResilienceLog] = None,
 ) -> Optional[MorselExecutor]:
     """Executor for ``backend`` — ``None`` selects the serial fast path."""
     check_backend(backend)
     if backend == "serial":
         return None
-    return MorselExecutor(workers=workers, morsel_tuples=morsel_tuples, name=name)
+    return MorselExecutor(
+        workers=workers,
+        morsel_tuples=morsel_tuples,
+        name=name,
+        retry=retry,
+        resilience=resilience,
+    )

@@ -1,0 +1,64 @@
+"""Recovery policies: bounded retry with exponential backoff.
+
+A :class:`RetryPolicy` bounds how many times one :class:`WorkRange` may
+be attempted (across retries-in-place *and* re-dispatches to other
+workers) and spaces the attempts with capped exponential backoff.  The
+default ``base_delay=0.0`` keeps tests and simulations instant — the
+delay *schedule* is still computed and recorded, it just isn't slept.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff.
+
+    Args:
+        max_attempts: total attempts allowed per work range (the first
+            attempt counts); at least 1.  Exhausting the budget raises
+            :class:`repro.exec.pool.MorselFailedError`.
+        base_delay: backoff before the first retry, in seconds.  0.0
+            (the default) computes the schedule without sleeping.
+        factor: multiplicative backoff growth per retry.
+        max_delay: backoff cap in seconds.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    factor: float = 2.0
+    max_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be at least 1: {self.max_attempts}"
+            )
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be non-negative: {self.base_delay}")
+        if self.factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1: {self.factor}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be non-negative: {self.max_delay}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff (seconds) before attempt number ``attempt`` (1-based retry)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be at least 1: {attempt}")
+        if self.base_delay == 0.0:
+            return 0.0
+        return min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+
+    def sleep(self, attempt: int) -> float:
+        """Sleep the backoff for ``attempt`` and return the delay used."""
+        delay = self.delay(attempt)
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+
+#: policy used when an executor is built without an explicit one.
+DEFAULT_RETRY_POLICY = RetryPolicy()

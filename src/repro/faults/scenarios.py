@@ -1,0 +1,53 @@
+"""Canonical chaos scenarios: the fixed seed set CI sweeps.
+
+One :func:`chaos_plan` per seed in :data:`CHAOS_SEEDS`; together the
+three plans exercise every recovery path the resilience subsystem has —
+bounded retry (transients), re-dispatch (worker crashes), and graceful
+degradation of the hash-table placement to hybrid (injected OOM,
+Section 5.3 / Figure 8).  The chaos integration tests and
+``repro.bench.chaos_overhead`` both build their runs from this module,
+so the suite and the committed bench baseline cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import CrashWorker, FaultPlan, OomAt, TransientError
+
+#: the fixed seed set CI's chaos job sweeps; collectively the three runs
+#: must exercise >=1 retry, >=1 re-dispatch, and >=1 hybrid spill.
+CHAOS_SEEDS = (101, 202, 303)
+
+#: the allocation-site label of the GPU placement capacity check — the
+#: OOM seed targets it to simulate a full GPU (see place_hash_table).
+GPU_PLACEMENT_LABEL = "ht gpu placement"
+
+
+def chaos_plan(seed: int, worker_prefix: str = "nopa") -> FaultPlan:
+    """The canonical fault plan for one CI chaos seed.
+
+    ``worker_prefix`` is the executor name whose workers the crash seed
+    targets (``<prefix>-w0`` ... — the NOPA join names its executor
+    ``nopa``).
+    """
+    if seed == 101:  # transient kernel faults -> bounded retry
+        return FaultPlan(
+            seed=seed,
+            name="chaos-transients",
+            rules=[TransientError(probability=0.5, times=None)],
+        )
+    if seed == 202:  # worker crashes -> re-dispatch to survivors
+        return FaultPlan(
+            seed=seed,
+            name="chaos-crashes",
+            rules=[
+                CrashWorker(worker=f"{worker_prefix}-w0", ordinal=1),
+                CrashWorker(worker=f"{worker_prefix}-w2", ordinal=0),
+            ],
+        )
+    if seed == 303:  # placement OOM -> hybrid (GPU-first, CPU-spill)
+        return FaultPlan(
+            seed=seed,
+            name="chaos-oom",
+            rules=[OomAt(ordinal=0, label=GPU_PLACEMENT_LABEL)],
+        )
+    raise ValueError(f"no chaos plan for seed {seed}; CI seeds: {CHAOS_SEEDS}")

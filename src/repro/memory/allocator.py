@@ -13,9 +13,11 @@ for them to do so.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.faults.runtime import active_plan
 from repro.hardware.memory import MemoryKind, MemoryRegion
 from repro.hardware.topology import Machine
 
@@ -51,11 +53,20 @@ class Allocation:
 
 
 class Allocator:
-    """Allocates from the memory regions of one machine."""
+    """Allocates from the memory regions of one machine.
+
+    Thread-safe: the morsel-parallel execution backend plus
+    fault-triggered spills can hit one allocator from several threads
+    concurrently, so id generation, the live table, and the region
+    reserve/release pairs all happen under one internal lock.  (Two
+    *different* allocators over the same machine still race on region
+    capacity — create one allocator per machine.)
+    """
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
         self.live: Dict[int, Allocation] = {}
 
     def alloc(
@@ -70,14 +81,24 @@ class Allocator:
             raise ValueError(f"allocation size must be non-negative: {nbytes}")
         region = self.machine.memory(region_name)
         self._validate_kind(region, kind)
-        try:
-            region.reserve(nbytes)
-        except MemoryError as exc:
-            raise OutOfMemoryError(str(exc)) from exc
-        allocation = Allocation(
-            id=next(self._ids), region=region, nbytes=nbytes, kind=kind, label=label
-        )
-        self.live[allocation.id] = allocation
+        plan = active_plan()
+        if plan is not None:
+            # Fault-injection site: a chaos plan may fail this allocation
+            # ordinal with an InjectedOutOfMemoryError.
+            plan.check_alloc(region=region_name, nbytes=nbytes, label=label)
+        with self._lock:
+            try:
+                region.reserve(nbytes)
+            except MemoryError as exc:
+                raise OutOfMemoryError(str(exc)) from exc
+            allocation = Allocation(
+                id=next(self._ids),
+                region=region,
+                nbytes=nbytes,
+                kind=kind,
+                label=label,
+            )
+            self.live[allocation.id] = allocation
         return allocation
 
     @staticmethod
@@ -95,25 +116,29 @@ class Allocator:
 
     def free(self, allocation: Allocation) -> None:
         """Return an allocation's bytes; double frees raise."""
-        if allocation.freed:
-            raise ValueError(f"double free of {allocation}")
-        if allocation.id not in self.live:
-            raise ValueError(f"{allocation} was not made by this allocator")
-        allocation.region.release(allocation.nbytes)
-        allocation.freed = True
-        del self.live[allocation.id]
+        with self._lock:
+            if allocation.freed:
+                raise ValueError(f"double free of {allocation}")
+            if allocation.id not in self.live:
+                raise ValueError(f"{allocation} was not made by this allocator")
+            allocation.region.release(allocation.nbytes)
+            allocation.freed = True
+            del self.live[allocation.id]
 
     def used_bytes(self, region_name: str) -> int:
         """Bytes currently allocated in one region."""
-        return self.machine.memory(region_name).allocated
+        with self._lock:
+            return self.machine.memory(region_name).allocated
 
     def free_bytes(self, region_name: str) -> int:
         """Bytes still available in one region."""
-        return self.machine.memory(region_name).free_bytes
+        with self._lock:
+            return self.machine.memory(region_name).free_bytes
 
     def live_allocations(self, region_name: Optional[str] = None) -> List[Allocation]:
         """Outstanding allocations, optionally filtered by region."""
-        allocations = list(self.live.values())
+        with self._lock:
+            allocations = list(self.live.values())
         if region_name is not None:
             allocations = [a for a in allocations if a.region.name == region_name]
         return allocations

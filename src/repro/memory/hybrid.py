@@ -110,7 +110,14 @@ def allocate_hybrid(
         nonlocal remaining
         if amount <= 0:
             return
-        piece = allocator.alloc(region_name, amount, kind=kind, label=label)
+        try:
+            piece = allocator.alloc(region_name, amount, kind=kind, label=label)
+        except OutOfMemoryError:
+            # The region filled up between the capacity probe and the
+            # reservation (a concurrent allocation, or an injected fault
+            # simulating one): treat it as exhausted and spill onward —
+            # that *is* the greedy algorithm's step 2/3.
+            return
         pieces.append(piece)
         space.append(amount, region_name)
         remaining -= amount

@@ -29,7 +29,7 @@ from repro.obs.explain import bottleneck_chain, utilization
 
 #: Version of the manifest JSON layout.  Keep in lockstep with the
 #: schema changelog in docs/observability.md.
-MANIFEST_SCHEMA_VERSION = "1.0"
+MANIFEST_SCHEMA_VERSION = "1.1"
 
 
 def machine_summary(machine: Machine) -> Dict[str, Any]:
@@ -96,6 +96,9 @@ class RunManifest:
     metrics: Dict[str, Any] = field(default_factory=dict)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     calibration: Dict[str, Any] = field(default_factory=dict)
+    #: Fault-injection audit (schema 1.1): the ``section()`` of a
+    #: :class:`repro.faults.ResilienceLog`, or None for fault-free runs.
+    resilience: Optional[Dict[str, Any]] = None
 
     @property
     def bottleneck_summary(self) -> List[str]:
@@ -119,6 +122,7 @@ class RunManifest:
             "metrics": self.metrics,
             "spans": self.spans,
             "calibration": self.calibration,
+            "resilience": self.resilience,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -141,11 +145,14 @@ def build_manifest(
     results: Optional[Dict[str, Any]] = None,
     obs: Optional[Any] = None,
     calibration: Optional[Calibration] = None,
+    resilience: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a manifest from priced phases plus observability state.
 
     ``obs`` is an :class:`repro.obs.Observability` bundle (or anything
     with ``metrics.snapshot()`` / ``tracer.timeline.to_dicts()``).
+    ``resilience`` is a :meth:`repro.faults.ResilienceLog.section` dump
+    for chaos runs; fault-free runs leave it None.
     """
     manifest = RunManifest(
         kind=kind,
@@ -154,6 +161,7 @@ def build_manifest(
         config=dict(config or {}),
         phases=[phase_record(cost) for cost in phases],
         results=dict(results or {}),
+        resilience=resilience,
     )
     if obs is not None:
         manifest.metrics = obs.metrics.snapshot()

@@ -60,7 +60,7 @@ def ingest(
         )
     method = get_method(transfer_method)
     method.check_supported(machine, processor, location, kind=kind)
-    ingest_bw = method.ingest_bandwidth(cost_model, processor, location)
+    ingest_bw = method.effective_ingest_bandwidth(cost_model, processor, location)
     route_bw = cost_model.sequential_bandwidth(processor, location)
     streams = [
         seq_stream(

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, List, Optional
 from repro.costmodel.access import Stream, seq_stream
 from repro.costmodel.calibration import Calibration
 from repro.costmodel.model import CostModel
+from repro.faults.runtime import active_plan
 from repro.hardware.memory import MemoryKind
 from repro.hardware.topology import Machine
 
@@ -104,6 +105,23 @@ class TransferMethod:
     ) -> float:
         """Effective bytes/s streamed from ``src_memory`` to the GPU."""
         raise NotImplementedError
+
+    def effective_ingest_bandwidth(
+        self, cost_model: CostModel, gpu_name: str, src_memory: str
+    ) -> float:
+        """:meth:`ingest_bandwidth`, degraded by any active fault plan.
+
+        This is the choke point the pricing layer calls: an installed
+        :class:`~repro.faults.FaultPlan` with a ``DegradeLink`` rule
+        scales the method's bandwidth here (a contended or downtrained
+        interconnect), so chaos runs price the slow link without the
+        methods themselves knowing about fault injection.
+        """
+        bandwidth = self.ingest_bandwidth(cost_model, gpu_name, src_memory)
+        plan = active_plan()
+        if plan is not None:
+            bandwidth *= plan.bandwidth_factor(self.name, gpu_name, src_memory)
+        return bandwidth
 
     def side_streams(
         self,

@@ -53,6 +53,27 @@ class TestDispatcher:
         with pytest.raises(ValueError):
             MorselDispatcher(10, 5).next_batch(morsels=0)
 
+    def test_next_batch_rejects_non_positive_morsels(self):
+        dispatcher = MorselDispatcher(100, 10)
+        with pytest.raises(ValueError, match="at least one morsel"):
+            dispatcher.next_batch(morsels=0)
+        with pytest.raises(ValueError, match="at least one morsel"):
+            dispatcher.next_batch(morsels=-3)
+        # The failed requests consumed nothing.
+        assert dispatcher.remaining == 100
+
+    def test_next_batch_rejects_non_string_worker(self):
+        dispatcher = MorselDispatcher(100, 10)
+        with pytest.raises(ValueError, match="worker must be a string"):
+            dispatcher.next_batch(worker=0)
+        with pytest.raises(ValueError, match="worker must be a string"):
+            dispatcher.next_batch(worker=None)
+        assert dispatcher.remaining == 100
+        # A worker label of "0" is fine — it was the int that would have
+        # silently collided with it in the dispatch log.
+        assert dispatcher.next_batch(worker="0") is not None
+        assert dispatcher.dispatched_tuples("0") == 10
+
 
 class TestBatchTuning:
     def test_overhead_shrinks_with_batch(self):

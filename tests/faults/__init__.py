@@ -1,0 +1,1 @@
+"""Tests of the fault-injection and resilience subsystem."""

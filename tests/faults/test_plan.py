@@ -1,0 +1,236 @@
+"""FaultPlan: rule validation, determinism, installation, records."""
+
+import threading
+
+import pytest
+
+from repro.faults import (
+    CrashWorker,
+    DegradeLink,
+    FaultPlan,
+    InjectedOutOfMemoryError,
+    OomAt,
+    TransientError,
+    TransientKernelFault,
+    WorkerCrashFault,
+    active_plan,
+)
+from repro.memory.allocator import OutOfMemoryError
+
+
+class TestRuleValidation:
+    def test_crash_rejects_negative_ordinal(self):
+        with pytest.raises(ValueError, match="ordinal"):
+            CrashWorker(ordinal=-1)
+
+    def test_crash_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            CrashWorker(probability=1.5)
+
+    def test_transient_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="probability"):
+            TransientError(probability=-0.1)
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError, match="times"):
+            TransientError(times=0)
+
+    def test_oom_rejects_negative_ordinal(self):
+        with pytest.raises(ValueError, match="ordinal"):
+            OomAt(ordinal=-2)
+
+    def test_degrade_factor_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError, match="factor"):
+            DegradeLink(factor=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            DegradeLink(factor=1.5)
+
+    def test_plan_rejects_unknown_rule_objects(self):
+        with pytest.raises(TypeError, match="unknown fault rule"):
+            FaultPlan(seed=1, rules=["crash please"])
+
+
+class TestDeterminism:
+    def test_uniform_is_pure_in_the_site_key(self):
+        plan = FaultPlan(seed=42, rules=[])
+        a = plan.uniform(0, "transient", "w0", 128, 0)
+        b = plan.uniform(0, "transient", "w0", 128, 0)
+        assert a == b
+        assert 0.0 <= a < 1.0
+        # A different site draws independently.
+        assert a != plan.uniform(0, "transient", "w1", 128, 0)
+
+    def test_same_seed_same_fires_regardless_of_visit_order(self):
+        def fires(order):
+            plan = FaultPlan(
+                seed=7, rules=[TransientError(probability=0.5, times=None)]
+            )
+            hit = []
+            for worker, start in order:
+                try:
+                    plan.check_morsel(worker, start, start + 64, attempt=0)
+                except TransientKernelFault:
+                    hit.append((worker, start))
+            return sorted(hit)
+
+        sites = [("w0", 0), ("w1", 64), ("w0", 128), ("w1", 192)]
+        assert fires(sites) == fires(list(reversed(sites)))
+
+    def test_different_seeds_differ(self):
+        def mask(seed):
+            plan = FaultPlan(
+                seed=seed, rules=[TransientError(probability=0.5, times=None)]
+            )
+            out = []
+            for start in range(0, 64 * 64, 64):
+                try:
+                    plan.check_morsel("w0", start, start + 64, attempt=0)
+                    out.append(0)
+                except TransientKernelFault:
+                    out.append(1)
+            return out
+
+        assert mask(1) != mask(2)
+
+    def test_ordinal_counting_is_per_rule_per_worker(self):
+        plan = FaultPlan(seed=0, rules=[CrashWorker(worker="w1", ordinal=2)])
+        # w0's receipts never fire; w1 fires on its third receipt.
+        for start in range(0, 5 * 64, 64):
+            plan.check_morsel("w0", start, start + 64, attempt=0)
+        plan.check_morsel("w1", 0, 64, attempt=0)
+        plan.check_morsel("w1", 64, 128, attempt=0)
+        with pytest.raises(WorkerCrashFault):
+            plan.check_morsel("w1", 128, 192, attempt=0)
+
+
+class TestFiringBudgets:
+    def test_times_caps_total_fires(self):
+        plan = FaultPlan(
+            seed=3, rules=[TransientError(probability=1.0, times=2, attempts=None)]
+        )
+        for expected in (True, True, False, False):
+            if expected:
+                with pytest.raises(TransientKernelFault):
+                    plan.check_morsel("w0", 0, 64, attempt=0)
+            else:
+                plan.check_morsel("w0", 0, 64, attempt=0)
+        assert plan.injected_counts() == {"transient": 2}
+
+    def test_default_transient_only_fires_on_first_attempt(self):
+        plan = FaultPlan(seed=3, rules=[TransientError(probability=1.0)])
+        with pytest.raises(TransientKernelFault):
+            plan.check_morsel("w0", 0, 64, attempt=0)
+        # The retry (attempt=1) succeeds by construction.
+        plan.check_morsel("w0", 0, 64, attempt=1)
+
+
+class TestAllocSite:
+    def test_oom_fires_at_matching_ordinal(self):
+        plan = FaultPlan(seed=1, rules=[OomAt(ordinal=1, label="ht")])
+        plan.check_alloc(region="gpu0-mem", nbytes=10, label="ht build")  # 0
+        with pytest.raises(InjectedOutOfMemoryError):
+            plan.check_alloc(region="gpu0-mem", nbytes=10, label="ht build")  # 1
+        # Non-matching labels are not counted.
+        plan.check_alloc(region="gpu0-mem", nbytes=10, label="staging")
+
+    def test_injected_oom_is_an_out_of_memory_error(self):
+        plan = FaultPlan(seed=1, rules=[OomAt(ordinal=0)])
+        with pytest.raises(OutOfMemoryError):
+            plan.check_alloc(region="cpu0-mem", nbytes=10)
+
+    def test_region_filter(self):
+        plan = FaultPlan(seed=1, rules=[OomAt(ordinal=0, region="gpu0-mem")])
+        plan.check_alloc(region="cpu0-mem", nbytes=10)
+        with pytest.raises(InjectedOutOfMemoryError):
+            plan.check_alloc(region="gpu0-mem", nbytes=10)
+
+
+class TestLinkSite:
+    def test_bandwidth_factor_composes_and_filters(self):
+        plan = FaultPlan(
+            seed=1,
+            rules=[
+                DegradeLink(factor=0.5),
+                DegradeLink(factor=0.5, method="coherence"),
+            ],
+        )
+        assert plan.bandwidth_factor("coherence", "gpu0", "cpu0-mem") == 0.25
+        assert plan.bandwidth_factor("zero-copy", "gpu0", "cpu0-mem") == 0.5
+        assert plan.injected_counts() == {"degraded_link": 3}
+
+
+class TestInstallation:
+    def test_install_and_uninstall(self):
+        plan = FaultPlan(seed=1, rules=[])
+        assert active_plan() is None
+        with plan.install():
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_nesting_rejected(self):
+        a = FaultPlan(seed=1, rules=[])
+        b = FaultPlan(seed=2, rules=[])
+        with a.install():
+            with pytest.raises(RuntimeError, match="already installed"):
+                with b.install():
+                    pass
+        # The failed install did not clobber the state.
+        assert active_plan() is None
+
+    def test_uninstall_restores_after_exception(self):
+        plan = FaultPlan(seed=1, rules=[])
+        with pytest.raises(KeyError):
+            with plan.install():
+                raise KeyError("boom")
+        assert active_plan() is None
+
+
+class TestRecords:
+    def test_every_injection_is_recorded_with_site(self):
+        plan = FaultPlan(seed=1, rules=[CrashWorker(worker="w0", ordinal=0)])
+        with pytest.raises(WorkerCrashFault):
+            plan.check_morsel("w0", 256, 320, attempt=0)
+        (record,) = plan.injected
+        assert record.kind == "crash"
+        assert record.site["worker"] == "w0"
+        assert record.site["start"] == 256
+        assert "CrashWorker" in record.rule
+        assert record.to_dict()["seq"] == 0
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        plan = FaultPlan(
+            seed=9, rules=[TransientError(probability=0.1)], name="chaos-a"
+        )
+        text = json.dumps(plan.describe())
+        assert "chaos-a" in text and "TransientError" in text
+
+    def test_concurrent_sites_keep_consistent_counts(self):
+        plan = FaultPlan(
+            seed=5, rules=[TransientError(probability=0.5, times=None)]
+        )
+        hits = []
+
+        def hammer(worker):
+            count = 0
+            for start in range(0, 200 * 64, 64):
+                try:
+                    plan.check_morsel(worker, start, start + 64, attempt=0)
+                except TransientKernelFault:
+                    count += 1
+            hits.append(count)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"w{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(hits) == len(plan.injected)
+        assert plan.injected_counts()["transient"] == sum(hits)
+        # seq numbers are a gapless 0..n-1 despite concurrent appends.
+        assert sorted(r.seq for r in plan.injected) == list(
+            range(len(plan.injected))
+        )

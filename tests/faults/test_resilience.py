@@ -1,0 +1,83 @@
+"""ResilienceLog: action taxonomy, counters, and the manifest section."""
+
+import json
+import threading
+
+import pytest
+
+from repro.faults import (
+    RESILIENCE_SCHEMA_VERSION,
+    FaultPlan,
+    ResilienceLog,
+    TransientError,
+    TransientKernelFault,
+)
+
+
+class TestRecording:
+    def test_events_are_sequenced_with_detail(self):
+        log = ResilienceLog()
+        log.record("retry", worker="w0", start=0, end=64, attempt=1)
+        log.record("redispatch", worker="w1", start=64, end=128)
+        assert [e.action for e in log.events] == ["retry", "redispatch"]
+        assert [e.seq for e in log.events] == [0, 1]
+        assert log.events[0].detail["worker"] == "w0"
+        assert len(log) == 2
+
+    def test_unknown_actions_rejected(self):
+        log = ResilienceLog()
+        with pytest.raises(ValueError, match="unknown resilience action"):
+            log.record("shrug")
+
+    def test_counts_are_zero_filled(self):
+        log = ResilienceLog()
+        assert log.counts() == {
+            "retry": 0,
+            "redispatch": 0,
+            "serial_fallback": 0,
+            "spill": 0,
+        }
+        log.record("spill", from_strategy="gpu", to_strategy="hybrid")
+        assert log.count("spill") == 1
+        assert log.count("retry") == 0
+
+    def test_concurrent_records_keep_gapless_sequence(self):
+        log = ResilienceLog()
+
+        def hammer():
+            for _ in range(100):
+                log.record("retry", worker="w")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(log) == 400
+        assert sorted(e.seq for e in log.events) == list(range(400))
+
+
+class TestSection:
+    def test_section_without_plan(self):
+        log = ResilienceLog()
+        log.record("serial_fallback", pending_ranges=3, ordered=True)
+        section = log.section()
+        assert section["schema_version"] == RESILIENCE_SCHEMA_VERSION
+        assert section["plan"] is None
+        assert section["injected"] == []
+        assert section["counters"]["serial_fallback"] == 1
+        json.dumps(section)  # JSON-ready
+
+    def test_section_accounts_for_injected_faults(self):
+        plan = FaultPlan(seed=11, rules=[TransientError(probability=1.0)])
+        log = ResilienceLog()
+        with pytest.raises(TransientKernelFault):
+            plan.check_morsel("w0", 0, 64, attempt=0)
+        log.record("retry", worker="w0", start=0, end=64, attempt=1)
+        section = log.section(plan)
+        assert section["plan"]["seed"] == 11
+        assert section["injected_counts"] == {"transient": 1}
+        assert len(section["injected"]) == 1
+        assert section["injected"][0]["kind"] == "transient"
+        assert section["counters"]["retry"] == 1
+        json.dumps(section)

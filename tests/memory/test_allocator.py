@@ -1,10 +1,12 @@
 """Capacity-tracking allocator."""
 
+import threading
+
 import pytest
 
 from repro.hardware.memory import MemoryKind
 from repro.memory.allocator import Allocator, OutOfMemoryError
-from repro.utils.units import GIB
+from repro.utils.units import GIB, MIB
 
 
 @pytest.fixture
@@ -73,3 +75,66 @@ class TestFree:
         assert allocator.live_allocations("cpu1-mem") == [b]
         allocator.free(a)
         assert allocator.live_allocations() == [b]
+
+
+class TestThreadSafety:
+    def test_concurrent_alloc_free_keeps_books_consistent(self, allocator):
+        """Stress test: N threads churning alloc/free on one region.
+
+        If id generation, the live table, or the reserve/release pairs
+        raced, this would surface as duplicate ids, lost allocations, or
+        a non-zero final balance.
+        """
+        rounds, workers = 200, 8
+        ids = [[] for _ in range(workers)]
+        errors = []
+
+        def churn(slot):
+            try:
+                for _ in range(rounds):
+                    a = allocator.alloc("cpu0-mem", MIB, label=f"t{slot}")
+                    ids[slot].append(a.id)
+                    allocator.free(a)
+            except BaseException as exc:  # noqa: B036 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=churn, args=(i,)) for i in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        all_ids = [i for slot in ids for i in slot]
+        assert len(all_ids) == rounds * workers
+        assert len(set(all_ids)) == len(all_ids), "duplicate allocation ids"
+        assert allocator.used_bytes("cpu0-mem") == 0
+        assert allocator.live_allocations() == []
+
+    def test_concurrent_overcommit_never_oversubscribes(self, ibm):
+        """Threads racing for the last bytes must not overshoot capacity."""
+        allocator = Allocator(ibm)
+        capacity = ibm.memory("gpu0-mem").capacity
+        chunk = capacity // 10
+        granted = []
+        lock = threading.Lock()
+
+        def grab():
+            try:
+                while True:
+                    a = allocator.alloc("gpu0-mem", chunk, kind=MemoryKind.DEVICE)
+                    with lock:
+                        granted.append(a)
+            except OutOfMemoryError:
+                return
+
+        threads = [threading.Thread(target=grab) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(a.nbytes for a in granted)
+        assert total <= capacity
+        assert total == allocator.used_bytes("gpu0-mem")
+        assert len(granted) == 10  # exactly capacity // chunk grants
