@@ -13,28 +13,45 @@ not know about:
 * every mutation of a shared hash table must route through the batch
   accessors and be priced with ``atomic_stream`` cost accounting
   (Section 6: the Het strategy's shared table relies on system-wide
-  atomics).
+  atomics);
+* lock discipline must hold across module boundaries — attributes a
+  class guards with its lock must never be touched without it, and
+  lock acquisition order must be cycle-free (``lock-discipline``);
+* every worker loop, allocation site, and transfer path must call its
+  ``repro.faults`` hook so chaos testing covers it
+  (``fault-hook-coverage``);
+* keys written into run manifests must match the declared
+  ``MANIFEST_SCHEMA``, and key-set changes must bump the schema
+  version (``manifest-schema``).
 
-This package provides an AST-based framework (pass base class, finding
-model, per-file baseline suppression, text and JSON reporters) plus the
-four passes, runnable as ``python -m repro.analysis <paths>``.
+The framework has two tiers: per-module passes see one
+:class:`ModuleContext`; interprocedural passes see a
+:class:`ProjectContext` — all modules of the run, cross-linked into a
+symbol table, call graph, and lock-annotated attribute-access graph.
+Runs are incrementally cached (``--cache``), baselined with a ratchet
+(``--ratchet``), and runnable as ``python -m repro.analysis <paths>``.
 """
 
-from repro.analysis.base import AnalysisPass, ModuleContext
+from repro.analysis.base import AnalysisPass, ModuleContext, ProjectPass
 from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.cache import AnalysisCache
 from repro.analysis.finding import Finding, Severity
 from repro.analysis.passes import ALL_PASSES, get_passes
+from repro.analysis.project import ProjectContext
 from repro.analysis.reporters import SCHEMA_VERSION, render_json, render_text
 from repro.analysis.runner import AnalysisReport, analyze_paths, analyze_source
 
 __all__ = [
     "ALL_PASSES",
+    "AnalysisCache",
     "AnalysisPass",
     "AnalysisReport",
     "Baseline",
     "BaselineError",
     "Finding",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectPass",
     "SCHEMA_VERSION",
     "Severity",
     "analyze_paths",

@@ -145,6 +145,8 @@ class AnalysisPass:
     description: str = ""
     severity: Severity = Severity.ERROR
     scope: Tuple[str, ...] = ()
+    #: True for whole-project passes (see :class:`ProjectPass`).
+    project: bool = False
 
     def in_scope(self, posix_path: str) -> bool:
         if not self.scope:
@@ -180,6 +182,90 @@ class AnalysisPass:
             column=column,
             message=message,
             context=ctx.line_text(line),
+        )
+
+
+class ProjectPass(AnalysisPass):
+    """An interprocedural pass over a whole :class:`ProjectContext`.
+
+    Subclasses implement :meth:`check_project` instead of
+    :meth:`check`; the runner builds one project context per run and
+    invokes every project pass exactly once.  Scoping still applies,
+    but *per finding* — a project pass analyzes every module it needs
+    and reports only into the paths its ``scope`` covers (the
+    :meth:`project_finding` helper enforces this).
+
+    ``invalidates_on`` lists path fragments whose modules carry global
+    contracts (e.g. a schema declaration): when such a module changes,
+    the incremental cache re-analyzes the whole project instead of
+    just the import-graph dependents.
+    """
+
+    project: bool = True
+    invalidates_on: Tuple[str, ...] = ()
+
+    def run(self, ctx: ModuleContext) -> List[Finding]:
+        return []  # project passes never run per-module
+
+    def check(self, ctx: ModuleContext) -> Sequence[Finding]:
+        return []
+
+    def check_project(self, project: "object") -> Sequence[Finding]:
+        raise NotImplementedError
+
+    def run_project(self, project: "object") -> List[Finding]:
+        """Deduplicated, scope-filtered findings for one project."""
+        findings: List[Finding] = []
+        seen = set()
+        for finding in self.check_project(project):
+            if not self.in_scope(finding.path):
+                continue
+            key = (finding.path, finding.line, finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.column))
+        return findings
+
+    def project_finding(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """A finding anchored in one module of the project."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            rule=self.name,
+            severity=severity if severity is not None else self.severity,
+            path=ctx.posix_path,
+            line=line,
+            column=column,
+            message=message,
+            context=ctx.line_text(line),
+        )
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        column: int,
+        message: str,
+        context: str = "",
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """A finding at a raw location (when only line info is known)."""
+        return Finding(
+            rule=self.name,
+            severity=severity if severity is not None else self.severity,
+            path=path,
+            line=line,
+            column=column,
+            message=message,
+            context=context,
         )
 
 

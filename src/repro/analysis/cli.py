@@ -1,7 +1,14 @@
 """Command-line entry point: ``python -m repro.analysis <paths>``.
 
-Exit codes: 0 = clean (no unbaselined findings), 1 = findings,
-2 = usage or baseline error.
+Exit codes are severity-aware:
+
+* ``0`` — clean: no unbaselined findings, no stale baseline entries,
+  ratchet (if requested) holds;
+* ``1`` — unbaselined ERROR findings, stale baseline entries, a
+  ratchet violation, or (with ``--strict``) unbaselined warnings;
+* ``2`` — usage or baseline error;
+* ``3`` — unbaselined WARNING findings only (without ``--strict``) —
+  distinguishable from hard failures so CI can choose to tolerate it.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.passes import ALL_PASSES, get_passes
 from repro.analysis.reporters import render_json, render_text
-from repro.analysis.runner import analyze_paths
+from repro.analysis.runner import AnalysisReport, analyze_paths
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,8 +33,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "Domain-specific static analysis: unit-safety, determinism, "
-            "vectorization, and simulated-coherence rules for the "
-            "reproduction codebase."
+            "vectorization, simulated-coherence, and interprocedural "
+            "lock-discipline / fault-hook / manifest-schema rules for "
+            "the reproduction codebase."
         ),
     )
     parser.add_argument("paths", nargs="*", help="files or directories to scan")
@@ -55,6 +63,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         metavar="NAME[,NAME...]",
         help="comma-separated subset of rules to run",
+    )
+    parser.add_argument(
+        "--exclude",
+        metavar="GLOB",
+        action="append",
+        default=[],
+        help=(
+            "glob of paths to skip (repeatable); matches the full posix "
+            "path, the basename, or any path suffix"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat unbaselined warnings as failures (exit 1, not 3)",
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help=(
+            "enforce the baseline ratchet: fail if the baseline has "
+            "more entries than its ratchet_limit (new debt) or fewer "
+            "(lower the limit to lock in the win)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help=(
+            "incremental-analysis cache file: re-analyze only changed "
+            "files and their import-graph dependents"
+        ),
     )
     parser.add_argument(
         "--show-baselined",
@@ -85,6 +125,19 @@ def find_default_baseline(paths: Sequence[str]) -> Optional[str]:
         if os.path.isfile(candidate):
             return candidate
     return None
+
+
+def exit_code(
+    report: AnalysisReport,
+    strict: bool = False,
+    ratchet_failure: Optional[str] = None,
+) -> int:
+    """Severity-aware exit code for one finished run."""
+    if report.errors or report.unused_baseline_entries or ratchet_failure:
+        return 1
+    if report.warnings:
+        return 1 if strict else 3
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -119,11 +172,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
 
+    if args.ratchet and baseline is None:
+        print(
+            "error: --ratchet requires a baseline file "
+            "(none found and --no-baseline disables it)",
+            file=sys.stderr,
+        )
+        return 2
+
     try:
-        report = analyze_paths(args.paths, passes=passes, baseline=baseline)
+        report = analyze_paths(
+            args.paths,
+            passes=passes,
+            baseline=baseline,
+            exclude=args.exclude,
+            cache_path=args.cache,
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    ratchet_failure = None
+    if args.ratchet and baseline is not None:
+        ratchet_failure = baseline.ratchet_violation()
 
     if args.format == "json":
         print(render_json(report))
@@ -131,7 +202,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         output = render_text(report, show_baselined=args.show_baselined)
         if output:
             print(output)
-    return 0 if report.ok else 1
+    if ratchet_failure:
+        print(f"ratchet violation: {ratchet_failure}", file=sys.stderr)
+    return exit_code(report, strict=args.strict, ratchet_failure=ratchet_failure)
 
 
 if __name__ == "__main__":  # pragma: no cover

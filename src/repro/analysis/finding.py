@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -40,9 +41,22 @@ class Finding:
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.column}"
 
+    @property
+    def id(self) -> str:
+        """Stable finding identity, independent of line numbers.
+
+        Hashes ``(rule, path, context, message)`` so the id survives
+        unrelated edits that shift the finding's line, but changes when
+        the diagnosed code or diagnosis changes.  Used by tooling to
+        track findings across runs.
+        """
+        payload = "|".join((self.rule, self.path, self.context, self.message))
+        return hashlib.blake2b(payload.encode(), digest_size=6).hexdigest()
+
     def to_dict(self) -> Dict[str, object]:
         """Stable serialization consumed by the JSON reporter."""
         return {
+            "id": self.id,
             "rule": self.rule,
             "severity": self.severity.value,
             "path": self.path,
@@ -53,6 +67,23 @@ class Finding:
             "baselined": self.baselined,
             "suppression_reason": self.suppression_reason,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache replay).
+
+        Baseline state is *not* restored — the baseline is re-applied
+        to every run's merged finding list, cached or fresh.
+        """
+        return cls(
+            rule=str(payload["rule"]),
+            severity=Severity(str(payload["severity"])),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            column=int(payload["column"]),  # type: ignore[arg-type]
+            message=str(payload["message"]),
+            context=str(payload.get("context", "")),
+        )
 
     def __str__(self) -> str:
         mark = " (baselined)" if self.baselined else ""

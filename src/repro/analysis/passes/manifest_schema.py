@@ -1,0 +1,301 @@
+"""Manifest-schema drift: every written key must be declared.
+
+``repro.obs.manifest`` declares the manifest JSON layout twice: once
+implicitly, in the writer functions that build the dicts, and once
+explicitly, in the ``MANIFEST_SCHEMA`` literal (sections → writer +
+allowed keys, pinned by a checksum).  Downstream consumers — bench
+baseline diffs, the paper's figure scripts, CI's changelog guard —
+parse manifests by key, so a key added in a writer but absent from the
+declaration is silent schema drift: the version string stays ``1.1``
+while the actual layout changes under consumers' feet.
+
+This pass closes the loop statically:
+
+* the ``version`` field of ``MANIFEST_SCHEMA`` must equal
+  ``MANIFEST_SCHEMA_VERSION`` (both literals, same module);
+* the ``checksum`` field must equal the BLAKE2b digest of the
+  canonical ``sections`` mapping — so *any* key-set edit forces a
+  conscious schema edit (the pass prints the expected digest);
+* every top-level string key a declared writer emits (returned or
+  assigned dict literals, plus ``d["key"] = ...`` stores on them) must
+  appear in that section's declared keys — an undeclared key is an
+  ERROR telling the author to declare it and bump the version;
+* a declared key no writer emits is a WARNING (stale schema entry);
+* a declared writer that cannot be found is an ERROR (the schema
+  points at nothing).
+
+Writers are resolved nearest-first: the schema's own module, then its
+directory, then the whole project — so a test fixture declaring its
+own ``MANIFEST_SCHEMA`` is checked against its own writers, never
+against ``src/repro``'s.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import ProjectPass
+from repro.analysis.finding import Finding, Severity
+from repro.analysis.project import FunctionInfo, ModuleInfo, ProjectContext
+
+#: Name of the declared-schema constant this pass enforces.
+SCHEMA_CONSTANT = "MANIFEST_SCHEMA"
+#: Name of the version constant the schema must agree with.
+VERSION_CONSTANT = "MANIFEST_SCHEMA_VERSION"
+
+
+def schema_checksum(sections: Dict[str, object]) -> str:
+    """Canonical digest of a schema's ``sections`` mapping.
+
+    BLAKE2b over the sorted-key JSON rendering; 8 hex bytes is plenty
+    for a tamper-evidence seal that humans copy by hand.
+    """
+    canonical = json.dumps(sections, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode(), digest_size=8).hexdigest()
+
+
+class ManifestSchemaPass(ProjectPass):
+    name = "manifest-schema"
+    description = (
+        "keys written into manifest sections must appear in the declared "
+        "MANIFEST_SCHEMA, and key-set changes must bump the schema version"
+    )
+    severity = Severity.ERROR
+    scope = ("obs/", "faults/")
+    invalidates_on = ("obs/manifest",)
+
+    def check_project(self, project: ProjectContext) -> Sequence[Finding]:  # type: ignore[override]
+        assert isinstance(project, ProjectContext)
+        findings: List[Finding] = []
+        for info in project.modules.values():
+            node = info.constants.get(SCHEMA_CONSTANT)
+            if node is None:
+                continue
+            findings.extend(self._check_schema(project, info, node))
+        return findings
+
+    # -- one schema declaration --------------------------------------------
+    def _check_schema(
+        self, project: ProjectContext, info: ModuleInfo, node: ast.AST
+    ) -> Iterator[Finding]:
+        line = getattr(node, "lineno", 1)
+        try:
+            schema = ast.literal_eval(node)
+        except (ValueError, SyntaxError):
+            yield self._at(info, line, (
+                f"{SCHEMA_CONSTANT} must be a pure literal so tooling can "
+                "evaluate it without importing the module"
+            ))
+            return
+        if not isinstance(schema, dict) or not isinstance(
+            schema.get("sections"), dict
+        ):
+            yield self._at(info, line, (
+                f"{SCHEMA_CONSTANT} must be a dict with a 'sections' "
+                "mapping of section -> {writer, keys}"
+            ))
+            return
+        sections: Dict[str, object] = schema["sections"]
+        yield from self._check_version(info, node, schema)
+        yield from self._check_checksum(info, line, schema, sections)
+        for section, spec in sections.items():
+            if (
+                not isinstance(spec, dict)
+                or not isinstance(spec.get("writer"), str)
+                or not isinstance(spec.get("keys"), list)
+            ):
+                yield self._at(info, line, (
+                    f"section '{section}' of {SCHEMA_CONSTANT} must "
+                    "declare a 'writer' string and a 'keys' list"
+                ))
+                continue
+            yield from self._check_section(
+                project, info, line, section, spec["writer"],
+                [str(key) for key in spec["keys"]],
+            )
+
+    def _check_version(
+        self, info: ModuleInfo, node: ast.AST, schema: Dict[str, object]
+    ) -> Iterator[Finding]:
+        line = getattr(node, "lineno", 1)
+        declared = schema.get("version")
+        version_node = info.constants.get(VERSION_CONSTANT)
+        if version_node is None:
+            yield self._at(info, line, (
+                f"{SCHEMA_CONSTANT} has no companion {VERSION_CONSTANT} "
+                "constant in this module"
+            ))
+            return
+        try:
+            actual = ast.literal_eval(version_node)
+        except (ValueError, SyntaxError):
+            actual = None
+        if declared != actual:
+            yield self._at(info, line, (
+                f"{SCHEMA_CONSTANT}['version'] is {declared!r} but "
+                f"{VERSION_CONSTANT} is {actual!r} — keep them in "
+                "lockstep (bump both when the layout changes)"
+            ))
+
+    def _check_checksum(
+        self,
+        info: ModuleInfo,
+        line: int,
+        schema: Dict[str, object],
+        sections: Dict[str, object],
+    ) -> Iterator[Finding]:
+        declared = schema.get("checksum")
+        expected = schema_checksum(sections)
+        if declared != expected:
+            yield self._at(info, line, (
+                f"{SCHEMA_CONSTANT}['checksum'] is {declared!r} but the "
+                f"declared sections hash to '{expected}' — the key sets "
+                "changed; update the checksum, bump "
+                f"{VERSION_CONSTANT}, and record the bump in the schema "
+                "changelog"
+            ))
+
+    # -- one section --------------------------------------------------------
+    def _check_section(
+        self,
+        project: ProjectContext,
+        info: ModuleInfo,
+        schema_line: int,
+        section: str,
+        writer: str,
+        declared: List[str],
+    ) -> Iterator[Finding]:
+        writers = _resolve_writer(project, info, writer)
+        if not writers:
+            yield self._at(info, schema_line, (
+                f"section '{section}' declares writer '{writer}' but no "
+                "such function or method exists — fix the declaration or "
+                "restore the writer"
+            ))
+            return
+        declared_set = set(declared)
+        written: Set[str] = set()
+        for writer_info, fn in writers:
+            for key, key_line in _written_keys(fn.node):
+                written.add(key)
+                if key not in declared_set:
+                    yield self._at(writer_info, key_line, (
+                        f"writer `{writer}` emits undeclared manifest key "
+                        f"'{key}' (section '{section}') — declare it in "
+                        f"{SCHEMA_CONSTANT}, update the checksum, and bump "
+                        f"{VERSION_CONSTANT}"
+                    ))
+        for key in sorted(declared_set - written):
+            yield self._at(info, schema_line, (
+                f"section '{section}' declares key '{key}' but writer "
+                f"`{writer}` never emits it — stale schema entry"
+            ), severity=Severity.WARNING)
+
+    def _at(
+        self,
+        info: ModuleInfo,
+        line: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        return self.finding_at(
+            path=info.path,
+            line=line,
+            column=1,
+            message=message,
+            context=info.ctx.line_text(line),
+            severity=severity,
+        )
+
+
+# -- writer resolution ------------------------------------------------------
+
+
+def _resolve_writer(
+    project: ProjectContext, schema_mod: ModuleInfo, writer: str
+) -> List[Tuple[ModuleInfo, FunctionInfo]]:
+    """Writer functions, nearest tier first: module, directory, project."""
+    directory = schema_mod.path.rsplit("/", 1)[0] if "/" in schema_mod.path else ""
+    tiers: List[List[ModuleInfo]] = [
+        [schema_mod],
+        [
+            info
+            for info in project.modules.values()
+            if info is not schema_mod
+            and (info.path.rsplit("/", 1)[0] if "/" in info.path else "")
+            == directory
+        ],
+        [info for info in project.modules.values()],
+    ]
+    for tier in tiers:
+        matches: List[Tuple[ModuleInfo, FunctionInfo]] = []
+        for info in tier:
+            fn = _lookup_writer(info, writer)
+            if fn is not None:
+                matches.append((info, fn))
+        if matches:
+            return matches
+    return []
+
+
+def _lookup_writer(info: ModuleInfo, writer: str) -> Optional[FunctionInfo]:
+    if "." in writer:
+        cls_name, method = writer.split(".", 1)
+        cls = info.classes.get(cls_name)
+        if cls is not None:
+            return cls.methods.get(method)
+        return None
+    return info.functions.get(writer)
+
+
+# -- written-key extraction --------------------------------------------------
+
+
+def _written_keys(fn: ast.AST) -> Iterator[Tuple[str, int]]:
+    """Top-level string keys the writer emits, with their lines.
+
+    Candidates are dict literals in ``return`` statements or on the
+    right of an assignment, plus ``name["key"] = ...`` subscript
+    stores on names bound to a candidate dict.  Nested dict literals
+    (values inside a candidate, comprehension elements) are *not*
+    candidates — only the section's top level is schema-checked.
+    """
+    candidate_names: Set[str] = set()
+    for stmt in ast.walk(fn):
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Return):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and isinstance(
+                    stmt.value, ast.Dict
+                ):
+                    candidate_names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = stmt.value
+            if isinstance(stmt.target, ast.Name) and isinstance(
+                stmt.value, ast.Dict
+            ):
+                candidate_names.add(stmt.target.id)
+        if isinstance(value, ast.Dict):
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    yield key.value, key.lineno
+    for stmt in ast.walk(fn):
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in candidate_names
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+            ):
+                yield target.slice.value, target.lineno

@@ -11,7 +11,10 @@ from typing import Dict, List
 
 from repro.analysis.runner import AnalysisReport
 
-SCHEMA_VERSION = 1
+#: v2: findings carry a stable ``id``; the summary splits
+#: ``errors``/``warnings``; ``files_parsed``/``files_from_cache``
+#: expose the incremental cache's work split.
+SCHEMA_VERSION = 2
 TOOL_NAME = "repro.analysis"
 
 
@@ -52,10 +55,14 @@ def render_json(report: AnalysisReport) -> str:
         "schema_version": SCHEMA_VERSION,
         "tool": TOOL_NAME,
         "files_scanned": report.files_scanned,
+        "files_parsed": report.files_parsed,
+        "files_from_cache": report.files_from_cache,
         "summary": {
             "total": len(report.findings),
             "unbaselined": len(report.unbaselined),
             "baselined": len(report.findings) - len(report.unbaselined),
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
             "by_rule": dict(sorted(by_rule.items())),
         },
         "stale_baseline_entries": [

@@ -61,7 +61,8 @@ class MorselDispatcher:
 
     @property
     def exhausted(self) -> bool:
-        return self._cursor >= self.total_tuples
+        with self._lock:
+            return self._cursor >= self.total_tuples
 
     def next_batch(self, morsels: int = 1, worker: str = "") -> Optional[WorkRange]:
         """Hand out up to ``morsels`` consecutive morsels (one range).

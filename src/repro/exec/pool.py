@@ -523,9 +523,13 @@ class _PoolRun(Generic[T]):
                 thread.start()
             for thread in threads:
                 thread.join()
-        if self.errors:
-            raise self.errors[0]
+        # The workers have been joined, but the lock discipline for
+        # ``errors``/``pending`` is acquire-to-read everywhere — the
+        # serial path (workers == 1) shares this code and a failed
+        # worker thread may have died mid-update.
         with self.lock:
+            if self.errors:
+                raise self.errors[0]
             leftover = bool(self.pending)
         if leftover or not self.dispatcher.exhausted:
             if not executor.serial_fallback:

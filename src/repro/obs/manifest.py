@@ -31,6 +31,74 @@ from repro.obs.explain import bottleneck_chain, utilization
 #: schema changelog in docs/observability.md.
 MANIFEST_SCHEMA_VERSION = "1.1"
 
+#: The *declared* manifest schema, enforced statically by the
+#: ``manifest-schema`` analysis pass: every key a writer function puts
+#: into a manifest section must be listed here, and the section key
+#: sets are pinned by ``checksum`` (a BLAKE2b digest of the sorted
+#: ``sections`` mapping).  Adding, renaming, or removing a key
+#: therefore requires editing this declaration, recomputing the
+#: checksum (the pass prints the expected value on mismatch), bumping
+#: :data:`MANIFEST_SCHEMA_VERSION`, and recording the bump in the
+#: docs/observability.md changelog (enforced by :func:`check_changelog`
+#: in CI) — a new key cannot drift in silently.
+#:
+#: ``version`` must equal :data:`MANIFEST_SCHEMA_VERSION`; each section
+#: names its writer (``Class.method`` or a module-level function) and
+#: the exact keys that writer may emit.
+MANIFEST_SCHEMA = {
+    "version": "1.1",
+    "checksum": "5612157e9bd83aa3",
+    "sections": {
+        "__top__": {
+            "writer": "RunManifest.to_dict",
+            "keys": [
+                "schema_version",
+                "kind",
+                "machine",
+                "workload",
+                "config",
+                "phases",
+                "bottleneck_summary",
+                "results",
+                "metrics",
+                "spans",
+                "calibration",
+                "resilience",
+            ],
+        },
+        "__document__": {
+            "writer": "write_manifest_file",
+            "keys": ["schema_version", "generator", "runs"],
+        },
+        "phases": {
+            "writer": "phase_record",
+            "keys": [
+                "label",
+                "seconds",
+                "bottleneck",
+                "occupancy",
+                "utilization",
+                "bottleneck_chain",
+            ],
+        },
+        "machine": {
+            "writer": "machine_summary",
+            "keys": ["name", "processors", "memories", "links"],
+        },
+        "resilience": {
+            "writer": "ResilienceLog.section",
+            "keys": [
+                "schema_version",
+                "plan",
+                "injected",
+                "injected_counts",
+                "counters",
+                "events",
+            ],
+        },
+    },
+}
+
 
 def machine_summary(machine: Machine) -> Dict[str, Any]:
     """JSON-ready topology description of a simulated machine."""

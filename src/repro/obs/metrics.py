@@ -53,7 +53,8 @@ class Counter:
             self.value += amount
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"labels": dict(self.labels), "value": self.value}
+        with self._lock:
+            return {"labels": dict(self.labels), "value": self.value}
 
 
 @dataclass
@@ -72,7 +73,8 @@ class Gauge:
             self.value = float(value)
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"labels": dict(self.labels), "value": self.value}
+        with self._lock:
+            return {"labels": dict(self.labels), "value": self.value}
 
 
 @dataclass
@@ -104,20 +106,25 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "labels": dict(self.labels),
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "buckets": {
-                ("+Inf" if i == len(self.buckets) else repr(self.buckets[i])): n
-                for i, n in enumerate(self.counts)
-                if n
-            },
-        }
+        # One consistent cut of (count, total, counts); the mean is
+        # recomputed inline because ``self.mean`` takes the same
+        # non-reentrant lock.
+        with self._lock:
+            return {
+                "labels": dict(self.labels),
+                "count": self.count,
+                "sum": self.total,
+                "mean": self.total / self.count if self.count else 0.0,
+                "buckets": {
+                    ("+Inf" if i == len(self.buckets) else repr(self.buckets[i])): n
+                    for i, n in enumerate(self.counts)
+                    if n
+                },
+            }
 
 
 class MetricsRegistry:
@@ -166,9 +173,8 @@ class MetricsRegistry:
 
     def __iter__(self) -> Iterator[Any]:
         with self._lock:
-            keys = sorted(self._metrics)
-        for key in keys:
-            yield self._metrics[key]
+            metrics = [self._metrics[key] for key in sorted(self._metrics)]
+        yield from metrics
 
     def __len__(self) -> int:
         with self._lock:

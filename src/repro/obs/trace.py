@@ -97,43 +97,51 @@ class Timeline:
             self.spans.append(span)
         return span
 
+    def _snapshot(self) -> List[Span]:
+        """One consistent copy of the span list; every reader goes
+        through here so a concurrent ``record`` cannot interleave."""
+        with self._lock:
+            return list(self.spans)
+
     def by_worker(self) -> Dict[str, List[Span]]:
         """Spans grouped by worker, in recording order."""
         result: Dict[str, List[Span]] = {}
-        for span in self.spans:
+        for span in self._snapshot():
             result.setdefault(span.worker, []).append(span)
         return result
 
     def by_label(self, label: str) -> List[Span]:
         """All spans with the given label, in recording order."""
-        return [s for s in self.spans if s.label == label]
+        return [s for s in self._snapshot() if s.label == label]
 
     def busy_time(self, worker: str) -> float:
         """Total simulated seconds this worker spent inside spans."""
-        return sum(s.duration for s in self.spans if s.worker == worker)
+        return sum(s.duration for s in self._snapshot() if s.worker == worker)
 
     def units_processed(self, worker: str) -> float:
         """Total units (tuples) attributed to this worker's spans."""
-        return sum(s.units for s in self.spans if s.worker == worker)
+        return sum(s.units for s in self._snapshot() if s.worker == worker)
 
     def makespan(self) -> float:
         """Earliest span start to latest span end (0.0 if empty)."""
-        if not self.spans:
+        spans = self._snapshot()
+        if not spans:
             return 0.0
-        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+        return max(s.end for s in spans) - min(s.start for s in spans)
 
     def idle_tail(self, worker: str) -> float:
         """Time between a worker's last span end and the global makespan
         end — the execution-skew penalty the scheduler tries to minimize.
         """
-        mine = [s.end for s in self.spans if s.worker == worker]
-        if not mine or not self.spans:
+        spans = self._snapshot()
+        mine = [s.end for s in spans if s.worker == worker]
+        if not mine:
             return 0.0
-        return max(s.end for s in self.spans) - max(mine)
+        return max(s.end for s in spans) - max(mine)
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         """JSON-ready list of all spans (for run manifests)."""
-        return [span.to_dict() for span in self.spans]
+        return [span.to_dict() for span in self._snapshot()]
 
 
 class ActiveSpan:

@@ -1,0 +1,17 @@
+"""Seeded fault-hook gap: a worker loop that pulls morsel batches from
+a dispatcher but never reaches a ``check_morsel`` fault hook.  Expected
+findings (fault-hook-coverage): one ERROR on ``Pool._worker_loop``.
+"""
+
+
+class Pool:
+    def __init__(self, dispatcher):
+        self.dispatcher = dispatcher
+        self.processed = 0
+
+    def _worker_loop(self):
+        while True:
+            batch = self.dispatcher.next_batch(4)
+            if batch is None:
+                break
+            self.processed += batch.tuples

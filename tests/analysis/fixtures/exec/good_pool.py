@@ -1,0 +1,31 @@
+"""Clean counterpart: every guarded attribute is accessed under the
+lock, and the worker loop reaches ``check_morsel`` before each pull.
+Expected findings: none (lock-discipline, fault-hook-coverage).
+"""
+
+import threading
+
+
+class GoodPool:
+    def __init__(self, dispatcher, plan):
+        self.dispatcher = dispatcher
+        self.plan = plan
+        self.lock = threading.Lock()
+        self.pending = []
+
+    def submit(self, item):
+        with self.lock:
+            self.pending.append(item)
+
+    def drain(self):
+        with self.lock:
+            out = list(self.pending)
+            self.pending = []
+        return out
+
+    def worker_loop(self):
+        while True:
+            self.plan.check_morsel("worker")
+            batch = self.dispatcher.next_batch(4)
+            if batch is None:
+                break

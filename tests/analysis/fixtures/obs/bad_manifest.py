@@ -1,0 +1,28 @@
+"""Seeded manifest-schema drift: the writer emits ``latency_ns`` which
+the declared schema does not know, and never writes the declared
+``seconds`` key.  Expected findings (manifest-schema):
+
+1. undeclared key ``latency_ns`` written by ``build_record`` (ERROR);
+2. declared key ``seconds`` never written (WARNING).
+"""
+
+MANIFEST_SCHEMA_VERSION = "2.0"
+
+MANIFEST_SCHEMA = {
+    "version": "2.0",
+    "checksum": "31cd5e0428b6d9df",
+    "sections": {
+        "__top__": {
+            "writer": "build_record",
+            "keys": ["schema_version", "label", "seconds"],
+        },
+    },
+}
+
+
+def build_record(label, elapsed):
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "label": label,
+        "latency_ns": int(elapsed * 1e9),
+    }

@@ -1,0 +1,24 @@
+"""Clean counterpart: writer output and declared schema agree, version
+and checksum both match.  Expected findings: none (manifest-schema).
+"""
+
+MANIFEST_SCHEMA_VERSION = "1.0"
+
+MANIFEST_SCHEMA = {
+    "version": "1.0",
+    "checksum": "31cd5e0428b6d9df",
+    "sections": {
+        "__top__": {
+            "writer": "build_record",
+            "keys": ["schema_version", "label", "seconds"],
+        },
+    },
+}
+
+
+def build_record(label, elapsed):
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "label": label,
+        "seconds": float(elapsed),
+    }

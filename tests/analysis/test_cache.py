@@ -1,0 +1,138 @@
+"""Incremental-analysis cache: warm runs re-parse nothing, edits
+re-analyze only the changed file and its import-graph dependents, and
+contract modules named in ``invalidates_on`` dirty the whole project.
+"""
+
+import json
+import os
+
+from repro.analysis import analyze_paths
+
+UNITS = "LINK_BANDWIDTH = 900e9\n"
+POOL = (
+    "from costmodel.units import LINK_BANDWIDTH\n"
+    "\n"
+    "\n"
+    "def capacity():\n"
+    "    return LINK_BANDWIDTH / 8.0\n"
+)
+MANIFEST = 'SCHEMA_NOTE = "v1"\n'
+
+
+def _make_tree(tmp_path):
+    proj = tmp_path / "proj"
+    for rel, source in (
+        ("costmodel/units.py", UNITS),
+        ("exec/pool.py", POOL),
+        ("obs/manifest.py", MANIFEST),
+    ):
+        target = proj / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return proj
+
+
+def _run(proj, cache):
+    return analyze_paths([str(proj)], cache_path=str(cache))
+
+
+def test_warm_run_parses_nothing(tmp_path):
+    proj = _make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+
+    cold = _run(proj, cache)
+    assert cold.files_parsed == 3
+    assert cold.files_from_cache == 0
+    assert [f.rule for f in cold.findings] == ["unit-safety"]
+
+    warm = _run(proj, cache)
+    assert warm.files_parsed == 0
+    assert warm.files_from_cache == 3
+    # The cached finding replays identically (including its stable id).
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+
+
+def test_edit_reanalyzes_only_changed_file_and_dependents(tmp_path):
+    proj = _make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    _run(proj, cache)
+
+    # Editing the leaf (no dependents): only it is dirty; its import
+    # dependency is re-parsed for cross-module context but keeps its
+    # cached findings.
+    pool = proj / "exec" / "pool.py"
+    pool.write_text(POOL + "\n\nEXTRA = 1\n")
+    report = _run(proj, cache)
+    assert report.files_from_cache == 2  # units + manifest untouched
+    assert report.files_parsed == 2  # pool (dirty) + units (dependency)
+    assert [f.rule for f in report.findings] == ["unit-safety"]
+    assert "units.py" in report.findings[0].path  # replayed from cache
+
+    # Editing an imported module dirties its dependents too.
+    units = proj / "costmodel" / "units.py"
+    units.write_text(UNITS + "OTHER_BANDWIDTH = 16.0  # GiB/s\n")
+    report = _run(proj, cache)
+    assert report.files_from_cache == 1  # only obs/manifest.py untouched
+    dirty_findings = [f for f in report.findings if "units.py" in f.path]
+    assert dirty_findings, "re-analysis must re-derive the finding"
+
+
+def test_invalidates_on_contract_module_dirties_everything(tmp_path):
+    proj = _make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    _run(proj, cache)
+
+    # The manifest-schema pass declares invalidates_on=("obs/manifest",):
+    # touching that module must invalidate every cached entry.
+    manifest = proj / "obs" / "manifest.py"
+    manifest.write_text('SCHEMA_NOTE = "v2"\n')
+    report = _run(proj, cache)
+    assert report.files_from_cache == 0
+    assert report.files_parsed == 3
+
+
+def test_corrupt_cache_degrades_to_full_run(tmp_path):
+    proj = _make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    _run(proj, cache)
+
+    cache.write_text("{not json")
+    report = _run(proj, cache)
+    assert report.files_parsed == 3
+    assert report.files_from_cache == 0
+    # ... and the cache heals: the next run is warm again.
+    warm = _run(proj, cache)
+    assert warm.files_parsed == 0
+
+
+def test_cache_file_is_versioned_and_fingerprinted(tmp_path):
+    proj = _make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    _run(proj, cache)
+
+    payload = json.loads(cache.read_text())
+    assert payload["version"] == 1
+    assert payload["tool_fingerprint"]
+    assert len(payload["files"]) == 3
+    for entry in payload["files"].values():
+        assert set(entry) == {"hash", "deps", "findings"}
+
+    # An analyzer upgrade (different fingerprint) invalidates everything.
+    payload["tool_fingerprint"] = "0" * 32
+    cache.write_text(json.dumps(payload))
+    report = _run(proj, cache)
+    assert report.files_parsed == 3
+
+
+def test_deleted_file_entry_is_pruned(tmp_path):
+    proj = _make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    _run(proj, cache)
+
+    os.remove(proj / "obs" / "manifest.py")
+    _run(proj, cache)
+    payload = json.loads(cache.read_text())
+    assert len(payload["files"]) == 2
+    assert not any("manifest" in path for path in payload["files"])

@@ -25,6 +25,8 @@ BAD_FIXTURES = {
         fixture_path("core", "ops", "bad_direct_pricing.py"),
         3,
     ),
+    "fault-hook-coverage": (fixture_path("exec", "bad_worker_loop.py"), 1),
+    "manifest-schema": (fixture_path("obs", "bad_manifest.py"), 2),
 }
 
 GOOD_FIXTURES = {
@@ -35,6 +37,9 @@ GOOD_FIXTURES = {
         "core", "join", "coop_good_accessors.py"
     ),
     "executor-boundary": fixture_path("core", "ops", "good_plan_compile.py"),
+    "lock-discipline": fixture_path("exec", "good_pool.py"),
+    "fault-hook-coverage": fixture_path("exec", "good_pool.py"),
+    "manifest-schema": fixture_path("obs", "good_manifest.py"),
 }
 
 
@@ -73,7 +78,59 @@ def test_fixture_tree_total_counts():
         "vectorization": 2,
         "simulated-coherence": 4,
         "executor-boundary": 3,
+        "lock-discipline": 4,
+        "fault-hook-coverage": 1,
+        "manifest-schema": 2,
     }
+
+
+def test_lock_discipline_race_severities():
+    """Unguarded write -> ERROR; unguarded read -> WARNING unless the
+    reader is reachable from a worker entry point (then ERROR)."""
+    path = fixture_path("exec", "bad_pool_race.py")
+    report = analyze_paths([path], passes=get_passes(["lock-discipline"]))
+    assert len(report.findings) == 3, [str(f) for f in report.findings]
+    reads = [f for f in report.findings if " read in " in f.message]
+    writes = [f for f in report.findings if " write in " in f.message]
+    assert len(writes) == 1 and writes[0].severity.value == "error"
+    assert sorted(f.severity.value for f in reads) == ["error", "warning"]
+    worker_read = next(f for f in reads if f.severity.value == "error")
+    assert "worker" in worker_read.message
+
+
+def test_lock_order_cycle_detected():
+    path = fixture_path("exec", "bad_lock_order.py")
+    report = analyze_paths([path], passes=get_passes(["lock-discipline"]))
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.severity.value == "error"
+    assert "deadlock candidate" in finding.message
+    assert "LOCK_A" in finding.message and "LOCK_B" in finding.message
+
+
+def test_manifest_schema_severities():
+    path = fixture_path("obs", "bad_manifest.py")
+    report = analyze_paths([path], passes=get_passes(["manifest-schema"]))
+    by_severity = {f.severity.value: f.message for f in report.findings}
+    assert "latency_ns" in by_severity["error"]
+    assert "seconds" in by_severity["warning"]
+
+
+def test_finding_ids_are_stable_across_line_shifts():
+    """The finding id hashes rule|path|context|message — inserting lines
+    above a violation must not change its id (baselines survive)."""
+    path = fixture_path("exec", "bad_worker_loop.py")
+    report = analyze_paths([path], passes=get_passes(["fault-hook-coverage"]))
+    (finding,) = report.findings
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    shifted = '"""Shifted."""\n\n\n' + source.split('"""', 2)[2].lstrip("\n")
+    findings = analyze_source(
+        shifted, path=path, passes=get_passes(["fault-hook-coverage"])
+    )
+    (moved,) = findings
+    assert moved.line != finding.line
+    assert moved.id == finding.id
 
 
 def test_out_of_scope_module_is_ignored():
@@ -112,6 +169,9 @@ def test_rule_registry_is_stable():
         "vectorization",
         "simulated-coherence",
         "executor-boundary",
+        "lock-discipline",
+        "fault-hook-coverage",
+        "manifest-schema",
     ]
     for p in ALL_PASSES:
         assert p.description
