@@ -65,8 +65,15 @@ def iter_differences(
     baseline: List[Dict[str, Any]],
     rel_tol: float = DEFAULT_REL_TOL,
     abs_tol: float = DEFAULT_ABS_TOL,
+    allow_new_runs: bool = False,
 ) -> Iterator[str]:
-    """Yield one human-readable line per phase-cost mismatch."""
+    """Yield one human-readable line per phase-cost mismatch.
+
+    ``allow_new_runs`` tolerates run kinds absent from the baseline —
+    for diffing a newer bench document (which added run kinds) against
+    an older committed baseline; every kind the baseline *does* have is
+    still matched exactly.
+    """
     current_by_kind = _runs_by_kind(current, "current")
     baseline_by_kind = _runs_by_kind(baseline, "baseline")
     for kind in sorted(set(current_by_kind) | set(baseline_by_kind)):
@@ -74,7 +81,8 @@ def iter_differences(
             yield f"run {kind!r}: missing from current manifest"
             continue
         if kind not in baseline_by_kind:
-            yield f"run {kind!r}: not in baseline (new run kind)"
+            if not allow_new_runs:
+                yield f"run {kind!r}: not in baseline (new run kind)"
             continue
         want = _phases_by_label(baseline_by_kind[kind])
         got = _phases_by_label(current_by_kind[kind])
@@ -118,6 +126,7 @@ def diff_files(
     baseline_path: str,
     rel_tol: float = DEFAULT_REL_TOL,
     abs_tol: float = DEFAULT_ABS_TOL,
+    allow_new_runs: bool = False,
 ) -> List[str]:
     """All phase-cost differences between two manifest files."""
     return list(
@@ -126,6 +135,7 @@ def diff_files(
             _load_runs(baseline_path),
             rel_tol=rel_tol,
             abs_tol=abs_tol,
+            allow_new_runs=allow_new_runs,
         )
     )
 
@@ -136,9 +146,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("baseline", help="committed baseline (e.g. BENCH_pr2.json)")
     parser.add_argument("--rel-tol", type=float, default=DEFAULT_REL_TOL)
     parser.add_argument("--abs-tol", type=float, default=DEFAULT_ABS_TOL)
+    parser.add_argument(
+        "--ignore-new-runs",
+        action="store_true",
+        help="tolerate run kinds the baseline predates (e.g. diffing a "
+        "PR-7 document against the PR-4 baseline)",
+    )
     args = parser.parse_args(argv)
     differences = diff_files(
-        args.current, args.baseline, rel_tol=args.rel_tol, abs_tol=args.abs_tol
+        args.current,
+        args.baseline,
+        rel_tol=args.rel_tol,
+        abs_tol=args.abs_tol,
+        allow_new_runs=args.ignore_new_runs,
     )
     if differences:
         print(f"{len(differences)} phase-cost difference(s) vs baseline:")

@@ -81,6 +81,14 @@ class HashTableBase:
     #: sentinel for empty slots; workload keys are non-negative.
     EMPTY = -1
 
+    #: set on :meth:`stats_view` copies.  Views share storage but reset
+    #: ``size`` to zero, so schemes whose insert position depends on
+    #: ``size`` (chaining's row cursor) or on a global occupancy count
+    #: (open addressing's fit check) must refuse structure-mutating
+    #: inserts through a view; only slot-disjoint schemes (perfect) can
+    #: legally build through views.
+    _is_view = False
+
     def __init__(self, capacity: int, key_dtype, value_dtype) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -111,6 +119,10 @@ class HashTableBase:
         """
         if self.size == 0:
             return self.capacity * self.entry_bytes
+        if modeled_build_tuples == self.size:
+            # Modeling the actual build side is exactly this table —
+            # bypass the float ratio, whose truncation can lose an entry.
+            return self.table_bytes
         ratio = self.capacity / self.size
         return int(modeled_build_tuples * ratio) * self.entry_bytes
 
@@ -129,7 +141,18 @@ class HashTableBase:
         view = copy.copy(self)
         view.stats = TableStats()
         view.size = 0
+        view._is_view = True
         return view
+
+    def _check_not_view(self) -> None:
+        """Refuse structure-mutating inserts through a stats view."""
+        if self._is_view:
+            raise ValueError(
+                f"{type(self).__name__}: insert through a stats_view() is "
+                "not allowed — the view's size=0 reset would corrupt the "
+                "insert cursor/occupancy accounting; insert through the "
+                "owning table (or a per-shard table) instead"
+            )
 
     def absorb_view(self, view: "HashTableBase") -> None:
         """Fold a view's private counters back into this table."""

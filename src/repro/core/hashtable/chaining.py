@@ -18,7 +18,16 @@ from repro.core.hashtable.hash_functions import bucket_of, next_power_of_two
 
 
 class ChainingHashTable(HashTableBase):
-    """Bucket-chained table; one entry slot per expected build tuple."""
+    """Bucket-chained table; one entry slot per expected build tuple.
+
+    Duplicate keys are rejected by default — the same contract perfect
+    hashing and open addressing enforce, so cross-scheme probe results
+    never diverge on the same input (a chain *can* hold several entries
+    per key, but :meth:`lookup_batch` stops at the first hit, silently
+    shadowing the older ones).  Multi-match workloads that genuinely
+    want shadow-free duplicate storage opt in with
+    ``allow_duplicates=True``.
+    """
 
     NIL = -1
 
@@ -28,6 +37,7 @@ class ChainingHashTable(HashTableBase):
         key_dtype=np.int64,
         value_dtype=np.int64,
         buckets_per_entry: float = 1.0,
+        allow_duplicates: bool = False,
     ):
         if buckets_per_entry <= 0:
             raise ValueError("buckets_per_entry must be positive")
@@ -37,6 +47,7 @@ class ChainingHashTable(HashTableBase):
         self.heads = np.full(n_buckets, self.NIL, dtype=np.int64)
         self.next = np.full(capacity, self.NIL, dtype=np.int64)
         self.n_buckets = n_buckets
+        self.allow_duplicates = allow_duplicates
 
     @property
     def table_bytes(self) -> int:
@@ -44,8 +55,50 @@ class ChainingHashTable(HashTableBase):
         entry_bytes = self.keys.nbytes + self.values.nbytes + self.next.nbytes
         return head_bytes + entry_bytes
 
+    def modeled_bytes(self, modeled_build_tuples: int) -> int:
+        """Paper-scale size including ``next`` pointers and bucket heads.
+
+        The base implementation prices ``entry_bytes = key + value``
+        only, undercounting a chained table by the 8-byte ``next`` entry
+        and the head array — enough to under-reserve memory in the
+        Fig. 8/11 placement decisions.  Scale the entry region (keys,
+        values, next) and the head array by the same capacity ratio so
+        ``modeled_bytes(size) == table_bytes`` for a full table.
+        """
+        if self.size == 0 or modeled_build_tuples == self.size:
+            return self.table_bytes
+        ratio = self.capacity / self.size
+        modeled_capacity = int(modeled_build_tuples * ratio)
+        per_entry = self.entry_bytes + self.next.dtype.itemsize
+        modeled_heads = int(
+            round(self.n_buckets * (modeled_capacity / self.capacity))
+        )
+        return modeled_capacity * per_entry + modeled_heads * self.heads.dtype.itemsize
+
+    def _contains_any(self, keys: np.ndarray) -> np.ndarray:
+        """Stats-free membership probe (validation only, never priced)."""
+        n = len(keys)
+        present = np.zeros(n, dtype=bool)
+        if n == 0:
+            return present
+        cursor = self.heads[bucket_of(keys, self.n_buckets)]
+        pending = np.flatnonzero(cursor != self.NIL)
+        cursor = cursor[pending]
+        while len(pending):
+            hit = self.keys[cursor] == keys[pending]
+            present[pending[hit]] = True
+            cursor = self.next[cursor]
+            keep = ~hit & (cursor != self.NIL)
+            pending = pending[keep]
+            cursor = cursor[keep]
+        return present
+
     def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
         self._check_batch(keys, values)
+        # A view's size=0 reset would restart the row cursor at zero and
+        # overwrite live entries — structure mutation must go through
+        # the owning table.
+        self._check_not_view()
         n = len(keys)
         if n == 0:
             return
@@ -53,6 +106,19 @@ class ChainingHashTable(HashTableBase):
             raise ValueError(
                 f"batch of {n} does not fit: {self.size}/{self.capacity}"
             )
+        if not self.allow_duplicates:
+            unique, counts = np.unique(keys, return_counts=True)
+            if len(unique) != len(keys):
+                raise ValueError(
+                    "duplicate key insert (join build expects unique keys): "
+                    f"{int(unique[counts > 1][0])}"
+                )
+            present = self._contains_any(keys)
+            if present.any():
+                raise ValueError(
+                    "duplicate key insert (join build expects unique keys): "
+                    f"{int(keys[present][0])}"
+                )
         rows = np.arange(self.size, self.size + n)
         buckets = bucket_of(keys, self.n_buckets)
         self.keys[rows] = keys

@@ -41,8 +41,33 @@ class OpenAddressingHashTable(HashTableBase):
     def _home_slots(self, keys: np.ndarray) -> np.ndarray:
         return bucket_of(keys, self.capacity)
 
+    def _contains_any(self, keys: np.ndarray) -> np.ndarray:
+        """Stats-free membership probe (validation only, never priced).
+
+        Linear-probes exactly like :meth:`lookup_batch` but touches no
+        counters: validation work is not part of the modeled join, so it
+        must not shift ``TableStats`` (and everything priced from them).
+        """
+        n = len(keys)
+        present = np.zeros(n, dtype=bool)
+        pending = np.arange(n)
+        probe_keys = keys.astype(self.keys.dtype)
+        slots = self._home_slots(probe_keys)
+        rounds = 0
+        while len(pending) and rounds < self.capacity:
+            rounds += 1
+            slot_keys = self.keys[slots]
+            hit = slot_keys == probe_keys[pending]
+            miss = slot_keys == self.EMPTY
+            present[pending[hit]] = True
+            keep = ~(hit | miss)
+            pending = pending[keep]
+            slots = (slots[keep] + 1) & self._mask
+        return present
+
     def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
         self._check_batch(keys, values)
+        self._check_not_view()
         if len(keys) == 0:
             return
         if self.size + len(keys) > self.capacity:
@@ -59,6 +84,17 @@ class OpenAddressingHashTable(HashTableBase):
                 "duplicate key insert (join build expects unique keys): "
                 f"{int(unique[counts > 1][0])}"
             )
+        # Validate against *existing* keys before any scatter: a raise
+        # mid-round used to leave earlier rounds' winners written and
+        # ``size`` advanced — a corrupted table after a reported failure.
+        # All raises now happen before the first mutation, so a failed
+        # insert leaves the table bit-identical to its pre-call state.
+        present = self._contains_any(keys)
+        if present.any():
+            raise ValueError(
+                "duplicate key insert (join build expects unique keys): "
+                f"{int(keys[present][0])}"
+            )
         pending_keys = keys.astype(self.keys.dtype, copy=True)
         pending_values = values.astype(self.values.dtype, copy=True)
         slots = self._home_slots(pending_keys)
@@ -69,12 +105,6 @@ class OpenAddressingHashTable(HashTableBase):
                 raise RuntimeError("insert did not converge; table corrupted?")
             self.stats.insert_probes += len(pending_keys)
             empty = self.keys[slots] == self.EMPTY
-            duplicate = self.keys[slots] == pending_keys
-            if duplicate.any():
-                raise ValueError(
-                    "duplicate key insert (join build expects unique keys): "
-                    f"{int(pending_keys[duplicate][0])}"
-                )
             # Claim empty slots; numpy scatter keeps the *last* writer per
             # slot, so re-read to find the actual winners (emulated CAS).
             claim = np.flatnonzero(empty)

@@ -32,6 +32,16 @@ class PerfectHashTable(HashTableBase):
                 f"key {int(keys.max())} outside the perfect-hash domain "
                 f"[0, {self.capacity})"
             )
+        # Within-batch duplicates both map to the same slot, both see it
+        # EMPTY, and the scatter keeps the last writer — while size and
+        # stats.inserts would count every copy.  Reject them before any
+        # mutation (mirroring the open-addressing contract).
+        unique, counts = np.unique(keys, return_counts=True)
+        if len(unique) != len(keys):
+            raise ValueError(
+                "perfect hashing requires unique keys; duplicate insert for "
+                f"key {int(unique[counts > 1][0])}"
+            )
         slots = keys.astype(np.int64)
         occupied = self.keys[slots] != self.EMPTY
         if occupied.any():

@@ -1,0 +1,278 @@
+"""Key-space–sharded hash table: contention-free parallel builds.
+
+The paper's scale-up story (Figs. 16–17) assumes builds and probes that
+parallelize without contention.  :class:`ShardedHashTable` delivers that
+in the style of NUMA-aware shared-nothing tables: the key space is
+partitioned across N shards, each a complete instance of an existing
+scheme (perfect / open addressing / chaining), so
+
+* **builds** are contention-free — each worker owns whole shards and no
+  two workers ever touch the same storage;
+* **probes** fan out by hash — each key is routed to exactly one shard,
+  so per-key work is identical to the unsharded table of that scheme;
+* **stats** stay exact — each shard keeps its own
+  :class:`~repro.core.hashtable.base.TableStats`, and the wrapper's
+  ``stats`` property merges them into precisely the counts a serial
+  unsharded execution of the same per-shard batches records.
+
+Routing must be *independent* of in-shard bucket selection or the
+shards' buckets would see a skewed key population.  In-shard buckets use
+the **low** bits of ``mix64`` (via ``bucket_of``), so the shard router
+uses the **top** bits of the same mix.  The perfect scheme has no hash
+at all — its contract is a dense key domain — so it shards by key
+range (``key // shard_width``) and each shard stores shard-local keys.
+
+Determinism: shard routing is a pure function of the key, so the
+decomposition of a batch into per-shard sub-batches does not depend on
+worker count or interleaving; building shards in any order (serial loop,
+thread pool, forked processes) yields bit-identical storage and
+identical merged stats.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.hashtable.base import HashTableBase, TableStats
+from repro.core.hashtable.hash_functions import mix64
+
+#: extra per-shard capacity for hash-routed schemes: mix64 routing is
+#: near-uniform but not exact, so each shard gets 1.5x the fair share
+#: (floor 32) to absorb statistical skew without overflowing.
+_SHARD_SLACK_FLOOR = 32
+
+
+def _shard_capacity(fair_share: int) -> int:
+    return fair_share + max(_SHARD_SLACK_FLOOR, fair_share // 2)
+
+
+class ShardedHashTable(HashTableBase):
+    """N independent shards of one scheme behind the table interface.
+
+    Args:
+        scheme: inner scheme — ``perfect`` | ``open_addressing`` |
+            ``chaining``.
+        capacity_hint: expected total build size (same meaning as the
+            unsharded factories).
+        key_dtype / value_dtype: storage dtypes.
+        n_shards: shard count; must be a power of two (the router takes
+            ``log2(n_shards)`` top bits of the key mix).
+    """
+
+    def __init__(
+        self,
+        scheme: str,
+        capacity_hint: int,
+        key_dtype=np.int64,
+        value_dtype=np.int64,
+        n_shards: int = 4,
+    ) -> None:
+        if n_shards < 1 or n_shards & (n_shards - 1):
+            raise ValueError(
+                f"n_shards must be a positive power of two: {n_shards}"
+            )
+        if capacity_hint <= 0:
+            raise ValueError(f"capacity hint must be positive: {capacity_hint}")
+        from repro.core.hashtable.chaining import ChainingHashTable
+        from repro.core.hashtable.open_addressing import OpenAddressingHashTable
+        from repro.core.hashtable.perfect import PerfectHashTable
+
+        self.scheme = scheme
+        self.n_shards = n_shards
+        self._shard_bits = (n_shards - 1).bit_length()
+        fair_share = -(-capacity_hint // n_shards)  # ceil
+        if scheme == "perfect":
+            # Range partitioning keeps the dense-domain contract: shard
+            # s owns keys [s*width, (s+1)*width) and stores them
+            # shard-locally, so every shard is itself a minimal perfect
+            # table over a dense domain.
+            self.shard_width = fair_share
+            self.shards: List[HashTableBase] = [
+                PerfectHashTable(self.shard_width, key_dtype, value_dtype)
+                for _ in range(n_shards)
+            ]
+        elif scheme == "open_addressing":
+            self.shard_width = 0
+            self.shards = [
+                OpenAddressingHashTable(
+                    _shard_capacity(fair_share), key_dtype, value_dtype
+                )
+                for _ in range(n_shards)
+            ]
+        elif scheme == "chaining":
+            self.shard_width = 0
+            self.shards = [
+                ChainingHashTable(
+                    _shard_capacity(fair_share), key_dtype, value_dtype
+                )
+                for _ in range(n_shards)
+            ]
+        else:
+            raise ValueError(
+                f"unknown hash scheme {scheme!r}; "
+                "valid: perfect, open_addressing, chaining"
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregate table interface (ducks like one big HashTableBase)
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:  # type: ignore[override]
+        return sum(shard.capacity for shard in self.shards)
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return sum(shard.size for shard in self.shards)
+
+    @property
+    def stats(self) -> TableStats:  # type: ignore[override]
+        """Merged per-shard counters — exactly the serial counts.
+
+        Every counter is an order-independent per-tuple sum, so merging
+        shard blocks in shard order equals what one unsharded table of
+        the same per-key work would have recorded.  The returned block
+        is a snapshot; mutate the shards' stats, not this object.
+        """
+        merged = TableStats()
+        for shard in self.shards:
+            merged.merge(shard.stats)
+        return merged
+
+    @property
+    def keys(self) -> np.ndarray:  # type: ignore[override]
+        """Shard-0 key array — the dtype carrier for pricing code."""
+        return self.shards[0].keys
+
+    @property
+    def values(self) -> np.ndarray:  # type: ignore[override]
+        return self.shards[0].values
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.shards[0].entry_bytes
+
+    @property
+    def table_bytes(self) -> int:
+        return sum(shard.table_bytes for shard in self.shards)
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.capacity
+
+    def modeled_bytes(self, modeled_build_tuples: int) -> int:
+        """Paper-scale size: apportion the modeled build across shards.
+
+        Each shard prices its share with its own scheme-specific
+        ``modeled_bytes`` (so chaining shards include next pointers and
+        heads).  Shares are proportional to executed shard sizes with
+        the remainder spread over the first shards; at
+        ``modeled_build_tuples == size`` every share equals the shard's
+        executed size exactly.
+        """
+        total = self.size
+        if total == 0:
+            share = modeled_build_tuples // self.n_shards
+            return sum(shard.modeled_bytes(share) for shard in self.shards)
+        shares = [
+            (modeled_build_tuples * shard.size) // total for shard in self.shards
+        ]
+        remainder = modeled_build_tuples - sum(shares)
+        for i in range(remainder):
+            shares[i % self.n_shards] += 1
+        return sum(
+            shard.modeled_bytes(share)
+            for shard, share in zip(self.shards, shares)
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of(self, keys: np.ndarray) -> np.ndarray:
+        """Map each key to its owning shard (pure function of the key)."""
+        if self.n_shards == 1:
+            return np.zeros(len(keys), dtype=np.int64)
+        if self.scheme == "perfect":
+            sids = keys.astype(np.int64) // self.shard_width
+            # Out-of-domain keys clip to the last shard, whose own
+            # domain check turns them into lookup misses (or insert
+            # errors), matching the unsharded perfect table.
+            return np.minimum(sids, self.n_shards - 1)
+        shift = np.uint64(64 - self._shard_bits)
+        return (mix64(keys) >> shift).astype(np.int64)
+
+    def partition_batch(self, keys: np.ndarray) -> List[np.ndarray]:
+        """Index arrays routing ``keys`` to each shard (stable order)."""
+        sids = self.shard_of(keys)
+        order = np.argsort(sids, kind="stable")
+        counts = np.bincount(sids, minlength=self.n_shards)
+        return np.split(order, np.cumsum(counts)[:-1])
+
+    def _local_keys(self, sid: int, keys: np.ndarray) -> np.ndarray:
+        if self.scheme == "perfect":
+            return keys - sid * self.shard_width
+        return keys
+
+    def insert_shard(
+        self, sid: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Insert pre-routed keys into one shard (caller owns routing).
+
+        This is the contention-free parallel build entry point: each
+        worker calls it only for shards it owns, so no storage, stats,
+        or cursor is ever shared between workers.
+        """
+        self.shards[sid].insert_batch(self._local_keys(sid, keys), values)
+
+    # ------------------------------------------------------------------
+    # Batch interface
+    # ------------------------------------------------------------------
+    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Route and insert; identical to any parallel shard build.
+
+        Shards are filled in shard order with stably-ordered sub-
+        batches, the same decomposition the parallel builders use, so
+        serial and parallel builds are bit-identical.  Duplicate keys
+        route to the same shard, where the scheme's own duplicate
+        rejection fires.
+        """
+        self._check_batch(keys, values)
+        self._check_not_view()
+        if len(keys) == 0:
+            return
+        for sid, index in enumerate(self.partition_batch(keys)):
+            if len(index):
+                self.insert_shard(sid, keys[index], values[index])
+
+    def lookup_batch(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fan the probe out by hash; scatter results back to key order."""
+        self._check_batch(keys)
+        found = np.zeros(len(keys), dtype=bool)
+        values = np.zeros(len(keys), dtype=self.values.dtype)
+        if len(keys) == 0:
+            return found, values
+        for sid, index in enumerate(self.partition_batch(keys)):
+            if not len(index):
+                continue
+            local = self._local_keys(sid, keys[index])
+            shard_found, shard_values = self.shards[sid].lookup_batch(local)
+            found[index] = shard_found
+            values[index] = shard_values
+        return found, values
+
+    # ------------------------------------------------------------------
+    # Concurrent-worker support
+    # ------------------------------------------------------------------
+    def stats_view(self) -> "ShardedHashTable":
+        """A view with per-shard stats views (probe-side counters)."""
+        view = copy.copy(self)
+        view.shards = [shard.stats_view() for shard in self.shards]
+        view._is_view = True
+        return view
+
+    def absorb_view(self, view: "ShardedHashTable") -> None:
+        """Fold a view's per-shard counters back shard-by-shard."""
+        for shard, shard_view in zip(self.shards, view.shards):
+            shard.absorb_view(shard_view)

@@ -75,7 +75,14 @@ class Q6Result:
 
 
 class TpchQ6:
-    """Q6 operator with branching and predicated variants."""
+    """Q6 operator with branching and predicated variants.
+
+    ``backend`` selects how the predicate cascade executes on the host:
+    ``serial`` | ``threads`` | ``processes``.  The masks are merged by
+    morsel order (or written to disjoint shared-memory slices by forked
+    workers), so the aggregate and every priced manifest are identical
+    across backends and worker counts.
+    """
 
     def __init__(
         self,

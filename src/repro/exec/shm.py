@@ -1,0 +1,119 @@
+"""Shared-memory buffers for the process-parallel backend.
+
+The ``processes`` backend forks workers (fork is mandatory: the
+functional layer's tasks close over numpy arrays and lambdas, which do
+not pickle).  Fork gives children copy-on-write access to every *input*
+array for free; only arrays the children must *write* — hash-table
+storage during builds, output buffers during probes and mask
+evaluation — need to live in real shared memory.
+
+:class:`ShmArena` owns a set of ``multiprocessing.shared_memory``
+segments and hands out numpy views into them.  The parent creates every
+segment *before* forking, children write disjoint regions (morsel
+ranges or whole shards), and the parent copies results out and unlinks
+the segments afterwards — children never manage segment lifetime, so a
+crashed child cannot leak shared memory.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from multiprocessing import shared_memory
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+
+class ShmArena:
+    """A set of shared-memory segments with numpy array views.
+
+    Segment lifetime is strictly parent-side: :meth:`close` unlinks
+    everything.  Call it only after copying results out of the views
+    (see :meth:`ShmArena.close`).
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+
+    def array(self, length: int, dtype) -> np.ndarray:
+        """A zero-initialized shared array of ``length`` items."""
+        dtype = np.dtype(dtype)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(1, length * dtype.itemsize)
+        )
+        self._segments.append(segment)
+        view = np.ndarray((length,), dtype=dtype, buffer=segment.buf)
+        if length:
+            view[:] = 0
+        return view
+
+    def share_copy(self, source: np.ndarray) -> np.ndarray:
+        """A shared array holding a copy of ``source``."""
+        view = self.array(len(source), source.dtype)
+        if len(source):
+            view[:] = source
+        return view
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).
+
+        numpy views handed out earlier keep their mapping alive until
+        they are garbage-collected (``close`` on an exported buffer is
+        best-effort); the *name* is unlinked here, so nothing persists
+        past this call beyond the caller's own references.
+        """
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:
+                # A live numpy view still pins the mapping; the memory
+                # is reclaimed when the view goes away.  The unlink
+                # below still removes the named segment.
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+
+
+def _storage_attrs(table) -> List[Tuple[object, str]]:
+    """(owner, attribute) pairs for every mutable storage array.
+
+    Covers the chaining extras (``heads``/``next``) and recurses into
+    sharded wrappers by duck typing, so the exec layer needs no imports
+    from ``repro.core`` (which imports ``repro.exec`` right back).
+    """
+    shards = getattr(table, "shards", None)
+    if shards is not None:
+        pairs: List[Tuple[object, str]] = []
+        for shard in shards:
+            pairs.extend(_storage_attrs(shard))
+        return pairs
+    pairs = [(table, "keys"), (table, "values")]
+    if hasattr(table, "heads"):
+        pairs.append((table, "heads"))
+        pairs.append((table, "next"))
+    return pairs
+
+
+@contextmanager
+def table_storage_in_shm(table) -> Iterator[None]:
+    """Swap a table's storage into shared memory for the duration.
+
+    On entry every storage array is replaced by a shared-memory copy,
+    so forked children mutating the table mutate memory the parent
+    sees.  On exit the (now final) contents are copied back into
+    ordinary private arrays and the segments are unlinked — the table
+    ends up bit-identical to a build that never left private memory.
+    """
+    arena = ShmArena()
+    pairs = _storage_attrs(table)
+    try:
+        for owner, attr in pairs:
+            setattr(owner, attr, arena.share_copy(getattr(owner, attr)))
+        yield
+    finally:
+        for owner, attr in pairs:
+            setattr(owner, attr, np.array(getattr(owner, attr)))
+        arena.close()

@@ -52,8 +52,9 @@ def inspect_build_keys(keys: np.ndarray) -> SchemeRecommendation:
             dense=False,
             unique=False,
             reason=(
-                "duplicate build keys: only chaining holds multiple "
-                "entries per key (NOPA's build side is normally unique)"
+                "duplicate build keys: only chaining (opted in via "
+                "allow_duplicates=True) holds multiple entries per key "
+                "(NOPA's build side is normally unique)"
             ),
         )
     dense = int(keys.max()) == len(keys) - 1

@@ -249,3 +249,93 @@ class TestChainingSpecifics:
 def test_factory_rejects_unknown_scheme():
     with pytest.raises(ValueError):
         create_hash_table("cuckoo", 16, np.int64, np.int64)
+
+
+class TestInvariantRegressions:
+    """The four hardened invariants of the duplicate/view/bytes contract."""
+
+    def test_perfect_within_batch_duplicate_rejected(self):
+        # Regression: `slots = keys` scatters both copies to the same
+        # slot — the last write silently wins, one value is lost, and
+        # `size` claims both.  The batch must be rejected up front.
+        table = PerfectHashTable(16)
+        keys = np.array([2, 9, 2], dtype=np.int64)
+        with pytest.raises(ValueError, match="unique keys"):
+            table.insert_batch(keys, keys * 10)
+        assert table.size == 0
+        assert (table.keys == table.EMPTY).all()
+
+    def test_perfect_size_equals_occupied_slots(self):
+        # The pinned invariant: after any successful insert sequence,
+        # `size` equals the number of occupied slots.
+        table = PerfectHashTable(64)
+        rng = np.random.default_rng(3)
+        keys = rng.permutation(64)[:40].astype(np.int64)
+        table.insert_batch(keys[:25], keys[:25])
+        table.insert_batch(keys[25:], keys[25:])
+        assert table.size == int(np.count_nonzero(table.keys != table.EMPTY))
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_modeled_bytes_exact_for_full_table(self, scheme):
+        # Regression: the base accounting priced key+value bytes only,
+        # undercounting chaining's next pointers and bucket heads (and
+        # float truncation could lose an entry).  Modeling the actual
+        # build side must reproduce the actual table exactly.
+        table, _, _ = build_table(scheme, n=1000)
+        assert table.modeled_bytes(table.size) == table.table_bytes
+
+    def test_open_addressing_failed_insert_leaves_table_bit_identical(self):
+        # Exception safety: validation precedes any scatter, so a
+        # rejected batch leaves storage, size, and stats untouched.
+        table = OpenAddressingHashTable(64)
+        keys = np.arange(32, dtype=np.int64)
+        table.insert_batch(keys, keys * 2)
+        before_keys = table.keys.copy()
+        before_values = table.values.copy()
+        before_stats = table.stats.as_tuple()
+        before_size = table.size
+        clash = np.array([100, 5, 101], dtype=np.int64)  # 5 already present
+        with pytest.raises(ValueError, match="duplicate key insert"):
+            table.insert_batch(clash, clash)
+        assert np.array_equal(table.keys, before_keys)
+        assert np.array_equal(table.values, before_values)
+        assert table.stats.as_tuple() == before_stats
+        assert table.size == before_size
+
+    def test_chaining_rejects_duplicates_by_default(self):
+        table = ChainingHashTable(16)
+        keys = np.array([4], dtype=np.int64)
+        table.insert_batch(keys, keys)
+        with pytest.raises(ValueError, match="duplicate key insert"):
+            table.insert_batch(keys, keys * 2)
+        with pytest.raises(ValueError, match="duplicate key insert"):
+            table.insert_batch(np.array([7, 7], dtype=np.int64),
+                               np.zeros(2, dtype=np.int64))
+        assert table.size == 1
+
+    def test_chaining_duplicates_need_explicit_opt_in(self):
+        table = ChainingHashTable(16, allow_duplicates=True)
+        keys = np.array([4, 4, 4], dtype=np.int64)
+        table.insert_batch(keys, np.array([1, 2, 3], dtype=np.int64))
+        assert table.size == 3
+
+    @pytest.mark.parametrize("scheme", ("open_addressing", "chaining"))
+    def test_insert_through_stats_view_rejected(self, scheme):
+        # A view's size=0 reset would corrupt chaining's row cursor and
+        # open addressing's occupancy check; only slot-disjoint perfect
+        # builds may go through views.
+        table, _, _ = build_table(scheme, n=64)
+        view = table.stats_view()
+        with pytest.raises(ValueError, match="stats_view"):
+            view.insert_batch(np.array([999], dtype=np.int64),
+                              np.array([0], dtype=np.int64))
+
+    def test_perfect_view_insert_still_allowed(self):
+        table = PerfectHashTable(8)
+        view = table.stats_view()
+        view.insert_batch(np.array([3], dtype=np.int64),
+                          np.array([30], dtype=np.int64))
+        table.absorb_view(view)
+        assert table.size == 1
+        found, got = table.lookup_batch(np.array([3], dtype=np.int64))
+        assert found.all() and got[0] == 30

@@ -1,0 +1,183 @@
+"""ShardedHashTable: routing, equivalence, stats exactness, views.
+
+The wrapper's contract: for a *fixed* shard count, results, merged
+``TableStats``, and storage are identical whether shards are built by a
+serial loop, a thread pool, or forked processes — and probe results are
+identical to the unsharded table of the same scheme.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hashtable import ShardedHashTable, create_hash_table
+from repro.core.hashtable.base import TableStats
+
+SCHEMES = ("perfect", "open_addressing", "chaining")
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def workload(n=4000, domain=16000, probe_n=6000, seed=9):
+    rng = np.random.default_rng(seed)
+    keys = rng.permutation(domain)[:n].astype(np.int64)
+    values = keys * 7 + 5
+    probe = rng.integers(0, domain, size=probe_n).astype(np.int64)
+    return keys, values, probe
+
+
+class TestConstruction:
+    def test_factory_wraps_when_shards_above_one(self):
+        table = create_hash_table("chaining", 256, np.int64, np.int64, shards=4)
+        assert isinstance(table, ShardedHashTable)
+        assert table.n_shards == 4
+
+    def test_factory_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            create_hash_table("chaining", 256, np.int64, np.int64, shards=0)
+
+    @pytest.mark.parametrize("bad", (3, 6, 12))
+    def test_non_power_of_two_shards_rejected(self, bad):
+        with pytest.raises(ValueError, match="power of two"):
+            ShardedHashTable("chaining", 256, n_shards=bad)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown hash scheme"):
+            ShardedHashTable("cuckoo", 256)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_capacity_covers_hint(self, scheme):
+        table = ShardedHashTable(scheme, 1000, n_shards=4)
+        assert table.capacity >= 1000
+        assert len(table.shards) == 4
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+class TestEquivalenceWithUnsharded:
+    def test_lookup_results_match_unsharded(self, scheme, n_shards):
+        keys, values, probe = workload()
+        flat = create_hash_table(scheme, 16000 if scheme == "perfect" else 4000,
+                                 np.int64, np.int64)
+        flat.insert_batch(keys, values)
+        sharded = ShardedHashTable(
+            scheme, 16000 if scheme == "perfect" else 4000, n_shards=n_shards
+        )
+        sharded.insert_batch(keys, values)
+        base = flat.lookup_batch(probe)
+        got = sharded.lookup_batch(probe)
+        assert np.array_equal(got[0], base[0])
+        # values compared where found; miss slots are scheme-internal
+        assert np.array_equal(got[1][got[0]], base[1][base[0]])
+        assert sharded.size == flat.size
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestRoutingAndStats:
+    def test_shard_routing_is_pure_and_total(self, scheme):
+        keys, _, _ = workload()
+        table = ShardedHashTable(scheme, 16000, n_shards=8)
+        sids = table.shard_of(keys)
+        assert ((sids >= 0) & (sids < 8)).all()
+        assert np.array_equal(sids, table.shard_of(keys))
+        parts = table.partition_batch(keys)
+        assert sum(len(p) for p in parts) == len(keys)
+        recovered = np.sort(np.concatenate(parts))
+        assert np.array_equal(recovered, np.arange(len(keys)))
+
+    def test_merged_stats_equal_per_shard_serial_sum(self, scheme):
+        keys, values, probe = workload()
+        table = ShardedHashTable(scheme, 16000, n_shards=4)
+        table.insert_batch(keys, values)
+        table.lookup_batch(probe)
+        manual = TableStats()
+        for shard in table.shards:
+            manual.merge(shard.stats)
+        assert table.stats.as_tuple() == manual.as_tuple()
+        assert table.stats.inserts == len(keys)
+        assert table.stats.lookups == len(probe)
+
+    def test_shard_build_order_is_irrelevant(self, scheme):
+        keys, values, probe = workload()
+        forward = ShardedHashTable(scheme, 16000, n_shards=4)
+        forward.insert_batch(keys, values)
+        backward = ShardedHashTable(scheme, 16000, n_shards=4)
+        for sid in reversed(range(4)):
+            index = backward.partition_batch(keys)[sid]
+            backward.insert_shard(sid, keys[index], values[index])
+        for a, b in zip(forward.shards, backward.shards):
+            assert np.array_equal(a.keys, b.keys)
+            assert np.array_equal(a.values, b.values)
+            assert a.stats.as_tuple() == b.stats.as_tuple()
+        a_out = forward.lookup_batch(probe)
+        b_out = backward.lookup_batch(probe)
+        assert np.array_equal(a_out[0], b_out[0])
+        assert np.array_equal(a_out[1], b_out[1])
+
+
+class TestPerfectRouting:
+    def test_key_range_routing_keeps_dense_domains(self):
+        table = ShardedHashTable("perfect", 1024, n_shards=4)
+        keys = np.arange(1024, dtype=np.int64)
+        table.insert_batch(keys, keys)
+        # each shard holds exactly its key range, stored shard-locally
+        for sid, shard in enumerate(table.shards):
+            assert shard.size == table.shard_width
+        found, got = table.lookup_batch(keys)
+        assert found.all()
+        assert np.array_equal(got, keys)
+
+    def test_out_of_domain_lookup_is_miss(self):
+        table = ShardedHashTable("perfect", 1024, n_shards=4)
+        table.insert_batch(np.arange(1024, dtype=np.int64),
+                           np.arange(1024, dtype=np.int64))
+        found, _ = table.lookup_batch(np.array([5000, 99999], dtype=np.int64))
+        assert not found.any()
+
+
+class TestDuplicateContract:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_duplicates_rejected_through_the_wrapper(self, scheme):
+        table = ShardedHashTable(scheme, 256, n_shards=4)
+        dup = np.array([17, 17], dtype=np.int64)
+        with pytest.raises(ValueError):
+            table.insert_batch(dup, dup)
+
+
+class TestViews:
+    def test_stats_view_shares_storage_with_private_counters(self):
+        keys, values, probe = workload()
+        table = ShardedHashTable("chaining", 16000, n_shards=4)
+        table.insert_batch(keys, values)
+        before = table.stats.as_tuple()
+        view = table.stats_view()
+        view.lookup_batch(probe)
+        assert table.stats.as_tuple() == before  # owner untouched
+        table.absorb_view(view)
+        assert table.stats.lookups == len(probe)
+
+    def test_insert_through_view_rejected(self):
+        table = ShardedHashTable("chaining", 256, n_shards=4)
+        view = table.stats_view()
+        with pytest.raises(ValueError, match="stats_view"):
+            view.insert_batch(np.array([1], dtype=np.int64),
+                              np.array([1], dtype=np.int64))
+
+
+class TestModeledBytes:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_exact_at_executed_size(self, scheme):
+        keys, values, _ = workload()
+        table = ShardedHashTable(scheme, 16000, n_shards=4)
+        table.insert_batch(keys, values)
+        assert table.modeled_bytes(table.size) == table.table_bytes
+
+    def test_scales_with_build_side(self):
+        keys, values, _ = workload()
+        table = ShardedHashTable("open_addressing", 16000, n_shards=4)
+        table.insert_batch(keys, values)
+        small = table.modeled_bytes(table.size)
+        big = table.modeled_bytes(table.size * 100)
+        assert big == pytest.approx(small * 100, rel=0.01)
+
+    def test_empty_table_prices_capacity(self):
+        table = ShardedHashTable("perfect", 1024, n_shards=4)
+        assert table.modeled_bytes(1024) == table.table_bytes

@@ -196,10 +196,11 @@ def manifest_dict(join, result, kind):
 class TestChaosEquivalence:
     """Seeded chaos runs recover to bit-identical join output."""
 
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
     @pytest.mark.parametrize("seed", CHAOS_SEEDS)
-    def test_chaos_run_matches_fault_free_serial(self, ibm, wl_a, seed):
+    def test_chaos_run_matches_fault_free_serial(self, ibm, wl_a, seed, backend):
         baseline = chaos_join(ibm, backend="serial").run(wl_a.r, wl_a.s)
-        join = chaos_join(ibm)
+        join = chaos_join(ibm, backend=backend)
         plan = chaos_plan(seed)
         with plan.install():
             result = join.run(wl_a.r, wl_a.s)
@@ -211,16 +212,17 @@ class TestChaosEquivalence:
             result.table_stats_probe_factor == baseline.table_stats_probe_factor
         )
 
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
     @pytest.mark.parametrize("seed", [101, 202])
     def test_pricing_neutral_chaos_manifest_identical_minus_resilience(
-        self, ibm, wl_a, seed
+        self, ibm, wl_a, seed, backend
     ):
         # Crashes and transients change *wall-clock* recovery work only;
         # the priced manifest (phases, metrics, spans, results) must be
         # bit-identical to a fault-free serial run.
         base_join = chaos_join(ibm, backend="serial")
         base = base_join.run(wl_a.r, wl_a.s)
-        join = chaos_join(ibm)
+        join = chaos_join(ibm, backend=backend)
         plan = chaos_plan(seed)
         with plan.install():
             result = join.run(wl_a.r, wl_a.s)
