@@ -11,6 +11,16 @@ its overlap attributes and either double-emit or skip its
 observability records.  This pass flags such calls; deliberate
 exceptions (e.g. pedagogical examples) go through
 ``analysis-baseline.json`` with a justification.
+
+Since the logical-plan layer landed, the same boundary argument
+applies one level up: :class:`repro.plan.Plan` DAGs are *compiler
+output*.  Operators state a logical query and physical configuration
+and let ``repro.logical.lower.compile_query`` assemble the plan, so
+the optimizer can enumerate alternatives for anything an operator can
+run.  A hand-built ``Plan(...)`` outside ``repro.logical`` /
+``repro.plan`` escapes that search space; the pass flags it, and the
+pipelines not yet migrated (radix, multi-GPU, scan fallback) are
+baselined until their lowering rules exist.
 """
 
 from __future__ import annotations
@@ -30,7 +40,8 @@ class ExecutorBoundaryPass(AnalysisPass):
     description = (
         "operators compile phase plans; only repro.plan may price "
         "phases through CostModel.phase_cost/phases_cost/"
-        "occupancy_per_unit"
+        "occupancy_per_unit, and only repro.logical/repro.plan may "
+        "hand-assemble Plan objects"
     )
     severity = Severity.ERROR
     #: everything is in scope except the pricing layer itself; see
@@ -41,17 +52,42 @@ class ExecutorBoundaryPass(AnalysisPass):
     #: and the cost model's own implementation.
     exempt = ("repro/plan/", "costmodel/model")
 
+    #: path fragments additionally allowed to construct ``Plan``
+    #: objects: the lowering compiler is the plan factory.
+    plan_exempt = ("repro/plan/", "repro/logical/")
+
     def in_scope(self, posix_path: str) -> bool:
         return not any(fragment in posix_path for fragment in self.exempt)
 
     def check(self, ctx: ModuleContext) -> List[Finding]:
         return list(self._iter_findings(ctx))
 
+    def _may_build_plans(self, ctx: ModuleContext) -> bool:
+        return any(
+            fragment in ctx.posix_path for fragment in self.plan_exempt
+        )
+
     def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
+        plans_allowed = self._may_build_plans(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
+            if (
+                not plans_allowed
+                and isinstance(func, ast.Name)
+                and func.id == "Plan"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "hand-built `Plan(...)` outside repro.logical/"
+                    "repro.plan; plans are compiler output — express the "
+                    "pipeline as a logical query (or a lowering rule in "
+                    "repro.logical.lower) so the optimizer can enumerate "
+                    "its physical alternatives",
+                )
+                continue
             if not isinstance(func, ast.Attribute):
                 continue
             if func.attr not in _PRICING_METHODS:

@@ -10,9 +10,13 @@ output) or benchmark trajectory files (``run_all --trajectory``); each
 carries a top-level ``runs`` list.  Runs are matched by ``kind`` and
 phases by ``label``; for every matched phase the tool asserts that
 ``seconds``, the ``bottleneck`` resource, and the full occupancy
-vector agree within tolerance.  CI runs this after the reduced figure
-sweep so a refactor that silently shifts any per-phase cost fails the
-build.
+vector agree within tolerance.  Matched runs also compare their
+*populated section sets* (top-level run keys with truthy values): a
+section the baseline had but the current document lost is always an
+error, while a section the baseline predates (e.g. the schema-1.2
+``optimizer`` record) is tolerated under ``--ignore-new-runs``.  CI
+runs this after the reduced figure sweep so a refactor that silently
+shifts any per-phase cost fails the build.
 """
 
 from __future__ import annotations
@@ -56,6 +60,16 @@ def _phases_by_label(run: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     return phases
 
 
+def _populated_sections(run: Dict[str, Any]) -> set:
+    """Top-level run keys carrying a truthy value.
+
+    Optional sections (``resilience``, ``optimizer``) are serialized as
+    ``null`` when unused, so presence-of-key alone would make every old
+    baseline look incomplete; only a *populated* section counts.
+    """
+    return {key for key, value in run.items() if value}
+
+
 def _close(a: float, b: float, rel_tol: float, abs_tol: float) -> bool:
     return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
 
@@ -69,10 +83,12 @@ def iter_differences(
 ) -> Iterator[str]:
     """Yield one human-readable line per phase-cost mismatch.
 
-    ``allow_new_runs`` tolerates run kinds absent from the baseline —
-    for diffing a newer bench document (which added run kinds) against
-    an older committed baseline; every kind the baseline *does* have is
-    still matched exactly.
+    ``allow_new_runs`` tolerates additions the baseline predates — both
+    whole run kinds absent from the baseline *and* new populated
+    sections inside a matched run (a newer schema adding e.g. an
+    ``optimizer`` record to a run the baseline already had).  Every
+    kind and section the baseline *does* have is still matched exactly:
+    a lost section is an error regardless of the flag.
     """
     current_by_kind = _runs_by_kind(current, "current")
     baseline_by_kind = _runs_by_kind(baseline, "baseline")
@@ -84,6 +100,16 @@ def iter_differences(
             if not allow_new_runs:
                 yield f"run {kind!r}: not in baseline (new run kind)"
             continue
+        base_sections = _populated_sections(baseline_by_kind[kind])
+        cur_sections = _populated_sections(current_by_kind[kind])
+        for section in sorted(base_sections - cur_sections):
+            yield f"run {kind!r}: section {section!r} lost vs baseline"
+        for section in sorted(cur_sections - base_sections):
+            if not allow_new_runs:
+                yield (
+                    f"run {kind!r}: section {section!r} not in baseline "
+                    f"(new section)"
+                )
         want = _phases_by_label(baseline_by_kind[kind])
         got = _phases_by_label(current_by_kind[kind])
         for label in sorted(set(want) | set(got)):
@@ -149,8 +175,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--ignore-new-runs",
         action="store_true",
-        help="tolerate run kinds the baseline predates (e.g. diffing a "
-        "PR-7 document against the PR-4 baseline)",
+        help="tolerate run kinds and per-run sections the baseline "
+        "predates (e.g. diffing a PR-8 document, whose runs carry an "
+        "'optimizer' section, against the PR-4 baseline)",
     )
     args = parser.parse_args(argv)
     differences = diff_files(

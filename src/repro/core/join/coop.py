@@ -24,12 +24,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.costmodel.access import (
-    AccessProfile,
-    atomic_stream,
-    random_stream,
-    seq_stream,
-)
+from repro.costmodel.access import AccessProfile
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.hashtable import create_hash_table
@@ -45,20 +40,21 @@ from repro.exec import (
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
-from repro.memory.allocator import OutOfMemoryError
+from repro.logical.algebra import Query, scan
+from repro.logical.lower import (
+    PhysicalConfig,
+    _coop_build_profile,
+    _coop_probe_profile,
+    _local_table_region,
+    _shared_table_region,
+    compile_query,
+    coop_build_phase,
+    coop_probe_phase,
+)
+from repro.logical.stats import JoinStats, TableProfile
 from repro.obs import Observability
 from repro.obs.trace import Timeline
-from repro.plan import (
-    MorselWorker,
-    PhaseSpec,
-    Plan,
-    PlanExecutor,
-    Surcharge,
-    WorkerLoad,
-    concurrent_phase,
-    morsel_phase,
-    priced_phase,
-)
+from repro.plan import PhaseSpec, PlanExecutor
 
 STRATEGIES = ("het", "gpu+het")
 
@@ -159,22 +155,15 @@ class CoopJoin:
         self.last_executor = None
 
     # ------------------------------------------------------------------
-    # Placement per strategy
+    # Placement per strategy (delegating to the lowering compiler)
     # ------------------------------------------------------------------
     def _shared_table_region(self, workers: Tuple[str, ...]) -> str:
-        """Het: the shared table lives in the CPU memory nearest the GPU.
-
-        "We avoid our hybrid hash table optimization and store the hash
-        table in CPU memory ... we avoid slowing down CPU processing
-        through remote GPU memory accesses" (Section 6.2).
-        """
-        gpus = [w for w in workers if isinstance(self.machine.processor(w), Gpu)]
-        anchor = gpus[0] if gpus else workers[0]
-        return self.machine.nearest_cpu_memory(anchor).name
+        """Het: the shared table lives in the CPU memory nearest the GPU."""
+        return _shared_table_region(self.machine, tuple(workers))
 
     def _local_table_region(self, worker: str) -> str:
         """GPU+Het: every worker probes a copy in its local memory."""
-        return self.machine.processor(worker).local_memory.name
+        return _local_table_region(self.machine, worker)
 
     # ------------------------------------------------------------------
     # Per-worker profiles
@@ -191,24 +180,15 @@ class CoopJoin:
         entry_bytes: float,
         contended: bool,
     ) -> AccessProfile:
-        is_gpu = self._is_gpu(worker)
-        accesses_per_tuple = 1.0 if is_gpu else 2.0
-        label = "ht insert [contended]" if contended else "ht insert"
-        work = self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"]
-        return AccessProfile(
-            streams=[
-                seq_stream(worker, r.location, r.modeled_bytes, "read R"),
-                atomic_stream(
-                    worker,
-                    table_region,
-                    r.modeled_tuples * accesses_per_tuple,
-                    entry_bytes,
-                    working_set_bytes=table_bytes,
-                    label=label,
-                ),
-            ],
-            compute_tuples=r.modeled_tuples * work,
-            label=f"build[{worker}]",
+        return _coop_build_profile(
+            self.machine,
+            self.calibration,
+            worker,
+            r,
+            table_region,
+            table_bytes,
+            entry_bytes,
+            contended,
         )
 
     def _probe_profile(
@@ -222,30 +202,21 @@ class CoopJoin:
         lines_loaded: float,
         hot_set: Optional[HotSetProfile],
     ) -> AccessProfile:
-        is_gpu = self._is_gpu(worker)
-        work = self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"]
-        stream_bytes = s.modeled_tuples * (
-            s.key_bytes + s.payload_bytes * lines_loaded
-        )
-        return AccessProfile(
-            streams=[
-                seq_stream(worker, s.location, stream_bytes, "read S"),
-                random_stream(
-                    worker,
-                    table_region,
-                    s.modeled_tuples * accesses_per_tuple,
-                    key_bytes,
-                    working_set_bytes=table_bytes,
-                    hot_set=hot_set,
-                    label="ht probe",
-                ),
-            ],
-            compute_tuples=s.modeled_tuples * work,
-            label=f"probe[{worker}]",
+        return _coop_probe_profile(
+            self.machine,
+            self.calibration,
+            worker,
+            s,
+            table_region,
+            table_bytes,
+            key_bytes,
+            accesses_per_tuple,
+            lines_loaded,
+            hot_set,
         )
 
     # ------------------------------------------------------------------
-    # Plan compilation
+    # Plan compilation (delegating to the lowering compiler)
     # ------------------------------------------------------------------
     def build_phase_spec(
         self,
@@ -255,72 +226,14 @@ class CoopJoin:
         entry_bytes: float,
     ) -> Tuple[PhaseSpec, Dict[str, str]]:
         """Compile the build phase; returns (spec, worker -> probe region)."""
-        span_attrs = {"strategy": self.strategy}
-        if self.strategy == "het":
-            region = self._shared_table_region(workers)
-            contended = len(workers) > 1
-            loads = {
-                worker: WorkerLoad(
-                    self._build_profile(
-                        worker, r, region, table_bytes, entry_bytes, contended
-                    ),
-                    float(r.modeled_tuples),
-                )
-                for worker in workers
-            }
-            spec = concurrent_phase(
-                "build",
-                loads,
-                shared_units=float(r.modeled_tuples),
-                claims=tuple(workers),
-                span_worker=",".join(workers),
-                span_units=float(r.modeled_tuples),
-                span_attrs=span_attrs,
-            )
-            return spec, {worker: region for worker in workers}
-
-        # gpu+het: the GPU builds locally, then broadcasts the table.
-        # Every worker holds a private copy, so the table must fit the
-        # smallest GPU memory (this is the "small build-side relations"
-        # special case of Section 6.2).
-        gpus = [w for w in workers if self._is_gpu(w)]
-        if not gpus:
-            raise ValueError("gpu+het requires at least one GPU worker")
-        for worker in gpus:
-            capacity = self.machine.processor(worker).local_memory.capacity
-            if table_bytes > capacity:
-                raise OutOfMemoryError(
-                    f"gpu+het replicates the {table_bytes}-byte hash table "
-                    f"to every processor, but it exceeds {worker}'s memory; "
-                    "use the Het strategy for large build sides"
-                )
-        builder = gpus[0]
-        build_region = self._local_table_region(builder)
-        profile = self._build_profile(
-            builder, r, build_region, table_bytes, entry_bytes, contended=False
+        return coop_build_phase(
+            self.cost_model,
+            self.strategy,
+            r,
+            tuple(workers),
+            table_bytes,
+            entry_bytes,
         )
-        # Synchronous copy of the finished table to each other worker's
-        # local memory over the builder's link (Figure 9b, step 2).
-        others = [w for w in workers if w != builder]
-        copy_targets = {self._local_table_region(w) for w in others}
-        surcharges: Tuple[Surcharge, ...] = ()
-        if copy_targets:
-            link = self.machine.gpu_link(builder)
-            copy_bw = link.spec.seq_bw * self.calibration.ht_copy_bandwidth_factor
-            copy_seconds = len(copy_targets) * table_bytes / copy_bw
-            surcharges = (
-                Surcharge(copy_seconds, f"link:{link.name}", "ht broadcast"),
-            )
-        spec = priced_phase(
-            "build",
-            profile,
-            surcharges=surcharges,
-            claims=tuple(workers),
-            span_worker=",".join(workers),
-            span_units=float(r.modeled_tuples),
-            span_attrs=span_attrs,
-        )
-        return spec, {w: self._local_table_region(w) for w in workers}
 
     def probe_phase_spec(
         self,
@@ -335,42 +248,28 @@ class CoopJoin:
         matches: int = 0,
     ) -> PhaseSpec:
         """Compile the morsel-dispatched cooperative probe phase."""
-        loads = {}
-        morsel_workers = {}
-        for worker in workers:
-            profile = self._probe_profile(
-                worker,
-                s,
-                regions[worker],
-                table_bytes,
-                key_bytes,
-                accesses_per_tuple,
-                lines_loaded,
-                hot_set,
-            )
-            loads[worker] = WorkerLoad(profile, float(s.modeled_tuples))
-            if self._is_gpu(worker):
-                morsel_workers[worker] = MorselWorker(
-                    dispatch_latency=self.calibration.gpu_batch_dispatch_latency,
-                    batch_morsels=self.gpu_batch_morsels,
-                )
-            else:
-                morsel_workers[worker] = MorselWorker(
-                    dispatch_latency=self.calibration.cpu_morsel_dispatch_latency,
-                    batch_morsels=1,
-                )
-        return morsel_phase(
-            "probe",
-            loads,
-            shared_units=float(s.modeled_tuples),
-            morsel_tuples=self.morsel_tuples,
-            morsel_workers=morsel_workers,
-            deps=("build",),
-            claims=tuple(workers),
-            span_worker=",".join(workers),
-            span_units=float(s.modeled_tuples),
-            span_attrs={"strategy": self.strategy},
-            annotations={"matches": matches},
+        return coop_probe_phase(
+            self.cost_model,
+            self.strategy,
+            s,
+            tuple(workers),
+            regions,
+            table_bytes,
+            key_bytes,
+            accesses_per_tuple,
+            lines_loaded,
+            hot_set,
+            self.morsel_tuples,
+            self.gpu_batch_morsels,
+            matches=matches,
+        )
+
+    def logical_query(self, r: Relation, s: Relation) -> Query:
+        """The join as a logical plan (S probes a table built from R)."""
+        return (
+            scan(s)
+            .join(scan(r), build_key="key", probe_key="key")
+            .aggregate(agg=("build_payload", "sum"))
         )
 
     # ------------------------------------------------------------------
@@ -421,26 +320,26 @@ class CoopJoin:
         aggregate = int(values[found].astype(np.int64).sum())
         lines_loaded = _line_fraction(found, s.payload_bytes)
 
-        table_bytes = table.modeled_bytes(r.modeled_tuples)
-        accesses_per_tuple = (
-            table.stats.lookup_probes + table.stats.value_reads
-        ) / max(1, table.stats.lookups)
-
-        build_spec, regions = self.build_phase_spec(
-            r, workers, table_bytes, table.entry_bytes
-        )
-        probe_spec = self.probe_phase_spec(
-            s,
-            workers,
-            regions,
-            table_bytes,
-            table.keys.dtype.itemsize,
-            accesses_per_tuple,
-            lines_loaded,
-            hot_set,
+        stats = JoinStats(
+            table=TableProfile.from_table(table, r.modeled_tuples),
+            lines_loaded=lines_loaded,
             matches=matches,
+            hot_set=hot_set,
         )
-        plan = Plan([build_spec, probe_spec], label=f"coop[{self.strategy}]")
+        config = PhysicalConfig(
+            strategy=self.strategy,
+            workers=tuple(workers),
+            morsel_tuples=self.morsel_tuples,
+            gpu_batch_morsels=self.gpu_batch_morsels,
+            backend=self.backend,
+            exec_workers=self.exec_workers,
+            shards=self.shards,
+            hash_scheme=self.hash_scheme,
+            label="coop",
+        )
+        plan = compile_query(
+            self.logical_query(r, s), config, self.cost_model, stats
+        )
         executed = PlanExecutor(self.cost_model).execute(plan)
         build_out = executed.outcomes["build"]
         probe_out = executed.outcomes["probe"]

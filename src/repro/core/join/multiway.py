@@ -26,23 +26,24 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.costmodel.access import AccessProfile, atomic_stream, random_stream, seq_stream
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.costmodel.model import CostModel, PhaseCost
+from repro.costmodel.model import CostModel
 from repro.core.hashtable import create_hash_table
 from repro.data.relation import Relation
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
+from repro.logical.algebra import Query, scan
+from repro.logical.lower import (
+    PhysicalConfig,
+    compile_query,
+    star_broadcast_phase,
+    star_build_phase,
+    star_probe_phase,
+)
+from repro.logical.stats import StarStats
 from repro.memory.allocator import OutOfMemoryError
 from repro.obs import Observability
-from repro.plan import (
-    PhaseSpec,
-    Plan,
-    PlanExecutor,
-    WorkerLoad,
-    concurrent_phase,
-    fixed_phase,
-)
+from repro.plan import PhaseSpec, PlanExecutor
 from repro.utils.units import MIB
 
 
@@ -128,8 +129,14 @@ class StarJoin:
         return isinstance(self.machine.processor(worker), Gpu)
 
     # ------------------------------------------------------------------
-    # Plan compilation
+    # Plan compilation (delegating to the lowering compiler)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _dim_pairs(
+        dimensions: Sequence[Dimension],
+    ) -> List[Tuple[Relation, str]]:
+        return [(d.relation, d.fact_key) for d in dimensions]
+
     def build_phase_spec(
         self, dimensions: Sequence[Dimension], workers: Sequence[str]
     ) -> Tuple[PhaseSpec, Dict[str, str]]:
@@ -139,38 +146,9 @@ class StarJoin:
         phase (the phase ends when the slowest builder finishes).
         Returns (spec, fact_key -> builder).
         """
-        builder_of: Dict[str, str] = {}
-        loads: Dict[str, WorkerLoad] = {}
-        for i, dimension in enumerate(dimensions):
-            builder = workers[i % len(workers)]
-            builder_of[dimension.fact_key] = builder
-            rel = dimension.relation
-            table_bytes = rel.modeled_tuples * rel.tuple_bytes
-            is_gpu = self._is_gpu(builder)
-            accesses = rel.modeled_tuples * (1.0 if is_gpu else 2.0)
-            local = self.machine.processor(builder).local_memory.name
-            profile = AccessProfile(
-                streams=[
-                    seq_stream(builder, rel.location, rel.modeled_bytes, "read dim"),
-                    atomic_stream(
-                        builder, local, accesses, rel.tuple_bytes,
-                        working_set_bytes=table_bytes, label="ht insert",
-                    ),
-                ],
-                compute_tuples=rel.modeled_tuples
-                * self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"],
-                label=f"build[{dimension.fact_key}]",
-                processor=builder,
-            )
-            key = f"{builder}#{dimension.fact_key}"
-            loads[key] = WorkerLoad(profile, float(rel.modeled_tuples))
-        spec = concurrent_phase(
-            "build",
-            loads,
-            claims=tuple(workers),
-            span_worker=",".join(workers),
+        return star_build_phase(
+            self.cost_model, self._dim_pairs(dimensions), workers
         )
-        return spec, builder_of
 
     def broadcast_phase_spec(
         self,
@@ -180,44 +158,8 @@ class StarJoin:
     ) -> PhaseSpec:
         """Broadcast every finished table to every *other* worker over
         the builder's link (a fixed, sequential copy cost)."""
-        broadcast = 0.0
-        occupancy: Dict[str, float] = {}
-        for dimension in dimensions:
-            builder = builder_of[dimension.fact_key]
-            rel = dimension.relation
-            table_bytes = rel.modeled_tuples * rel.tuple_bytes
-            others = len(workers) - 1
-            if others == 0:
-                continue
-            if self._is_gpu(builder):
-                link = self.machine.gpu_link(builder)
-                link_bw = link.spec.seq_bw
-                resource = f"link:{link.name}"
-            else:
-                memory = self.machine.processor(builder).local_memory
-                link_bw = memory.spec.seq_bw
-                resource = f"mem:{memory.name}"
-            seconds = others * table_bytes / (
-                link_bw * self.calibration.ht_copy_bandwidth_factor
-            )
-            broadcast += seconds
-            occupancy[resource] = occupancy.get(resource, 0.0) + seconds
-        cost = PhaseCost(
-            seconds=broadcast,
-            bottleneck=(
-                max(occupancy, key=lambda res: occupancy[res])
-                if occupancy
-                else "(none)"
-            ),
-            occupancy=occupancy,
-            label="broadcast",
-        )
-        return fixed_phase(
-            "broadcast",
-            cost,
-            deps=("build",),
-            claims=tuple(workers),
-            span_worker=",".join(workers),
+        return star_broadcast_phase(
+            self.cost_model, self._dim_pairs(dimensions), workers, builder_of
         )
 
     def probe_phase_spec(
@@ -230,49 +172,45 @@ class StarJoin:
         survival_per_dim: List[float],
     ) -> PhaseSpec:
         """Compile the all-workers conjunctive probe (pool mode)."""
-        loads: Dict[str, WorkerLoad] = {}
-        for worker in workers:
-            is_gpu = self._is_gpu(worker)
-            local = self.machine.processor(worker).local_memory.name
-            streams = [
-                seq_stream(
-                    worker,
-                    fact_location,
-                    modeled_fact * sum(c.dtype.itemsize for c in fact_columns.values()),
-                    "read fact",
-                )
-            ]
-            alive = 1.0
-            for dimension, survival in zip(dimensions, survival_per_dim):
-                rel = dimension.relation
-                table_bytes = rel.modeled_tuples * rel.tuple_bytes
-                # Short-circuit: only tuples still alive probe the next
-                # dimension; each probe is key + (on match) value.
-                accesses = modeled_fact * alive * (1.0 + survival)
-                streams.append(
-                    random_stream(
-                        worker, local, accesses, rel.key_bytes,
-                        working_set_bytes=table_bytes, label="dim probe",
-                    )
-                )
-                alive *= survival
-            work = self.calibration.join_work_per_tuple["gpu" if is_gpu else "cpu"]
-            profile = AccessProfile(
-                streams=streams,
-                compute_tuples=modeled_fact * work * len(dimensions),
-                label=f"probe[{worker}]",
-                processor=worker,
-            )
-            loads[worker] = WorkerLoad(profile, float(modeled_fact))
-        return concurrent_phase(
-            "probe",
-            loads,
-            shared_units=float(modeled_fact),
-            deps=("broadcast",),
-            claims=tuple(workers),
-            span_worker=",".join(workers),
-            span_units=float(modeled_fact),
+        fact_column_bytes = float(
+            sum(c.dtype.itemsize for c in fact_columns.values())
         )
+        return star_probe_phase(
+            self.cost_model,
+            fact_column_bytes,
+            fact_location,
+            modeled_fact,
+            self._dim_pairs(dimensions),
+            workers,
+            survival_per_dim,
+        )
+
+    def logical_query(
+        self,
+        fact: Dict[str, np.ndarray],
+        dimensions: Sequence[Dimension],
+        modeled_fact: Optional[int] = None,
+        fact_location: str = "cpu0-mem",
+    ) -> Query:
+        """The star join as a logical plan: the fact scan probes one
+        hash join per dimension (innermost first), then aggregates the
+        first dimension's matched payloads over the survivors."""
+        query = scan(
+            fact,
+            name="fact",
+            modeled_rows=modeled_fact,
+            location=fact_location,
+        )
+        for dimension in dimensions:
+            query = query.join(
+                scan(dimension.relation, name=dimension.fact_key),
+                build_key="key",
+                probe_key=dimension.fact_key,
+                selectivity=None,
+                output_prefix=f"{dimension.fact_key}_",
+            )
+        payload = f"{dimensions[0].fact_key}_payload"
+        return query.aggregate(star=(payload, "sum"))
 
     # ------------------------------------------------------------------
     def run(
@@ -342,19 +280,22 @@ class StarJoin:
         else:
             aggregate = int(payload_sum[alive].sum())
 
-        build_spec, builder_of = self.build_phase_spec(dimensions, workers)
-        broadcast_spec = self.broadcast_phase_spec(
-            dimensions, workers, builder_of
+        builder_of = {
+            d.fact_key: workers[i % len(workers)]
+            for i, d in enumerate(dimensions)
+        }
+        config = PhysicalConfig(
+            strategy="gpu+het",
+            workers=tuple(workers),
+            hash_scheme=self.hash_scheme,
+            label="star",
         )
-        probe_spec = self.probe_phase_spec(
-            fact,
-            fact_location,
-            modeled_fact,
-            dimensions,
-            workers,
-            survival_per_dim,
+        plan = compile_query(
+            self.logical_query(fact, dimensions, modeled_fact, fact_location),
+            config,
+            self.cost_model,
+            StarStats(tuple(survival_per_dim)),
         )
-        plan = Plan([build_spec, broadcast_spec, probe_spec], label="star")
         executed = PlanExecutor(self.cost_model).execute(plan)
         modeled_tuples = modeled_fact + sum(
             d.relation.modeled_tuples for d in dimensions

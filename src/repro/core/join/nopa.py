@@ -22,13 +22,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.costmodel.access import (
-    AccessProfile,
-    Stream,
-    atomic_stream,
-    random_stream,
-    seq_stream,
-)
+from repro.costmodel.access import Stream
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.hashtable import create_hash_table
@@ -48,9 +42,20 @@ from repro.faults.resilience import ResilienceLog
 from repro.hardware.cache import HotSetProfile
 from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
+from repro.logical.algebra import Query, scan
+from repro.logical.lower import (
+    GPU_BUILD_ACCESSES,
+    CPU_BUILD_ACCESSES,
+    PhysicalConfig,
+    compile_query,
+    join_build_phase,
+    join_probe_phase,
+    table_streams,
+)
+from repro.logical.stats import JoinStats, TableProfile
 from repro.memory.allocator import OutOfMemoryError
 from repro.obs import Observability
-from repro.plan import PhaseSpec, Plan, PlanExecutor, ingest, priced_phase
+from repro.plan import PhaseSpec, Plan, PlanExecutor, ingest
 from repro.utils.units import MIB
 
 #: coherence/cache-line granularity used for payload-column line skipping.
@@ -174,9 +179,10 @@ class NoPartitioningJoin:
     """
 
     #: calibrated accounting: a GPU insert is one 16-byte CAS; a CPU
-    #: insert is a compare-exchange plus a store (two accesses).
-    GPU_BUILD_ACCESSES = 1.0
-    CPU_BUILD_ACCESSES = 2.0
+    #: insert is a compare-exchange plus a store (two accesses).  The
+    #: constants live with the lowering arithmetic in ``repro.logical``.
+    GPU_BUILD_ACCESSES = GPU_BUILD_ACCESSES
+    CPU_BUILD_ACCESSES = CPU_BUILD_ACCESSES
 
     def __init__(
         self,
@@ -318,35 +324,44 @@ class NoPartitioningJoin:
         label: str,
     ) -> List[Stream]:
         """Hash-table traffic split across the placement's regions."""
-        streams: List[Stream] = []
-        for region, share in placement.split_accesses(accesses).items():
-            if share <= 0:
-                continue
-            working_set = placement.total_bytes * placement.fraction(region)
-            if atomic:
-                streams.append(
-                    atomic_stream(
-                        processor,
-                        region,
-                        share,
-                        access_bytes,
-                        working_set_bytes=working_set,
-                        label=label,
-                    )
-                )
-            else:
-                streams.append(
-                    random_stream(
-                        processor,
-                        region,
-                        share,
-                        access_bytes,
-                        working_set_bytes=working_set,
-                        hot_set=hot_set,
-                        label=label,
-                    )
-                )
-        return streams
+        return table_streams(
+            processor, placement, accesses, access_bytes, atomic, hot_set,
+            label,
+        )
+
+    def _physical_config(
+        self, processor: str, placement: HashTablePlacement
+    ) -> PhysicalConfig:
+        return PhysicalConfig(
+            strategy="single",
+            processor=processor,
+            transfer_method=self.transfer_method,
+            placement=placement,
+            layout=self.layout,
+            output=self.output,
+            backend=self.backend,
+            exec_workers=self.workers,
+            shards=self.shards,
+            hash_scheme=self.hash_scheme,
+            label="nopa",
+        )
+
+    def _join_stats(
+        self,
+        table: HashTableBase,
+        r: Relation,
+        s: Relation,
+        lines_loaded: float,
+        hot_set: Optional[HotSetProfile],
+        matches: int,
+    ) -> JoinStats:
+        return JoinStats(
+            table=TableProfile.from_table(table, r.modeled_tuples),
+            lines_loaded=lines_loaded,
+            matches=matches,
+            model_factor=s.model_factor,
+            hot_set=hot_set,
+        )
 
     def build_phase(
         self,
@@ -356,41 +371,13 @@ class NoPartitioningJoin:
         placement: HashTablePlacement,
     ) -> PhaseSpec:
         """The build phase at modeled scale, as a plan node."""
-        proc = self.machine.processor(processor)
-        is_gpu = isinstance(proc, Gpu)
-        per_tuple = (
-            self.GPU_BUILD_ACCESSES if is_gpu else self.CPU_BUILD_ACCESSES
-        ) * table.stats.insert_factor
-        modeled_inserts = r.modeled_tuples * per_tuple
-        spec = self._ingest(processor, r, r.modeled_bytes, "read R")
-        streams = list(spec.streams)
-        streams += self._table_streams(
+        return join_build_phase(
+            self.cost_model,
+            self.transfer_method,
+            r,
             processor,
+            TableProfile.from_table(table, r.modeled_tuples),
             placement,
-            modeled_inserts,
-            table.entry_bytes,
-            atomic=True,
-            hot_set=None,
-            label="ht insert",
-        )
-        overhead = proc.kernel_launch_latency if is_gpu else 0.0
-        work = self.cost_model.calibration.join_work_per_tuple[
-            "gpu" if is_gpu else "cpu"
-        ]
-        profile = AccessProfile(
-            streams=streams,
-            fixed_overhead=overhead,
-            compute_tuples=r.modeled_tuples * work,
-            label="build",
-            processor=processor,
-        )
-        return priced_phase(
-            "build",
-            profile,
-            chunked=spec.chunked,
-            claims=(processor,),
-            span_worker=processor,
-            span_units=float(r.modeled_tuples),
         )
 
     def probe_phase(
@@ -404,69 +391,27 @@ class NoPartitioningJoin:
         matches: int = 0,
     ) -> PhaseSpec:
         """The probe phase at modeled scale, as a plan node."""
-        proc = self.machine.processor(processor)
-        is_gpu = isinstance(proc, Gpu)
-        # The probe always streams S's key column; the payload column is
-        # loaded at line granularity only where matches occur.
-        key_bytes = s.modeled_tuples * s.key_bytes
-        value_bytes = s.modeled_tuples * s.payload_bytes * lines_loaded
-        spec = self._ingest(processor, s, key_bytes + value_bytes, "read S")
-        streams = list(spec.streams)
-        model_factor = s.model_factor
-        key_lookups = table.stats.lookup_probes * model_factor
-        value_reads = table.stats.value_reads * model_factor
-        if self.layout == "aos":
-            # Interleaved entries: the value rides in the same access as
-            # the key, so matches add no extra table traffic — but every
-            # probe moves the full entry.
-            accesses = key_lookups
-            access_bytes = float(table.entry_bytes)
-        else:
-            accesses = key_lookups + value_reads
-            access_bytes = float(table.keys.dtype.itemsize)
-        streams += self._table_streams(
+        return join_probe_phase(
+            self.cost_model,
+            self.transfer_method,
+            s,
             processor,
+            TableProfile.from_table(table, s.modeled_tuples),
             placement,
-            accesses,
-            access_bytes,
-            atomic=False,
-            hot_set=hot_set,
-            label="ht probe",
+            lines_loaded,
+            hot_set,
+            layout=self.layout,
+            output=self.output,
+            matches=matches,
+            model_factor=s.model_factor,
         )
-        if self.output == "materialize":
-            # Result tuples (<key, s payload, r payload>) are written
-            # sequentially to the processor's local memory.
-            result_bytes = value_reads * (
-                s.key_bytes + s.payload_bytes + table.values.dtype.itemsize
-            )
-            streams.append(
-                seq_stream(
-                    processor,
-                    proc.local_memory.name,
-                    result_bytes,
-                    label="materialize result",
-                )
-            )
-        overhead = proc.kernel_launch_latency if is_gpu else 0.0
-        work = self.cost_model.calibration.join_work_per_tuple[
-            "gpu" if is_gpu else "cpu"
-        ]
-        profile = AccessProfile(
-            streams=streams,
-            fixed_overhead=overhead,
-            compute_tuples=s.modeled_tuples * work,
-            label="probe",
-            processor=processor,
-        )
-        return priced_phase(
-            "probe",
-            profile,
-            deps=("build",),
-            chunked=spec.chunked,
-            claims=(processor,),
-            span_worker=processor,
-            span_units=float(s.modeled_tuples),
-            annotations={"matches": matches},
+
+    def logical_query(self, r: Relation, s: Relation) -> Query:
+        """The join as a logical plan (S probes a table built from R)."""
+        return (
+            scan(s)
+            .join(scan(r), build_key="key", probe_key="key")
+            .aggregate(agg=("build_payload", "sum"))
         )
 
     def compile_plan(
@@ -480,16 +425,13 @@ class NoPartitioningJoin:
         hot_set: Optional[HotSetProfile] = None,
         matches: int = 0,
     ) -> Plan:
-        """Compile the two-phase NOPA DAG (build -> probe)."""
-        return Plan(
-            phases=[
-                self.build_phase(r, processor, table, placement),
-                self.probe_phase(
-                    s, processor, table, placement, lines_loaded, hot_set,
-                    matches=matches,
-                ),
-            ],
-            label="nopa",
+        """Compile the two-phase NOPA DAG (build -> probe) by lowering
+        the logical join through :func:`repro.logical.compile_query`."""
+        return compile_query(
+            self.logical_query(r, s),
+            self._physical_config(processor, placement),
+            self.cost_model,
+            self._join_stats(table, r, s, lines_loaded, hot_set, matches),
         )
 
     def _place_with_oom_policy(

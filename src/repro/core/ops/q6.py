@@ -19,7 +19,6 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.costmodel.access import AccessProfile
 from repro.costmodel.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.costmodel.model import CostModel, PhaseCost
 from repro.core.ops.selection import selection_line_fractions
@@ -30,10 +29,12 @@ from repro.exec import (
     execute_masks,
     make_executor,
 )
-from repro.hardware.processor import Gpu
 from repro.hardware.topology import Machine
+from repro.logical.algebra import Query, between, ge, lt, mul, scan
+from repro.logical.lower import PhysicalConfig, compile_query, scan_phase
+from repro.logical.stats import ScanStats
 from repro.obs import Observability
-from repro.plan import PhaseSpec, Plan, PlanExecutor, ingest, priced_phase
+from repro.plan import PhaseSpec, Plan, PlanExecutor
 from repro.workloads.tpch import (
     Q6_DISCOUNT_HI,
     Q6_DISCOUNT_LO,
@@ -173,51 +174,69 @@ class TpchQ6:
         self, workload: Q6Workload, processor: str, fractions: List[float]
     ) -> PhaseSpec:
         """Compile the scan into a single priced phase."""
-        proc = self.machine.processor(processor)
-        is_gpu = isinstance(proc, Gpu)
         col_bytes = [c.dtype.itemsize for c in workload.columns().values()]
-        total_bytes = workload.modeled_rows * sum(
-            width * frac for width, frac in zip(col_bytes, fractions)
-        )
-        spec = ingest(
+        return scan_phase(
             self.cost_model,
             self.transfer_method,
+            self.variant,
             processor,
+            workload.modeled_rows,
+            col_bytes,
+            fractions,
             workload.location,
-            total_bytes,
-            "scan lineitem",
-            kind=workload.kind,
+            workload.kind,
+            read_label="scan lineitem",
+            profile_label=f"q6-{self.variant}",
         )
-        work = self.calibration.scan_work_per_tuple["gpu" if is_gpu else "cpu"]
-        if self.variant == "branching" and not is_gpu:
-            # Branchy scalar code cannot use SIMD predication; the CPU
-            # pays more per-row work but the same skipping benefit.
-            work *= 2.0
-        overhead = proc.kernel_launch_latency if is_gpu else 0.0
-        profile = AccessProfile(
-            streams=spec.streams,
-            compute_tuples=workload.modeled_rows * work,
-            fixed_overhead=overhead,
-            label=f"q6-{self.variant}",
-            processor=processor,
-        )
-        return priced_phase(
-            "scan",
-            profile,
-            chunked=spec.chunked,
-            claims=(processor,),
-            span_worker=processor,
-            span_units=float(workload.modeled_rows),
-            span_attrs={"variant": self.variant},
+
+    def logical_query(self, workload: Q6Workload) -> Query:
+        """Q6 as a logical plan (Figure 15's scan/filter/aggregate).
+
+        The selectivity hints are dbgen's: the one-year shipdate window
+        keeps ~15% of lineitem (and dbgen clusters by shipdate), the
+        discount band ~27%, the quantity cut ~48%.
+        """
+        return (
+            scan(workload, name="lineitem")
+            .filter(
+                ge(
+                    "l_shipdate",
+                    Q6_SHIPDATE_LO,
+                    selectivity=0.15,
+                    clustered=True,
+                ),
+                lt("l_shipdate", Q6_SHIPDATE_HI),
+                between(
+                    "l_discount",
+                    np.float32(Q6_DISCOUNT_LO - 1e-6),
+                    np.float32(Q6_DISCOUNT_HI + 1e-6),
+                    selectivity=0.27,
+                ),
+                lt("l_quantity", Q6_QUANTITY_LT, selectivity=0.48),
+            )
+            .project(revenue=mul("l_extendedprice", "l_discount"))
+            .aggregate(revenue=("revenue", "sum"))
         )
 
     def compile_plan(
         self, workload: Q6Workload, processor: str, fractions: List[float]
     ) -> Plan:
-        """One-phase plan: the fused scan/filter/aggregate kernel."""
-        return Plan(
-            [self.phase_spec(workload, processor, fractions)],
-            label=f"q6[{self.variant}]",
+        """One-phase plan: the fused scan/filter/aggregate kernel,
+        lowered from the logical query."""
+        config = PhysicalConfig(
+            strategy="single",
+            processor=processor,
+            transfer_method=self.transfer_method,
+            variant=self.variant,
+            backend=self.backend,
+            exec_workers=self.workers,
+            label="q6",
+        )
+        return compile_query(
+            self.logical_query(workload),
+            config,
+            self.cost_model,
+            ScanStats(tuple(fractions)),
         )
 
     # ------------------------------------------------------------------

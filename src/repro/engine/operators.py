@@ -155,9 +155,11 @@ class Limit(Operator):
 class HashJoinOp(Operator):
     """Equi-join: builds a table from the build child, streams the probe.
 
-    Build-side columns are emitted with a ``build_`` prefix (except the
-    key, which equals the probe key on output).  Inner join semantics;
-    the build side must have unique keys (it is the paper's primary-key
+    Build-side columns are emitted with ``output_prefix`` prepended
+    (``build_`` by default; star plans joining several identically-
+    schemed dimensions pass a per-dimension prefix), except the key,
+    which equals the probe key on output.  Inner join semantics; the
+    build side must have unique keys (it is the paper's primary-key
     relation).
     """
 
@@ -168,19 +170,23 @@ class HashJoinOp(Operator):
         build_key: str,
         probe_key: str,
         hash_scheme: str = "open_addressing",
+        output_prefix: str = "build_",
     ) -> None:
         self.build = build
         self.probe = probe
         self.build_key = build_key
         self.probe_key = probe_key
         self.hash_scheme = hash_scheme
+        self.output_prefix = output_prefix
         self._build_payload_names = [
             name for name in build.schema() if name != build_key
         ]
 
     def schema(self) -> Tuple[str, ...]:
         probe_cols = self.probe.schema()
-        build_cols = tuple(f"build_{n}" for n in self._build_payload_names)
+        build_cols = tuple(
+            f"{self.output_prefix}{n}" for n in self._build_payload_names
+        )
         return probe_cols + build_cols
 
     def __iter__(self) -> Iterator[Batch]:
@@ -211,7 +217,8 @@ class HashJoinOp(Operator):
             out = {name: col[found] for name, col in batch.items()}
             matched_rows = row_ids[found]
             for name in self._build_payload_names:
-                out[f"build_{name}"] = payload_rows[name][matched_rows]
+                out_name = f"{self.output_prefix}{name}"
+                out[out_name] = payload_rows[name][matched_rows]
             yield out
 
 

@@ -1,6 +1,5 @@
 """Human-readable explanations of phase costs and bottleneck chains.
 
-Absorbed from ``repro.costmodel.explain`` (which re-exports from here):
 ``explain(cost)`` renders a PhaseCost's per-resource occupancy as a
 utilization table — the tool for answering "why is this join this
 fast?" (e.g. Figure 12's Coherence join is NVLink-bound at ~99%

@@ -29,7 +29,7 @@ from repro.obs.explain import bottleneck_chain, utilization
 
 #: Version of the manifest JSON layout.  Keep in lockstep with the
 #: schema changelog in docs/observability.md.
-MANIFEST_SCHEMA_VERSION = "1.1"
+MANIFEST_SCHEMA_VERSION = "1.2"
 
 #: The *declared* manifest schema, enforced statically by the
 #: ``manifest-schema`` analysis pass: every key a writer function puts
@@ -46,8 +46,8 @@ MANIFEST_SCHEMA_VERSION = "1.1"
 #: names its writer (``Class.method`` or a module-level function) and
 #: the exact keys that writer may emit.
 MANIFEST_SCHEMA = {
-    "version": "1.1",
-    "checksum": "5612157e9bd83aa3",
+    "version": "1.2",
+    "checksum": "3e8b54ab2c63a40b",
     "sections": {
         "__top__": {
             "writer": "RunManifest.to_dict",
@@ -64,6 +64,7 @@ MANIFEST_SCHEMA = {
                 "spans",
                 "calibration",
                 "resilience",
+                "optimizer",
             ],
         },
         "__document__": {
@@ -94,6 +95,24 @@ MANIFEST_SCHEMA = {
                 "injected_counts",
                 "counters",
                 "events",
+            ],
+        },
+        "optimizer": {
+            "writer": "OptimizerResult.section",
+            "keys": [
+                "schema_version",
+                "machine",
+                "shape",
+                "strategy",
+                "transfer_method",
+                "placement",
+                "gpu_fraction",
+                "backend",
+                "shards",
+                "predicted_seconds",
+                "considered",
+                "rejected",
+                "candidates",
             ],
         },
     },
@@ -167,6 +186,11 @@ class RunManifest:
     #: Fault-injection audit (schema 1.1): the ``section()`` of a
     #: :class:`repro.faults.ResilienceLog`, or None for fault-free runs.
     resilience: Optional[Dict[str, Any]] = None
+    #: Optimizer decision (schema 1.2): the ``section()`` of a
+    #: :class:`repro.logical.OptimizerResult` — which physical plan was
+    #: chosen and every alternative considered — or None for runs whose
+    #: physical configuration was hand-picked.
+    optimizer: Optional[Dict[str, Any]] = None
 
     @property
     def bottleneck_summary(self) -> List[str]:
@@ -191,6 +215,7 @@ class RunManifest:
             "spans": self.spans,
             "calibration": self.calibration,
             "resilience": self.resilience,
+            "optimizer": self.optimizer,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -214,13 +239,17 @@ def build_manifest(
     obs: Optional[Any] = None,
     calibration: Optional[Calibration] = None,
     resilience: Optional[Dict[str, Any]] = None,
+    optimizer: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a manifest from priced phases plus observability state.
 
     ``obs`` is an :class:`repro.obs.Observability` bundle (or anything
     with ``metrics.snapshot()`` / ``tracer.timeline.to_dicts()``).
     ``resilience`` is a :meth:`repro.faults.ResilienceLog.section` dump
-    for chaos runs; fault-free runs leave it None.
+    for chaos runs; fault-free runs leave it None.  ``optimizer`` is a
+    :meth:`repro.logical.OptimizerResult.section` dump for runs whose
+    physical plan the optimizer chose; hand-configured runs leave it
+    None.
     """
     manifest = RunManifest(
         kind=kind,
@@ -230,6 +259,7 @@ def build_manifest(
         phases=[phase_record(cost) for cost in phases],
         results=dict(results or {}),
         resilience=resilience,
+        optimizer=optimizer,
     )
     if obs is not None:
         manifest.metrics = obs.metrics.snapshot()

@@ -1,9 +1,9 @@
 """Span tracing on a deterministic sim-clock.
 
-This module absorbs the old ``repro.sim.trace`` (which re-exports from
-here for compatibility): :class:`Span` and :class:`Timeline` keep their
-original API — morsel counts per worker, idle tails, makespans — and
-gain structured attributes plus a :class:`Tracer` front end:
+This module absorbed the old ``repro.sim.trace``: :class:`Span` and
+:class:`Timeline` keep their original API — morsel counts per worker,
+idle tails, makespans — and gain structured attributes plus a
+:class:`Tracer` front end:
 
     with tracer.span("probe", processor="gpu0") as span:
         span.advance(cost.seconds)          # simulated duration

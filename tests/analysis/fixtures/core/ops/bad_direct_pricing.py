@@ -1,8 +1,14 @@
 """Seeded violations: an operator pricing phases behind the executor's back."""
 
+from repro.plan import Plan, priced_phase
+
 
 def run_operator(cost_model, build_profile, probe_profile, tuples):
     build = cost_model.phase_cost(build_profile)
     both = cost_model.phases_cost([build_profile, probe_profile])
     demand = cost_model.occupancy_per_unit(probe_profile, tuples)
     return build.seconds + both[1].seconds + sum(demand.values())
+
+
+def hand_assembled(build_profile):
+    return Plan([priced_phase("build", build_profile)], label="hand")

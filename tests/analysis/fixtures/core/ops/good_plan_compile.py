@@ -1,15 +1,12 @@
-"""Idiomatic operator: compiles a plan and lets the executor price it."""
+"""Idiomatic operator: states a logical query; the compiler builds the plan."""
 
-from repro.plan import Plan, PlanExecutor, priced_phase
+from repro.logical import PhysicalConfig, compile_query, scan
+from repro.plan import PlanExecutor
 
 
-def run_operator(cost_model, build_profile, probe_profile):
-    plan = Plan(
-        [
-            priced_phase("build", build_profile),
-            priced_phase("probe", probe_profile, deps=("build",)),
-        ],
-        label="fixture",
-    )
+def run_operator(cost_model, relation, stats):
+    query = scan(relation).aggregate(agg=("payload", "sum"))
+    config = PhysicalConfig(processor="gpu0", label="fixture")
+    plan = compile_query(query, config, cost_model, stats)
     executed = PlanExecutor(cost_model).execute(plan)
-    return executed.seconds("build") + executed.seconds("probe")
+    return executed.seconds("scan")

@@ -23,7 +23,7 @@ BAD_FIXTURES = {
     ),
     "executor-boundary": (
         fixture_path("core", "ops", "bad_direct_pricing.py"),
-        3,
+        4,
     ),
     "fault-hook-coverage": (fixture_path("exec", "bad_worker_loop.py"), 1),
     "manifest-schema": (fixture_path("obs", "bad_manifest.py"), 2),
@@ -77,7 +77,7 @@ def test_fixture_tree_total_counts():
         "determinism": 5,
         "vectorization": 2,
         "simulated-coherence": 4,
-        "executor-boundary": 3,
+        "executor-boundary": 4,
         "lock-discipline": 4,
         "fault-hook-coverage": 1,
         "manifest-schema": 2,
@@ -149,6 +149,22 @@ def test_executor_boundary_exempts_pricing_layer():
         assert analyze_source(source, path=exempt_path) == []
     findings = analyze_source(source, path="src/repro/core/join/nopa.py")
     assert [f.rule for f in findings] == ["executor-boundary"]
+
+
+def test_executor_boundary_bans_hand_built_plans():
+    """Plans are compiler output; only repro.logical/repro.plan build them."""
+    source = "def compile_it(specs):\n    return Plan(specs, label='x')\n"
+    findings = analyze_source(source, path="src/repro/core/join/custom.py")
+    assert [f.rule for f in findings] == ["executor-boundary"]
+    assert "hand-built" in findings[0].message
+    for exempt_path in (
+        "src/repro/logical/lower.py",
+        "src/repro/plan/builders.py",
+    ):
+        assert analyze_source(source, path=exempt_path) == []
+    # Unrelated *Plan classes (FaultPlan, ...) are not plan construction.
+    other = "def make():\n    return FaultPlan(seed=7)\n"
+    assert analyze_source(other, path="src/repro/core/join/custom.py") == []
 
 
 def test_syntax_error_becomes_finding():

@@ -76,6 +76,40 @@ def test_missing_phase_and_run_detected():
     )
 
 
+def test_new_populated_section_flagged_in_strict_mode():
+    runs = _runs()
+    extended = copy.deepcopy(runs)
+    extended[0]["optimizer"] = {"schema_version": "1.0", "strategy": "single"}
+    diffs = list(iter_differences(extended, runs))
+    assert len(diffs) == 1
+    assert "'optimizer'" in diffs[0] and "new section" in diffs[0]
+
+
+def test_new_populated_section_tolerated_with_allow_new_runs():
+    runs = _runs()
+    extended = copy.deepcopy(runs)
+    extended[0]["optimizer"] = {"schema_version": "1.0", "strategy": "single"}
+    assert list(iter_differences(extended, runs, allow_new_runs=True)) == []
+
+
+def test_null_section_is_not_a_difference():
+    # Optional sections serialize as null when unused; a schema bump
+    # that adds the key with a null value must not perturb old diffs.
+    runs = _runs()
+    extended = copy.deepcopy(runs)
+    extended[0]["optimizer"] = None
+    assert list(iter_differences(extended, runs)) == []
+
+
+def test_lost_section_always_detected():
+    runs = _runs()
+    baseline = copy.deepcopy(runs)
+    baseline[0]["optimizer"] = {"schema_version": "1.0"}
+    diffs = list(iter_differences(runs, baseline, allow_new_runs=True))
+    assert len(diffs) == 1
+    assert "'optimizer'" in diffs[0] and "lost" in diffs[0]
+
+
 def test_cli_reports_failure(tmp_path, capsys):
     with open(BASELINE) as handle:
         document = json.load(handle)

@@ -1,0 +1,136 @@
+"""The engine interpreter computes the same answers as plain numpy.
+
+``run_pipeline`` is the functional half of the compiler — the facades
+pair it with the priced lowering, and the golden harness pins the pair.
+Here we pin the functional half alone against hand-computed results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.logical import (
+    between,
+    ge,
+    mul,
+    run_pipeline,
+    scan,
+    to_operators,
+)
+
+
+@pytest.fixture
+def join_inputs():
+    rng = np.random.default_rng(11)
+    build = Relation(
+        name="r",
+        key=np.arange(512, dtype=np.int64),
+        payload=rng.integers(0, 1000, 512).astype(np.int64),
+        modeled_tuples=512,
+    )
+    probe = {
+        "key": rng.integers(0, 512, 4096).astype(np.int64),
+        "weight": rng.integers(0, 10, 4096).astype(np.int64),
+    }
+    return build, probe
+
+
+def test_join_aggregate_matches_numpy(join_inputs):
+    build, probe = join_inputs
+    query = (
+        scan(probe, name="probe")
+        .join(scan(build), build_key="key", probe_key="key")
+        .aggregate(agg=("build_payload", "sum"))
+    )
+    result = run_pipeline(query)
+    expected = int(build.payload[probe["key"]].sum())
+    assert result["agg"].tolist() == [expected]
+
+
+def test_hash_scheme_does_not_change_results(join_inputs):
+    build, probe = join_inputs
+    query = (
+        scan(probe, name="probe")
+        .join(scan(build), build_key="key", probe_key="key")
+        .aggregate(agg=("build_payload", "sum"))
+    )
+    open_addr = run_pipeline(query, hash_scheme="open_addressing")
+    perfect = run_pipeline(query, hash_scheme="perfect")
+    assert open_addr["agg"].tolist() == perfect["agg"].tolist()
+
+
+def test_morsel_size_does_not_change_results(join_inputs):
+    build, probe = join_inputs
+    query = (
+        scan(probe, name="probe")
+        .join(scan(build), build_key="key", probe_key="key")
+        .aggregate(agg=("build_payload", "sum"))
+    )
+    whole = run_pipeline(query)
+    morsels = run_pipeline(query, morsel_rows=97)
+    assert whole["agg"].tolist() == morsels["agg"].tolist()
+
+
+def test_scan_filter_project_aggregate_matches_numpy():
+    rng = np.random.default_rng(5)
+    table = {
+        "shipdate": rng.integers(0, 2500, 8192).astype(np.int64),
+        "price": rng.uniform(1.0, 100.0, 8192),
+        "discount": rng.uniform(0.0, 0.1, 8192),
+    }
+    query = (
+        scan(table, name="lineitem")
+        .filter(ge("shipdate", 1000), between("discount", 0.02, 0.08))
+        .project(revenue=mul("price", "discount"))
+        .aggregate(revenue=("revenue", "sum"))
+    )
+    result = run_pipeline(query)
+    mask = (
+        (table["shipdate"] >= 1000)
+        & (table["discount"] >= 0.02)
+        & (table["discount"] <= 0.08)
+    )
+    expected = float((table["price"] * table["discount"])[mask].sum())
+    assert result["revenue"][0] == pytest.approx(expected, rel=1e-12)
+
+
+def test_star_chain_applies_all_dimensions():
+    rng = np.random.default_rng(13)
+    n_dim, n_fact = 128, 2048
+    fact = {
+        "d1_key": rng.integers(0, n_dim, n_fact).astype(np.int64),
+        "d2_key": rng.integers(0, n_dim, n_fact).astype(np.int64),
+    }
+    dims = {}
+    survivals = {"d1_key": 0.75, "d2_key": 0.25}
+    for key, survival in survivals.items():
+        covered = int(n_dim * survival)
+        dims[key] = Relation(
+            name=key,
+            key=np.arange(covered, dtype=np.int64),
+            payload=rng.integers(0, 50, covered).astype(np.int64),
+            modeled_tuples=covered,
+        )
+    query = scan(fact, name="fact")
+    for key in survivals:
+        query = query.join(
+            scan(dims[key]),
+            build_key="key",
+            probe_key=key,
+            output_prefix=f"{key}_",
+        )
+    result = run_pipeline(query.aggregate(total=("d1_key_payload", "sum")))
+    alive = (fact["d1_key"] < len(dims["d1_key"].key)) & (
+        fact["d2_key"] < len(dims["d2_key"].key)
+    )
+    expected = int(dims["d1_key"].payload[fact["d1_key"][alive]].sum())
+    assert result["total"].tolist() == [expected]
+
+
+def test_to_operators_exposes_the_query_schema(join_inputs):
+    build, probe = join_inputs
+    query = scan(probe, name="probe").join(
+        scan(build), build_key="key", probe_key="key"
+    )
+    operator = to_operators(query)
+    assert tuple(operator.schema()) == query.schema()

@@ -1,0 +1,106 @@
+"""Property tests: the optimizer's contract holds across the space.
+
+For random join workloads (modeled cardinalities, match-rate hints,
+machines) the optimizer must (a) pick the cheapest viable candidate,
+and (b) never pick — or even rank as viable — a transfer method the
+support layer rejects for the route it would use.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.hardware import ibm_ac922, intel_xeon_v100
+from repro.logical import optimize, scan
+from repro.transfer.methods import (
+    UnsupportedTransferError,
+    get_method,
+)
+
+_MACHINES = {
+    "ibm-ac922": ibm_ac922(),
+    "intel-xeon-v100": intel_xeon_v100(),
+}
+
+_EXECUTED = 256  # tiny functional arrays; the *modeled* sizes vary
+
+
+def _join_query(modeled_r, modeled_s, selectivity):
+    rng = np.random.default_rng(3)
+    r = Relation(
+        name="r",
+        key=np.arange(_EXECUTED, dtype=np.int64),
+        payload=rng.integers(0, 100, _EXECUTED).astype(np.int64),
+        modeled_tuples=modeled_r,
+    )
+    s = Relation(
+        name="s",
+        key=rng.integers(0, _EXECUTED, _EXECUTED).astype(np.int64),
+        payload=rng.integers(0, 100, _EXECUTED).astype(np.int64),
+        modeled_tuples=modeled_s,
+    )
+    hint = None if selectivity == 1.0 else selectivity
+    return (
+        scan(s)
+        .join(scan(r), build_key="key", probe_key="key", selectivity=hint)
+        .aggregate(agg=("build_payload", "sum"))
+    )
+
+
+_WORKLOADS = st.tuples(
+    st.integers(10, 28).map(lambda e: 2 ** e),  # modeled build rows
+    st.integers(10, 28).map(lambda e: 2 ** e),  # modeled probe rows
+    st.sampled_from([0.05, 0.25, 0.5, 0.9, 1.0]),
+    st.sampled_from(sorted(_MACHINES)),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_WORKLOADS)
+def test_chosen_candidate_is_cheapest_viable(params):
+    modeled_r, modeled_s, selectivity, machine_name = params
+    result = optimize(
+        _join_query(modeled_r, modeled_s, selectivity),
+        _MACHINES[machine_name],
+    )
+    viable = [c for c in result.candidates if c.viable]
+    assert viable, "at least one candidate must survive"
+    assert result.chosen.viable
+    cheapest = min(c.seconds for c in viable)
+    assert result.chosen.seconds == cheapest
+    # The winner's compiled plan is returned alongside the decision.
+    assert result.chosen_plan is not None
+    assert result.chosen.seconds > 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(_WORKLOADS)
+def test_no_viable_candidate_uses_an_unsupported_method(params):
+    modeled_r, modeled_s, selectivity, machine_name = params
+    machine = _MACHINES[machine_name]
+    result = optimize(
+        _join_query(modeled_r, modeled_s, selectivity), machine
+    )
+    gpus = {p.name for p in machine.gpus()}
+    for candidate in result.candidates:
+        if not candidate.viable:
+            continue
+        config = candidate.config
+        if config.strategy != "single" or config.processor not in gpus:
+            continue  # CPU-only ingest never crosses the interconnect
+        method = get_method(config.transfer_method)
+        # Viability implies the support layer accepts the route and the
+        # memory kind the optimizer reallocated the inputs to.
+        try:
+            method.check_supported(
+                machine,
+                config.processor,
+                machine.nearest_cpu_memory(config.processor).name,
+                kind=method.required_kind,
+            )
+        except UnsupportedTransferError as exc:  # pragma: no cover
+            raise AssertionError(
+                f"optimizer ranked {config.describe()} viable but the "
+                f"support layer rejects it: {exc}"
+            )

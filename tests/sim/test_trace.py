@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.trace import Span, Timeline
+from repro.obs.trace import Span, Timeline
 
 
 class TestSpan:
