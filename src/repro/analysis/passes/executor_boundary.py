@@ -21,6 +21,17 @@ run.  A hand-built ``Plan(...)`` outside ``repro.logical`` /
 ``repro.plan`` escapes that search space; the pass flags it, and the
 pipelines not yet migrated (radix, multi-GPU, scan fallback) are
 baselined until their lowering rules exist.
+
+The serving engine adds a third boundary: the discrete-event
+:class:`repro.sim.Simulator` itself.  Its clock semantics
+(``run(until=...)`` landing exactly on ``until``, the epsilon clamp in
+``schedule_at``) are load-bearing for multi-query scheduling, and two
+components driving private simulators over the same logical workload
+would disagree about virtual time.  Multi-query workloads may only be
+driven by ``repro.serve.scheduler`` (the ``ContentionScheduler``);
+single-operator DES usage stays inside ``repro.plan`` and the
+``repro.transfer`` stream cross-check.  A ``Simulator(...)``
+constructed anywhere else is flagged.
 """
 
 from __future__ import annotations
@@ -40,8 +51,10 @@ class ExecutorBoundaryPass(AnalysisPass):
     description = (
         "operators compile phase plans; only repro.plan may price "
         "phases through CostModel.phase_cost/phases_cost/"
-        "occupancy_per_unit, and only repro.logical/repro.plan may "
-        "hand-assemble Plan objects"
+        "occupancy_per_unit, only repro.logical/repro.plan may "
+        "hand-assemble Plan objects, and only the sanctioned drivers "
+        "(repro.serve.scheduler for multi-query workloads) may "
+        "construct Simulator instances"
     )
     severity = Severity.ERROR
     #: everything is in scope except the pricing layer itself; see
@@ -56,6 +69,18 @@ class ExecutorBoundaryPass(AnalysisPass):
     #: objects: the lowering compiler is the plan factory.
     plan_exempt = ("repro/plan/", "repro/logical/")
 
+    #: path fragments allowed to construct :class:`repro.sim.Simulator`:
+    #: the engine's own package, the plan executor's DES paths, the
+    #: transfer-pipeline cross-check, and — the only sanctioned driver
+    #: of ``Simulator.run`` for *multi-query* workloads — the serving
+    #: scheduler.
+    sim_exempt = (
+        "repro/sim/",
+        "repro/plan/",
+        "repro/serve/scheduler",
+        "repro/transfer/stream",
+    )
+
     def in_scope(self, posix_path: str) -> bool:
         return not any(fragment in posix_path for fragment in self.exempt)
 
@@ -67,8 +92,14 @@ class ExecutorBoundaryPass(AnalysisPass):
             fragment in ctx.posix_path for fragment in self.plan_exempt
         )
 
+    def _may_build_simulators(self, ctx: ModuleContext) -> bool:
+        return any(
+            fragment in ctx.posix_path for fragment in self.sim_exempt
+        )
+
     def _iter_findings(self, ctx: ModuleContext) -> Iterator[Finding]:
         plans_allowed = self._may_build_plans(ctx)
+        sims_allowed = self._may_build_simulators(ctx)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -86,6 +117,23 @@ class ExecutorBoundaryPass(AnalysisPass):
                     "pipeline as a logical query (or a lowering rule in "
                     "repro.logical.lower) so the optimizer can enumerate "
                     "its physical alternatives",
+                )
+                continue
+            if (
+                not sims_allowed
+                and isinstance(func, ast.Name)
+                and func.id == "Simulator"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct `Simulator(...)` construction outside the "
+                    "sanctioned DES drivers; only repro.serve.scheduler "
+                    "may drive Simulator.run for multi-query workloads "
+                    "(single-operator DES lives in repro.plan / "
+                    "repro.transfer.stream) — route concurrent queries "
+                    "through the ContentionScheduler so they share one "
+                    "virtual clock",
                 )
                 continue
             if not isinstance(func, ast.Attribute):

@@ -29,7 +29,7 @@ from repro.obs.explain import bottleneck_chain, utilization
 
 #: Version of the manifest JSON layout.  Keep in lockstep with the
 #: schema changelog in docs/observability.md.
-MANIFEST_SCHEMA_VERSION = "1.2"
+MANIFEST_SCHEMA_VERSION = "1.3"
 
 #: The *declared* manifest schema, enforced statically by the
 #: ``manifest-schema`` analysis pass: every key a writer function puts
@@ -46,8 +46,8 @@ MANIFEST_SCHEMA_VERSION = "1.2"
 #: names its writer (``Class.method`` or a module-level function) and
 #: the exact keys that writer may emit.
 MANIFEST_SCHEMA = {
-    "version": "1.2",
-    "checksum": "3e8b54ab2c63a40b",
+    "version": "1.3",
+    "checksum": "9e70649542e5ec1a",
     "sections": {
         "__top__": {
             "writer": "RunManifest.to_dict",
@@ -65,6 +65,7 @@ MANIFEST_SCHEMA = {
                 "calibration",
                 "resilience",
                 "optimizer",
+                "serving",
             ],
         },
         "__document__": {
@@ -113,6 +114,23 @@ MANIFEST_SCHEMA = {
                 "considered",
                 "rejected",
                 "candidates",
+            ],
+        },
+        "serving": {
+            "writer": "ServingRecord.section",
+            "keys": [
+                "schema_version",
+                "request_id",
+                "tenant",
+                "workload",
+                "machine",
+                "arrival",
+                "start",
+                "finish",
+                "latency",
+                "solo_seconds",
+                "stretch",
+                "cache_hit",
             ],
         },
     },
@@ -191,6 +209,11 @@ class RunManifest:
     #: chosen and every alternative considered — or None for runs whose
     #: physical configuration was hand-picked.
     optimizer: Optional[Dict[str, Any]] = None
+    #: Serving-layer outcome (schema 1.3): the ``section()`` of a
+    #: :class:`repro.serve.ServingRecord` — arrival/start/finish and
+    #: the contention stretch the multi-query scheduler assigned — or
+    #: None for runs priced outside the serving engine.
+    serving: Optional[Dict[str, Any]] = None
 
     @property
     def bottleneck_summary(self) -> List[str]:
@@ -216,6 +239,7 @@ class RunManifest:
             "calibration": self.calibration,
             "resilience": self.resilience,
             "optimizer": self.optimizer,
+            "serving": self.serving,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -240,6 +264,7 @@ def build_manifest(
     calibration: Optional[Calibration] = None,
     resilience: Optional[Dict[str, Any]] = None,
     optimizer: Optional[Dict[str, Any]] = None,
+    serving: Optional[Dict[str, Any]] = None,
 ) -> RunManifest:
     """Assemble a manifest from priced phases plus observability state.
 
@@ -249,7 +274,9 @@ def build_manifest(
     for chaos runs; fault-free runs leave it None.  ``optimizer`` is a
     :meth:`repro.logical.OptimizerResult.section` dump for runs whose
     physical plan the optimizer chose; hand-configured runs leave it
-    None.
+    None.  ``serving`` is a :meth:`repro.serve.ServingRecord.section`
+    dump for queries served by the multi-query engine; standalone runs
+    leave it None.
     """
     manifest = RunManifest(
         kind=kind,
@@ -260,6 +287,7 @@ def build_manifest(
         results=dict(results or {}),
         resilience=resilience,
         optimizer=optimizer,
+        serving=serving,
     )
     if obs is not None:
         manifest.metrics = obs.metrics.snapshot()

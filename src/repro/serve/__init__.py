@@ -1,0 +1,49 @@
+"""Multi-query serving engine over the simulated machine.
+
+The paper's numbers assume one query owns the whole machine; this
+package serves *traffic*: a :class:`QueryService` front door compiles
+each request through the cost-based optimizer, an admission controller
+enforces per-tenant quotas with typed rejections, a plan/result cache
+skips repeat optimizations, and a DES-backed scheduler multiplexes the
+admitted queries over one machine — co-running phases contend for
+memory channels and interconnect bandwidth through the max-min fair
+rate solver instead of each pretending to own the hardware.  Headline
+number: tail latency under concurrency, not single-query makespan
+(``python -m repro.bench.serving_latency``).
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    TenantQuota,
+)
+from repro.serve.cache import PlanCache, PlanCacheEntry, workload_fingerprint
+from repro.serve.request import (
+    QueryRequest,
+    Rejection,
+    ServedQuery,
+    ServingRecord,
+    ServingReport,
+    percentile,
+)
+from repro.serve.scheduler import ContentionScheduler, ScheduleOutcome
+from repro.serve.service import QueryService, modeled_query_bytes
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "ContentionScheduler",
+    "PlanCache",
+    "PlanCacheEntry",
+    "QueryRequest",
+    "QueryService",
+    "Rejection",
+    "ScheduleOutcome",
+    "ServedQuery",
+    "ServingRecord",
+    "ServingReport",
+    "TenantQuota",
+    "modeled_query_bytes",
+    "percentile",
+    "workload_fingerprint",
+]

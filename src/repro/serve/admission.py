@@ -1,0 +1,155 @@
+"""Admission control: per-tenant quotas with typed rejection.
+
+The serving engine multiplexes many tenants over one simulated machine;
+without back-pressure a single tenant could queue unbounded work and
+starve everyone else's tail latency.  The controller enforces two
+quotas per tenant, both measured over the tenant's *currently in
+flight* queries (admitted, not yet finished on the virtual clock):
+
+* **max in-flight** — how many of the tenant's queries may run
+  concurrently;
+* **max modeled bytes** — the sum of the modeled input bytes the
+  tenant's in-flight queries scan (the paper-scale data the cost model
+  prices, not the scaled-down executed arrays).
+
+A violation raises :class:`AdmissionError` carrying the tenant, the
+exceeded quota, its limit, and the observed value — the service layer
+converts it into a :class:`repro.serve.request.Rejection` so one greedy
+tenant cannot abort an open-loop serving run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.serve.request import QueryRequest
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits for one tenant (``inf`` = unlimited)."""
+
+    max_in_flight: float = float("inf")
+    max_modeled_bytes: float = float("inf")
+
+
+#: quota applied to tenants without an explicit entry.
+DEFAULT_QUOTA = TenantQuota()
+
+
+class AdmissionError(RuntimeError):
+    """A request exceeded its tenant's quota.
+
+    Attributes name the violated quota so callers can react without
+    parsing the message: ``tenant``, ``quota`` (``"in_flight"`` or
+    ``"modeled_bytes"``), ``limit``, ``observed`` (the value admission
+    would have reached), and ``request_id``.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        quota: str,
+        limit: float,
+        observed: float,
+        request_id: int,
+    ) -> None:
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.observed = observed
+        self.request_id = request_id
+        super().__init__(
+            f"tenant {tenant!r} exceeds {quota} quota on request "
+            f"#{request_id}: {observed:g} > {limit:g}"
+        )
+
+
+@dataclass
+class _TenantState:
+    in_flight: int = 0
+    modeled_bytes: float = 0.0
+    admitted_total: int = 0
+    rejected_total: int = 0
+
+
+class AdmissionController:
+    """Tracks per-tenant in-flight load and enforces quotas."""
+
+    def __init__(
+        self,
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        default: TenantQuota = DEFAULT_QUOTA,
+    ) -> None:
+        self.quotas: Dict[str, TenantQuota] = dict(quotas or {})
+        self.default = default
+        self._state: Dict[str, _TenantState] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota governing ``tenant`` (the default if unset)."""
+        return self.quotas.get(tenant, self.default)
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        return self._state.setdefault(tenant, _TenantState())
+
+    def admit(self, request: QueryRequest, modeled_bytes: float) -> None:
+        """Admit ``request`` or raise a typed :class:`AdmissionError`."""
+        quota = self.quota_for(request.tenant)
+        state = self._tenant(request.tenant)
+        if state.in_flight + 1 > quota.max_in_flight:
+            state.rejected_total += 1
+            raise AdmissionError(
+                tenant=request.tenant,
+                quota="in_flight",
+                limit=quota.max_in_flight,
+                observed=state.in_flight + 1,
+                request_id=request.request_id,
+            )
+        if state.modeled_bytes + modeled_bytes > quota.max_modeled_bytes:
+            state.rejected_total += 1
+            raise AdmissionError(
+                tenant=request.tenant,
+                quota="modeled_bytes",
+                limit=quota.max_modeled_bytes,
+                observed=state.modeled_bytes + modeled_bytes,
+                request_id=request.request_id,
+            )
+        state.in_flight += 1
+        state.modeled_bytes += modeled_bytes
+        state.admitted_total += 1
+
+    def release(self, request: QueryRequest, modeled_bytes: float) -> None:
+        """Return an admitted request's quota share (query finished)."""
+        state = self._tenant(request.tenant)
+        if state.in_flight <= 0:
+            raise RuntimeError(
+                f"release without matching admit for tenant "
+                f"{request.tenant!r} (request #{request.request_id})"
+            )
+        state.in_flight -= 1
+        state.modeled_bytes = max(0.0, state.modeled_bytes - modeled_bytes)
+
+    def in_flight(self, tenant: str) -> int:
+        """Currently admitted, not-yet-released queries for ``tenant``."""
+        return self._tenant(tenant).in_flight
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters, JSON-ready (metrics/report input)."""
+        return {
+            tenant: {
+                "in_flight": state.in_flight,
+                "modeled_bytes": state.modeled_bytes,
+                "admitted_total": state.admitted_total,
+                "rejected_total": state.rejected_total,
+            }
+            for tenant, state in sorted(self._state.items())
+        }
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "DEFAULT_QUOTA",
+    "TenantQuota",
+]

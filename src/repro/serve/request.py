@@ -1,0 +1,176 @@
+"""Request/response records of the multi-query serving engine.
+
+A :class:`QueryRequest` names a workload from the shared
+:mod:`repro.logical.explain` registry, the tenant submitting it, and
+its virtual arrival time.  The service answers with a
+:class:`ServedQuery`: the solo-priced phases, the contention-stretched
+start/finish times the scheduler assigned, and a per-query
+schema-versioned manifest whose ``serving`` section
+(:meth:`ServingRecord.section`) records how the shared machine treated
+this query — arrival-to-finish latency, solo seconds, and the stretch
+factor between them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.costmodel.model import PhaseCost
+
+#: version of the per-query ``serving`` manifest section.
+SERVING_SCHEMA_VERSION = "1.0"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One submitted query: who wants what, and when it arrives."""
+
+    request_id: int
+    tenant: str
+    workload: str
+    machine: str
+    #: virtual arrival time (seconds on the serving simulator's clock).
+    arrival: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the request."""
+        return (
+            f"request #{self.request_id} [{self.tenant}] "
+            f"{self.workload}@{self.machine} at t={self.arrival:.6f}"
+        )
+
+
+@dataclass
+class ServingRecord:
+    """The serving-layer outcome of one query (manifest section)."""
+
+    request_id: int
+    tenant: str
+    workload: str
+    machine: str
+    arrival: float
+    start: float
+    finish: float
+    solo_seconds: float
+    cache_hit: bool
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-finish virtual latency (queueing + stretch)."""
+        return self.finish - self.arrival
+
+    @property
+    def stretch(self) -> float:
+        """Latency over solo runtime; 1.0 means no contention."""
+        if self.solo_seconds <= 0:
+            return 1.0
+        return self.latency / self.solo_seconds
+
+    def section(self) -> Dict[str, Any]:
+        """The manifest's ``serving`` section (schema-checked)."""
+        return {
+            "schema_version": SERVING_SCHEMA_VERSION,
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "workload": self.workload,
+            "machine": self.machine,
+            "arrival": self.arrival,
+            "start": self.start,
+            "finish": self.finish,
+            "latency": self.latency,
+            "solo_seconds": self.solo_seconds,
+            "stretch": self.stretch,
+            "cache_hit": self.cache_hit,
+        }
+
+
+@dataclass
+class ServedQuery:
+    """One admitted query: priced phases in, scheduled times out."""
+
+    request: QueryRequest
+    #: the solo-priced phase costs the scheduler stretches.
+    phases: List[PhaseCost]
+    #: dependency-aware solo makespan (contention-free latency).
+    solo_seconds: float
+    cache_hit: bool = False
+    #: the solo manifest dict (no ``serving`` section yet); the service
+    #: deep-copies it and stamps the serving record in after scheduling.
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    #: filled by the scheduler (virtual seconds).
+    start: float = 0.0
+    finish: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.request.arrival
+
+    def serving_record(self) -> ServingRecord:
+        """This query's ``serving`` manifest-section record."""
+        return ServingRecord(
+            request_id=self.request.request_id,
+            tenant=self.request.tenant,
+            workload=self.request.workload,
+            machine=self.request.machine,
+            arrival=self.request.arrival,
+            start=self.start,
+            finish=self.finish,
+            solo_seconds=self.solo_seconds,
+            cache_hit=self.cache_hit,
+        )
+
+
+@dataclass
+class Rejection:
+    """One request the admission controller turned away."""
+
+    request: QueryRequest
+    #: the typed :class:`repro.serve.admission.AdmissionError`.
+    error: Exception
+
+    def describe(self) -> str:
+        return f"{self.request.describe()} — rejected: {self.error}"
+
+
+@dataclass
+class ServingReport:
+    """Everything one :meth:`QueryService.serve` call produced."""
+
+    served: List[ServedQuery]
+    rejections: List[Rejection]
+    #: plan/result cache counters (``PlanCache.stats()``).
+    cache: Dict[str, Any]
+    #: virtual time the last query finished.
+    makespan: float
+    #: most queries simultaneously active on the simulated machine.
+    peak_concurrency: int
+
+    def latencies(self) -> List[float]:
+        """Per-query virtual latencies in request-id order."""
+        ordered = sorted(self.served, key=lambda q: q.request.request_id)
+        return [q.latency for q in ordered]
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile of the served latencies."""
+        return percentile(self.latencies(), fraction)
+
+    def query(self, request_id: int) -> Optional[ServedQuery]:
+        """The served query with ``request_id``, or ``None``."""
+        for served in self.served:
+            if served.request.request_id == request_id:
+                return served
+        return None
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction out of range: {fraction}")
+    ordered = sorted(values)
+    rank = math.ceil(fraction * len(ordered))
+    rank = min(len(ordered), max(1, rank))
+    return ordered[rank - 1]

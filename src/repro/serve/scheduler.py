@@ -1,0 +1,243 @@
+"""DES-backed contention scheduler: many queries, one machine.
+
+Single-query execution prices a plan as if the query owned the whole
+machine.  Under serving traffic that is exactly wrong — co-running
+queries fight for the same memory channels and interconnect links the
+paper's Section 6 co-processing already models *within* one query.
+This scheduler extends that model *across* queries:
+
+* each admitted query runs its solo-priced phases **sequentially**
+  (a phase is ``solo_seconds`` of work, with a per-second resource
+  occupancy vector taken from its :class:`~repro.costmodel.model.
+  PhaseCost`);
+* all currently-active phases contend: their per-unit occupancy
+  vectors go through :func:`~repro.sim.resources.solve_concurrent_
+  rates`, and each query progresses at the solved (max-min fair) rate,
+  clamped to 1.0 so a query alone finishes in exactly its solo time —
+  serving can only stretch a query, never speed it up;
+* arrivals and phase completions are events on a deterministic
+  :class:`~repro.sim.engine.Simulator`; every event re-solves the rate
+  vector and re-schedules the now-stale completion times
+  (epoch-guarded, so superseded events no-op).
+
+Arrivals are scheduled at *absolute* virtual timestamps
+(``schedule_at``), and completion times are ``now + remaining/rate``
+sums — both paths that motivated the simulator-clock epsilon fixes
+this layer is built on.
+
+This module is the only sanctioned driver of ``Simulator.run`` for
+multi-query workloads (enforced by the ``executor-boundary`` analysis
+pass); everything else goes through the single-query
+:class:`~repro.plan.PlanExecutor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.costmodel.model import PhaseCost
+from repro.sim.engine import Simulator
+from repro.sim.resources import solve_concurrent_rates
+
+from repro.serve.request import ServedQuery
+
+#: remaining work below this fraction of a phase counts as finished
+#: (absorbs the float error of progress-accumulation across events).
+_REMAINING_EPSILON = 1e-12
+
+#: admission callback: (query, now) -> admitted?  Returning False drops
+#: the query (the service records the typed rejection).
+AdmitHook = Callable[[ServedQuery, float], bool]
+#: completion callback: (query, now) — quota release, metrics.
+FinishHook = Callable[[ServedQuery, float], None]
+
+
+@dataclass
+class _Active:
+    """One query currently on the machine."""
+
+    query: ServedQuery
+    phase_index: int = 0
+    #: solo-seconds of work left in the current phase.
+    remaining: float = 0.0
+    #: currently-solved progress rate (solo-seconds per virtual second).
+    rate: float = 1.0
+    #: virtual time of the last progress update.
+    updated: float = 0.0
+
+    def phase(self) -> PhaseCost:
+        return self.query.phases[self.phase_index]
+
+
+@dataclass
+class ScheduleOutcome:
+    """What one scheduler run did to the admitted queries."""
+
+    finished: List[ServedQuery] = field(default_factory=list)
+    dropped: List[ServedQuery] = field(default_factory=list)
+    makespan: float = 0.0
+    peak_concurrency: int = 0
+    #: how many times the rate vector was re-solved (events processed).
+    resolves: int = 0
+
+
+class ContentionScheduler:
+    """Multiplexes admitted queries over one simulated machine."""
+
+    def __init__(self, tolerance: float = 1e-9) -> None:
+        self.tolerance = tolerance
+
+    def run(
+        self,
+        queries: Sequence[ServedQuery],
+        admit: Optional[AdmitHook] = None,
+        on_finish: Optional[FinishHook] = None,
+    ) -> ScheduleOutcome:
+        """Serve ``queries`` (arrival order) and stamp start/finish.
+
+        ``admit`` runs at each query's arrival event against the
+        *current* in-flight population; rejected queries are dropped
+        and reported in :attr:`ScheduleOutcome.dropped`.
+        """
+        sim = Simulator()
+        outcome = ScheduleOutcome()
+        active: Dict[int, _Active] = {}
+        epoch = 0
+
+        def demand_key(record: _Active) -> str:
+            return f"q{record.query.request.request_id}"
+
+        def per_unit_demands() -> Dict[int, Dict[str, float]]:
+            """Per-second occupancy of every active query's phase."""
+            demands: Dict[int, Dict[str, float]] = {}
+            for request_id, record in active.items():
+                phase = record.phase()
+                if phase.seconds <= 0:
+                    demands[request_id] = {}
+                    continue
+                demands[request_id] = {
+                    resource: busy / phase.seconds
+                    for resource, busy in phase.occupancy.items()
+                }
+            return demands
+
+        def advance_progress(now: float) -> None:
+            for record in active.values():
+                elapsed = now - record.updated
+                if elapsed > 0:
+                    record.remaining -= elapsed * record.rate
+                record.updated = now
+
+        def skip_empty_phases(record: _Active, now: float) -> bool:
+            """Advance past zero-second phases; True when query done."""
+            while record.phase_index < len(record.query.phases):
+                phase = record.phase()
+                if phase.seconds > 0:
+                    if record.remaining <= 0:
+                        record.remaining = phase.seconds
+                    return False
+                record.phase_index += 1
+                record.remaining = 0.0
+            finish_query(record, now)
+            return True
+
+        def finish_query(record: _Active, now: float) -> None:
+            query = record.query
+            query.finish = now
+            del active[query.request.request_id]
+            outcome.finished.append(query)
+            if on_finish is not None:
+                on_finish(query, now)
+
+        def resolve(simulator: Simulator) -> None:
+            """Re-solve rates and re-schedule every completion."""
+            nonlocal epoch
+            epoch += 1
+            outcome.resolves += 1
+            if not active:
+                return
+            now = simulator.now
+            advance_progress(now)
+            demands = per_unit_demands()
+            solver_input = {
+                demand_key(record): demands[request_id]
+                for request_id, record in active.items()
+            }
+            rates = solve_concurrent_rates(
+                solver_input, tolerance=self.tolerance
+            )
+            for request_id, record in active.items():
+                solved = rates[demand_key(record)]
+                # A query never runs faster than solo: per-unit demand
+                # is occupancy per solo-second, so rate 1.0 reproduces
+                # the solo duration exactly.
+                record.rate = min(1.0, solved)
+                if record.rate <= 0:
+                    raise RuntimeError(
+                        f"starved query {request_id}: rate {record.rate}"
+                    )
+                eta = now + record.remaining / record.rate
+                simulator.schedule_at(
+                    eta,
+                    make_completion(request_id, record.phase_index, epoch),
+                )
+
+        def make_completion(request_id: int, phase_index: int, when: int):
+            def completion(simulator: Simulator) -> None:
+                if when != epoch:
+                    return  # superseded by a later arrival/completion
+                record = active.get(request_id)
+                if record is None or record.phase_index != phase_index:
+                    return
+                now = simulator.now
+                advance_progress(now)
+                phase = record.phase()
+                if record.remaining > _REMAINING_EPSILON * max(
+                    1.0, phase.seconds
+                ):
+                    # Drift between the scheduled eta and accumulated
+                    # progress; re-solve and let a fresh event land it.
+                    resolve(simulator)
+                    return
+                record.phase_index += 1
+                record.remaining = 0.0
+                skip_empty_phases(record, now)
+                resolve(simulator)
+
+            return completion
+
+        def make_arrival(query: ServedQuery):
+            def arrival(simulator: Simulator) -> None:
+                now = simulator.now
+                if admit is not None and not admit(query, now):
+                    outcome.dropped.append(query)
+                    return
+                query.start = now
+                record = _Active(query=query, updated=now)
+                active[query.request.request_id] = record
+                if skip_empty_phases(record, now):
+                    return
+                outcome.peak_concurrency = max(
+                    outcome.peak_concurrency, len(active)
+                )
+                resolve(simulator)
+
+            return arrival
+
+        for query in sorted(
+            queries,
+            key=lambda q: (q.request.arrival, q.request.request_id),
+        ):
+            sim.schedule_at(query.request.arrival, make_arrival(query))
+
+        outcome.makespan = sim.run()
+        if active:
+            stuck = sorted(active)
+            raise RuntimeError(
+                f"scheduler drained with unfinished queries: {stuck}"
+            )
+        return outcome
+
+
+__all__ = ["ContentionScheduler", "ScheduleOutcome"]

@@ -1,0 +1,258 @@
+"""The serving front door: submit queries, serve them, get manifests.
+
+:class:`QueryService` is the entry point of the multi-query engine
+(ROADMAP item 1).  Callers — a thread pool, a load generator, a test —
+``submit()`` requests naming a workload from the shared
+:mod:`repro.logical.explain` registry; ``serve()`` then:
+
+1. **compiles** each distinct workload through the logical layer
+   (:func:`repro.logical.optimizer.optimize`) and prices the chosen
+   plan with a *fresh* :class:`~repro.obs.Observability` bundle and
+   cost model per workload — per-query metrics and spans can never
+   bleed between co-running queries because no two queries ever share
+   a registry (pinned by the isolation tests);
+2. **caches** the priced artifact by workload fingerprint
+   (:mod:`repro.serve.cache`), so repeat requests skip the optimizer's
+   search-space enumeration entirely;
+3. **admits** each request against its tenant's quota at its virtual
+   arrival time (:mod:`repro.serve.admission`), converting typed
+   :class:`~repro.serve.admission.AdmissionError` rejections into
+   report entries instead of aborting the run;
+4. **schedules** the admitted queries over one simulated machine
+   (:mod:`repro.serve.scheduler`), where overlapping phases contend
+   through the max-min fair rate solver;
+5. **stamps** each served query's manifest with a schema-versioned
+   ``serving`` section (arrival, start, finish, latency, stretch,
+   cache hit) and returns everything as a
+   :class:`~repro.serve.request.ServingReport`.
+
+``submit()`` is thread-safe (a lock guards the request log); the serve
+pass itself is deterministic and single-threaded — virtual time, not
+wall-clock, decides every latency.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.costmodel.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.costmodel.model import CostModel
+from repro.logical.algebra import Scan
+from repro.logical.explain import MACHINES, WORKLOADS
+from repro.logical.optimizer import optimize
+from repro.obs import Observability
+from repro.obs.manifest import build_manifest
+from repro.plan import PlanExecutor
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    TenantQuota,
+)
+from repro.serve.cache import (
+    PlanCache,
+    PlanCacheEntry,
+    workload_fingerprint,
+)
+from repro.serve.request import (
+    QueryRequest,
+    Rejection,
+    ServedQuery,
+    ServingReport,
+)
+from repro.serve.scheduler import ContentionScheduler
+
+
+def modeled_query_bytes(query: Any) -> float:
+    """Modeled input bytes of a logical query: sum over its scans.
+
+    This is the paper-scale data volume the cost model prices (what a
+    tenant's quota should meter), not the scaled-down executed arrays.
+    """
+    root = query.node if hasattr(query, "node") else query
+    total = 0.0
+    for node in root.walk():
+        if isinstance(node, Scan):
+            total += node.modeled_rows * sum(node.column_bytes())
+    return total
+
+
+class QueryService:
+    """Front door of the multi-query serving engine."""
+
+    def __init__(
+        self,
+        machine: str = "ibm-ac922",
+        quotas: Optional[Mapping[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        cache: Optional[PlanCache] = None,
+    ) -> None:
+        if machine not in MACHINES:
+            raise KeyError(
+                f"unknown machine {machine!r}; valid: "
+                f"{', '.join(sorted(MACHINES))}"
+            )
+        self.machine_name = machine
+        self.calibration = calibration
+        self.admission = AdmissionController(
+            quotas=quotas,
+            default=default_quota
+            if default_quota is not None
+            else TenantQuota(),
+        )
+        self.cache = cache if cache is not None else PlanCache()
+        self.scheduler = ContentionScheduler()
+        self._lock = threading.Lock()
+        self._requests: List[QueryRequest] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    def submit(
+        self, tenant: str, workload: str, arrival: float
+    ) -> QueryRequest:
+        """Register a request (thread-safe); served on ``serve()``."""
+        if workload not in WORKLOADS:
+            raise KeyError(
+                f"unknown workload {workload!r}; valid: "
+                f"{', '.join(sorted(WORKLOADS))}"
+            )
+        if arrival < 0:
+            raise ValueError(f"arrival must be >= 0, got {arrival}")
+        with self._lock:
+            request = QueryRequest(
+                request_id=self._next_id,
+                tenant=tenant,
+                workload=workload,
+                machine=self.machine_name,
+                arrival=arrival,
+            )
+            self._next_id += 1
+            self._requests.append(request)
+        return request
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._requests)
+
+    # ------------------------------------------------------------------
+    # Pricing (cache-aware)
+    # ------------------------------------------------------------------
+    def _price_workload(self, workload: str) -> PlanCacheEntry:
+        """Optimize + solo-price one workload with isolated obs state."""
+        fingerprint = workload_fingerprint(workload, self.machine_name)
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        _description, build_query = WORKLOADS[workload]
+        query = build_query()
+        modeled_bytes = modeled_query_bytes(query)
+        decision = optimize(
+            query,
+            MACHINES[self.machine_name](),
+            calibration=self.calibration,
+            label=workload,
+        )
+        # Re-execute the chosen plan against a fresh machine, cost
+        # model, and observability bundle: the optimizer's own obs saw
+        # every candidate it enumerated, and per-query manifests must
+        # describe exactly one query's phases.
+        machine = MACHINES[self.machine_name]()
+        obs = Observability.create()
+        model = CostModel(machine, self.calibration, obs=obs)
+        result = PlanExecutor(model).execute(decision.chosen_plan)
+        manifest = build_manifest(
+            kind=f"serve[{fingerprint}]",
+            machine=machine,
+            phases=result.phase_costs(),
+            workload={
+                "name": workload,
+                "description": WORKLOADS[workload][0],
+                "modeled_bytes": modeled_bytes,
+            },
+            config={"physical": decision.chosen.config.describe()},
+            results={
+                "solo_seconds": result.makespan,
+                "predicted_seconds": decision.chosen.seconds,
+            },
+            obs=obs,
+            calibration=self.calibration,
+            optimizer=decision.section(),
+        )
+        entry = PlanCacheEntry(
+            fingerprint=fingerprint,
+            phases=result.phase_costs(),
+            solo_seconds=result.makespan,
+            modeled_bytes=modeled_bytes,
+            manifest=manifest.to_dict(),
+        )
+        self.cache.put(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve(self) -> ServingReport:
+        """Price, admit, and schedule everything submitted so far."""
+        with self._lock:
+            requests = list(self._requests)
+            self._requests = []
+        requests.sort(key=lambda r: (r.arrival, r.request_id))
+
+        queries: List[ServedQuery] = []
+        modeled: Dict[int, float] = {}
+        for request in requests:
+            hit = (
+                workload_fingerprint(request.workload, request.machine)
+                in self.cache
+            )
+            entry = self._price_workload(request.workload)
+            modeled[request.request_id] = entry.modeled_bytes
+            queries.append(
+                ServedQuery(
+                    request=request,
+                    phases=list(entry.phases),
+                    solo_seconds=entry.solo_seconds,
+                    cache_hit=hit,
+                    manifest=entry.manifest_copy(),
+                )
+            )
+
+        rejections: List[Rejection] = []
+
+        def admit(query: ServedQuery, _now: float) -> bool:
+            try:
+                self.admission.admit(
+                    query.request, modeled[query.request.request_id]
+                )
+            except AdmissionError as error:
+                rejections.append(
+                    Rejection(request=query.request, error=error)
+                )
+                return False
+            return True
+
+        def on_finish(query: ServedQuery, _now: float) -> None:
+            self.admission.release(
+                query.request, modeled[query.request.request_id]
+            )
+
+        outcome = self.scheduler.run(
+            queries, admit=admit, on_finish=on_finish
+        )
+        for query in outcome.finished:
+            query.manifest["serving"] = query.serving_record().section()
+        return ServingReport(
+            served=outcome.finished,
+            rejections=rejections,
+            cache=self.cache.stats(),
+            makespan=outcome.makespan,
+            peak_concurrency=outcome.peak_concurrency,
+        )
+
+
+__all__ = ["QueryService", "modeled_query_bytes"]

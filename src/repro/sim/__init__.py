@@ -7,13 +7,15 @@ latency, and end-of-input load imbalance.  This package provides a small
 deterministic event engine plus a shared-resource throughput solver.
 """
 
-from repro.sim.engine import Event, Simulator
-from repro.sim.resources import solve_concurrent_rates
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.resources import SolverError, solve_concurrent_rates
 from repro.obs.trace import Span, Timeline
 
 __all__ = [
     "Event",
+    "SimulationError",
     "Simulator",
+    "SolverError",
     "solve_concurrent_rates",
     "Span",
     "Timeline",

@@ -19,6 +19,16 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduling (negative delays, running twice)."""
 
 
+#: Relative clock slop absorbed by :meth:`Simulator.schedule_at`.
+#: Absolute timestamps are typically computed outside the event loop
+#: (cumulative sums of inter-arrival gaps, precomputed schedules), so
+#: float accumulation can leave a target a few ULPs behind ``now`` even
+#: though it is logically "now or later"; deltas within
+#: ``CLOCK_EPSILON * max(1, now)`` of zero are clamped to zero while
+#: genuinely past times stay fatal.
+CLOCK_EPSILON = 1e-9
+
+
 @dataclass(frozen=True)
 class Event:
     """A scheduled callback; ordering key is (time, seq)."""
@@ -60,8 +70,19 @@ class Simulator:
         return event
 
     def schedule_at(self, time: float, callback: Callable[["Simulator"], None]) -> Event:
-        """Schedule ``callback`` at an absolute virtual time."""
-        return self.schedule(time - self.now, callback)
+        """Schedule ``callback`` at an absolute virtual time.
+
+        Epsilon-negative deltas — ``|time - now|`` within
+        :data:`CLOCK_EPSILON` relative to the clock — are clamped to
+        zero, so absolute timestamps that drifted a few ULPs behind the
+        clock through float accumulation fire immediately instead of
+        raising; times genuinely in the past remain a
+        :class:`SimulationError`.
+        """
+        delta = time - self.now
+        if delta < 0 and -delta <= CLOCK_EPSILON * max(1.0, self.now):
+            delta = 0.0
+        return self.schedule(delta, callback)
 
     @property
     def pending(self) -> int:
@@ -82,10 +103,16 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue (optionally stopping at ``until``).
 
-        Returns the final virtual time.  When a tracer is attached, the
-        run is recorded as a ``sim.run`` span and the tracer's sim-clock
-        advances by the elapsed virtual time, so discrete-event phases
-        land on the same timeline as cost-model-priced ones.
+        Returns the final virtual time.  ``run(until=T)`` always leaves
+        the clock at ``T`` when ``T`` exceeds the last fired event's
+        time — whether the queue still holds later events or drained
+        early — so callers observe consistent final-clock semantics on
+        both paths; the clock never moves backwards (``until`` earlier
+        than ``now`` leaves the clock where it is).  When a tracer is
+        attached, the run is recorded as a ``sim.run`` span and the
+        tracer's sim-clock advances by the elapsed virtual time, so
+        discrete-event phases land on the same timeline as
+        cost-model-priced ones.
         """
         if self._running:
             raise SimulationError("simulator is already running")
@@ -95,9 +122,10 @@ class Simulator:
         try:
             while self._queue:
                 if until is not None and self._queue[0].time > until:
-                    self.now = until
                     break
                 self.step()
+            if until is not None and until > self.now:
+                self.now = until
         finally:
             self._running = False
         if self.tracer is not None:

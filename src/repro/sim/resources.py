@@ -20,9 +20,34 @@ execution" (Section 6, requirement (c)).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 ResourceVector = Mapping[str, float]
+
+
+class SolverError(RuntimeError):
+    """The waterfilling solver could not reach a feasible point.
+
+    Carries diagnostics instead of a bare message: the most
+    oversubscribed resource, its residual load (busy-seconds deposited
+    per second of wall time; feasible means <= 1), and how many
+    iterations ran before giving up.
+    """
+
+    def __init__(
+        self,
+        worst_resource: Optional[str],
+        residual_load: float,
+        iterations: int,
+    ) -> None:
+        self.worst_resource = worst_resource
+        self.residual_load = residual_load
+        self.iterations = iterations
+        super().__init__(
+            f"concurrent rate solver failed to converge after "
+            f"{iterations} iterations: resource {worst_resource!r} "
+            f"still carries load {residual_load:.12g} (> 1)"
+        )
 
 
 def solo_rate(occupancy_per_unit: ResourceVector) -> float:
@@ -33,6 +58,26 @@ def solo_rate(occupancy_per_unit: ResourceVector) -> float:
     if worst <= 0:
         return float("inf")
     return 1.0 / worst
+
+
+def _worst_loaded(
+    demands: Mapping[str, ResourceVector],
+    rates: Mapping[str, float],
+    finite: Sequence[str],
+    tolerance: float,
+) -> Tuple[Optional[str], float]:
+    """The most oversubscribed resource at ``rates`` (None if feasible)."""
+    loads: Dict[str, float] = {}
+    for worker in finite:
+        for resource, occupancy in demands[worker].items():
+            loads[resource] = loads.get(resource, 0.0) + occupancy * rates[worker]
+    worst_resource: Optional[str] = None
+    worst_load = 1.0 + tolerance
+    for resource, load in loads.items():
+        if load > worst_load:
+            worst_load = load
+            worst_resource = resource
+    return worst_resource, worst_load
 
 
 def solve_concurrent_rates(
@@ -47,26 +92,43 @@ def solve_concurrent_rates(
 
     Returns:
         worker name -> rate (units/s).  Workers with no demands get inf.
+
+    Raises:
+        SolverError: if ``max_iterations`` waterfilling rounds leave a
+            resource oversubscribed (the error names the worst resource,
+            its residual load, and the iteration count).  An oscillation
+            guard returns early instead when the same resource stays
+            worst without its load improving by more than ``tolerance``
+            — the float-rounding fixed point, feasible within noise.
     """
     rates = {worker: solo_rate(vector) for worker, vector in demands.items()}
-    finite = {w for w, r in rates.items() if r != float("inf")}
+    # Insertion order, not set order: load sums stay deterministic
+    # under hash randomization.
+    finite = [w for w, r in rates.items() if r != float("inf")]
+    last_resource: Optional[str] = None
+    last_load = float("inf")
     for _ in range(max_iterations):
-        # Find the most oversubscribed resource.
-        loads: Dict[str, float] = {}
-        for worker in finite:
-            for resource, occupancy in demands[worker].items():
-                loads[resource] = loads.get(resource, 0.0) + occupancy * rates[worker]
-        worst_resource = None
-        worst_load = 1.0 + tolerance
-        for resource, load in loads.items():
-            if load > worst_load:
-                worst_load = load
-                worst_resource = resource
+        worst_resource, worst_load = _worst_loaded(
+            demands, rates, finite, tolerance
+        )
         if worst_resource is None:
             return rates
+        # Oscillation guard: scaling never increases any rate, so a
+        # resource that stays worst with no measurable improvement is
+        # at the float-rounding fixed point (load ~ 1 + ULPs); return
+        # rather than spinning until the iteration cap.
+        if worst_resource == last_resource and last_load - worst_load <= tolerance:
+            return rates
+        last_resource = worst_resource
+        last_load = worst_load
         # Scale down every user of the oversubscribed resource.
         scale = 1.0 / worst_load
         for worker in finite:
             if demands[worker].get(worst_resource, 0.0) > 0:
                 rates[worker] *= scale
-    raise RuntimeError("concurrent rate solver failed to converge")
+    residual_resource, residual_load = _worst_loaded(
+        demands, rates, finite, tolerance
+    )
+    if residual_resource is None:
+        return rates
+    raise SolverError(residual_resource, residual_load, max_iterations)

@@ -167,6 +167,26 @@ def test_executor_boundary_bans_hand_built_plans():
     assert analyze_source(other, path="src/repro/core/join/custom.py") == []
 
 
+def test_executor_boundary_bans_rogue_simulators():
+    """Only the sanctioned DES drivers construct Simulator; multi-query
+    workloads must share one virtual clock via repro.serve.scheduler."""
+    source = "def drive():\n    sim = Simulator()\n    return sim.run()\n"
+    findings = analyze_source(source, path="src/repro/core/join/custom.py")
+    assert [f.rule for f in findings] == ["executor-boundary"]
+    assert "repro.serve.scheduler" in findings[0].message
+    for exempt_path in (
+        "src/repro/sim/engine.py",
+        "src/repro/serve/scheduler.py",
+        "src/repro/transfer/stream.py",
+        "src/repro/plan/executor.py",
+    ):
+        assert analyze_source(source, path=exempt_path) == []
+    # A service module queuing work for the scheduler must not spin up
+    # a private simulator of its own.
+    findings = analyze_source(source, path="src/repro/serve/service.py")
+    assert [f.rule for f in findings] == ["executor-boundary"]
+
+
 def test_syntax_error_becomes_finding():
     findings = analyze_source("def broken(:\n", path="src/repro/core/x.py")
     assert len(findings) == 1

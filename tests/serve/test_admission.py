@@ -1,0 +1,115 @@
+"""Admission control: quotas, typed rejection, release accounting."""
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    TenantQuota,
+)
+from repro.serve.request import QueryRequest
+
+
+def _request(request_id=0, tenant="alpha"):
+    return QueryRequest(
+        request_id=request_id,
+        tenant=tenant,
+        workload="join-b",
+        machine="ibm-ac922",
+        arrival=0.0,
+    )
+
+
+class TestInFlightQuota:
+    def test_admits_up_to_the_limit(self):
+        controller = AdmissionController(
+            quotas={"alpha": TenantQuota(max_in_flight=2)}
+        )
+        controller.admit(_request(0), 100.0)
+        controller.admit(_request(1), 100.0)
+        assert controller.in_flight("alpha") == 2
+
+    def test_rejects_beyond_the_limit_with_typed_error(self):
+        controller = AdmissionController(
+            quotas={"alpha": TenantQuota(max_in_flight=1)}
+        )
+        controller.admit(_request(0), 100.0)
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit(_request(7), 100.0)
+        error = excinfo.value
+        assert error.tenant == "alpha"
+        assert error.quota == "in_flight"
+        assert error.limit == 1
+        assert error.observed == 2
+        assert error.request_id == 7
+        assert "alpha" in str(error)
+        assert "in_flight" in str(error)
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(
+            quotas={"alpha": TenantQuota(max_in_flight=1)}
+        )
+        first = _request(0)
+        controller.admit(first, 100.0)
+        controller.release(first, 100.0)
+        controller.admit(_request(1), 100.0)
+        assert controller.in_flight("alpha") == 1
+
+    def test_admission_error_is_a_runtime_error(self):
+        assert issubclass(AdmissionError, RuntimeError)
+
+
+class TestModeledBytesQuota:
+    def test_rejects_oversized_request(self):
+        controller = AdmissionController(
+            quotas={"alpha": TenantQuota(max_modeled_bytes=1000.0)}
+        )
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit(_request(0), 2000.0)
+        assert excinfo.value.quota == "modeled_bytes"
+        assert excinfo.value.limit == 1000.0
+        assert excinfo.value.observed == 2000.0
+
+    def test_cumulative_bytes_enforced_across_in_flight(self):
+        controller = AdmissionController(
+            quotas={"alpha": TenantQuota(max_modeled_bytes=1000.0)}
+        )
+        controller.admit(_request(0), 600.0)
+        with pytest.raises(AdmissionError):
+            controller.admit(_request(1), 600.0)
+        controller.release(_request(0), 600.0)
+        controller.admit(_request(2), 600.0)
+
+
+class TestDefaults:
+    def test_unknown_tenant_gets_the_default_quota(self):
+        controller = AdmissionController(
+            default=TenantQuota(max_in_flight=1)
+        )
+        controller.admit(_request(0, tenant="anyone"), 1.0)
+        with pytest.raises(AdmissionError):
+            controller.admit(_request(1, tenant="anyone"), 1.0)
+
+    def test_default_default_is_unlimited(self):
+        controller = AdmissionController()
+        for i in range(100):
+            controller.admit(_request(i), 1e12)
+        assert controller.in_flight("alpha") == 100
+
+    def test_release_without_admit_is_an_error(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError):
+            controller.release(_request(0), 1.0)
+
+    def test_snapshot_reports_per_tenant_counters(self):
+        controller = AdmissionController(
+            quotas={"beta": TenantQuota(max_in_flight=0)}
+        )
+        controller.admit(_request(0, tenant="alpha"), 10.0)
+        with pytest.raises(AdmissionError):
+            controller.admit(_request(1, tenant="beta"), 10.0)
+        snapshot = controller.snapshot()
+        assert snapshot["alpha"]["in_flight"] == 1
+        assert snapshot["alpha"]["admitted_total"] == 1
+        assert snapshot["alpha"]["modeled_bytes"] == 10.0
+        assert snapshot["beta"]["rejected_total"] == 1

@@ -1,0 +1,85 @@
+"""Per-query observability isolation under concurrency.
+
+Two queries served *concurrently* must produce manifests bit-identical
+to the same queries served *alone* — no cross-query bleed in
+``MetricsRegistry`` counters, span timelines, or phase costs.  Only the
+``serving`` section (arrival/finish/stretch on the shared machine) may
+differ; everything the solo pricing produced is pinned byte for byte,
+mirroring the PR-4 snapshot-equality style.
+"""
+
+import json
+
+from repro.serve import QueryService
+
+
+def _solo_manifest(workload: str) -> dict:
+    service = QueryService()
+    service.submit("solo", workload, 0.0)
+    report = service.serve()
+    assert len(report.served) == 1
+    return report.served[0].manifest
+
+
+def _without_serving(manifest: dict) -> str:
+    stripped = {k: v for k, v in manifest.items() if k != "serving"}
+    return json.dumps(stripped, sort_keys=True)
+
+
+class TestObservabilityIsolation:
+    def test_concurrent_manifests_identical_to_solo(self):
+        workloads = ["join-b", "q6"]
+        solo = {name: _solo_manifest(name) for name in workloads}
+
+        service = QueryService()
+        for name in workloads:
+            service.submit("alpha", name, 0.0)
+        report = service.serve()
+        assert len(report.served) == 2
+
+        for query in report.served:
+            name = query.request.workload
+            assert _without_serving(query.manifest) == _without_serving(
+                solo[name]
+            ), f"cross-query bleed in {name} manifest"
+
+    def test_cache_hit_manifest_identical_to_cold_pricing(self):
+        service = QueryService()
+        service.submit("alpha", "star", 0.0)
+        service.submit("alpha", "star", 5.0)  # far apart: no overlap
+        report = service.serve()
+        first = report.query(0)
+        second = report.query(1)
+        assert not first.cache_hit and second.cache_hit
+        assert _without_serving(first.manifest) == _without_serving(
+            second.manifest
+        )
+
+    def test_concurrent_metrics_sections_do_not_accumulate(self):
+        # Serving the same workload twice concurrently must not double
+        # any metric counter relative to the solo run.
+        solo = _solo_manifest("join-b")
+
+        service = QueryService()
+        service.submit("a", "join-b", 0.0)
+        service.submit("b", "join-b", 0.0)
+        report = service.serve()
+        for query in report.served:
+            assert (
+                json.dumps(query.manifest["metrics"], sort_keys=True)
+                == json.dumps(solo["metrics"], sort_keys=True)
+            )
+            assert (
+                json.dumps(query.manifest["spans"], sort_keys=True)
+                == json.dumps(solo["spans"], sort_keys=True)
+            )
+
+    def test_serving_sections_do_differ_under_contention(self):
+        service = QueryService()
+        service.submit("a", "join-b", 0.0)
+        service.submit("b", "join-b", 0.0)
+        report = service.serve()
+        stretches = [
+            q.manifest["serving"]["stretch"] for q in report.served
+        ]
+        assert any(s > 1.5 for s in stretches)

@@ -78,3 +78,102 @@ class TestCascades:
     def test_run_returns_final_time_when_empty(self):
         sim = Simulator()
         assert sim.run() == 0.0
+
+
+class TestScheduleAtClockSlop:
+    """Regression: absolute-time scheduling vs float accumulation.
+
+    The serving scheduler computes arrival timestamps outside the event
+    loop (cumulative sums of inter-arrival gaps); float accumulation can
+    leave a target a few ULPs behind the clock even though it is
+    logically "now or later".
+    """
+
+    def test_epsilon_negative_delta_clamps_to_now(self):
+        sim = Simulator()
+        fired = []
+
+        def at_one(s):
+            # sum of ten 0.1 gaps accumulates to 0.9999999999999999,
+            # a hair behind the clock's exact 1.0.
+            target = sum([0.1] * 10)
+            assert target < 1.0
+            s.schedule_at(target, lambda s2: fired.append(s2.now))
+
+        sim.schedule(1.0, at_one)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_epsilon_scales_with_clock_magnitude(self):
+        sim = Simulator()
+        fired = []
+
+        def late(s):
+            # At now=1e6 a few-ULP error is ~1e-10 absolute; still slop.
+            s.schedule_at(1e6 * (1.0 - 2e-16), lambda s2: fired.append(s2.now))
+
+        sim.schedule(1e6, late)
+        sim.run()
+        assert fired == [1e6]
+
+    def test_genuinely_past_time_still_fatal(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda s: None)
+
+    def test_past_beyond_epsilon_fatal_inside_callback(self):
+        sim = Simulator()
+        errors = []
+
+        def at_one(s):
+            try:
+                s.schedule_at(1.0 - 1e-6, lambda s2: None)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, at_one)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestRunUntilClockSemantics:
+    """Regression: run(until=T) leaves the clock at T on both paths."""
+
+    def test_queue_drains_early_clock_still_reaches_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(s.now))
+        end = sim.run(until=5.0)
+        assert fired == [1.0]
+        assert end == 5.0
+        assert sim.now == 5.0
+
+    def test_pending_event_beyond_until_clock_stops_at_until(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda s: None)
+        end = sim.run(until=2.5)
+        assert end == 2.5
+        assert sim.now == 2.5
+        assert sim.pending == 1
+
+    def test_empty_queue_run_until_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=3.0) == 3.0
+        assert sim.now == 3.0
+
+    def test_until_in_the_past_never_rewinds_clock(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda s: None)
+        sim.run()
+        assert sim.now == 2.0
+        assert sim.run(until=1.0) == 2.0
+        assert sim.now == 2.0
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda s: fired.append(s.now))
+        assert sim.run(until=2.5) == 2.5
+        assert fired == [2.5]

@@ -1,6 +1,8 @@
 """Shared-resource throughput solver (max-min fair waterfilling)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.resources import solo_rate, solve_concurrent_rates
 
@@ -80,3 +82,129 @@ class TestSolver:
         # so this IS contended; check the solved rates are feasible.
         load = rates["w1"] * 0.5 + rates["w2"] * 0.2
         assert load <= 1.0 + 1e-6
+
+
+class _StickyOccupancy(float):
+    """An occupancy whose products stay pinned just above feasibility.
+
+    Simulates the float-rounding pathology the oscillation guard exists
+    for: no matter how far the solver scales rates down, the recomputed
+    load lands at the same value a few ULPs above 1.0.
+    """
+
+    def __mul__(self, other):
+        return 1.0 + 2e-16
+
+    __rmul__ = __mul__
+
+
+class TestSolverDiagnostics:
+    """Regression: non-convergence raises a typed, diagnostic error."""
+
+    def test_solver_error_names_worst_resource_and_residual(self):
+        from repro.sim.resources import SolverError
+
+        # Two disjoint contended resources but only one iteration: 'a'
+        # is resolved first, leaving 'b' at 2x oversubscription.
+        demands = {
+            "w1": {"a": 1.0},
+            "w2": {"a": 1.0},
+            "w3": {"b": 1.0},
+            "w4": {"b": 1.0},
+        }
+        with pytest.raises(SolverError) as excinfo:
+            solve_concurrent_rates(demands, max_iterations=1)
+        error = excinfo.value
+        assert error.worst_resource == "b"
+        assert error.residual_load == pytest.approx(2.0)
+        assert error.iterations == 1
+        assert "b" in str(error)
+        assert "2" in str(error)
+
+    def test_solver_error_is_a_runtime_error(self):
+        from repro.sim.resources import SolverError
+
+        assert issubclass(SolverError, RuntimeError)
+
+    def test_enough_iterations_converge_without_error(self):
+        demands = {
+            "w1": {"a": 1.0},
+            "w2": {"a": 1.0},
+            "w3": {"b": 1.0},
+            "w4": {"b": 1.0},
+        }
+        rates = solve_concurrent_rates(demands)
+        for worker in demands:
+            assert rates[worker] == pytest.approx(0.5)
+
+
+class TestOscillationGuard:
+    """Regression: a load pinned above 1+tolerance by rounding returns
+    instead of spinning to the iteration cap (pre-fix: RuntimeError)."""
+
+    def test_pinned_load_returns_instead_of_raising(self):
+        demands = {"w1": {"a": _StickyOccupancy(1.0)}}
+        rates = solve_concurrent_rates(demands, tolerance=0.0)
+        assert rates["w1"] > 0
+
+    def test_pinned_load_feasible_within_float_noise(self):
+        demands = {"w1": {"a": _StickyOccupancy(1.0)}}
+        rates = solve_concurrent_rates(demands, tolerance=0.0)
+        load = demands["w1"]["a"] * rates["w1"]
+        assert load <= 1.0 + 1e-12
+
+
+class TestFeasibilityProperty:
+    """Hypothesis: any returned rate vector is feasible — every
+    resource's total load stays within 1 + tolerance."""
+
+    @given(
+        demands=st.dictionaries(
+            keys=st.sampled_from(["w1", "w2", "w3", "w4", "w5"]),
+            values=st.dictionaries(
+                keys=st.sampled_from(["a", "b", "c", "d"]),
+                values=st.floats(
+                    1e-6, 1e6, allow_nan=False, allow_infinity=False
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        tolerance=st.sampled_from([1e-9, 1e-6, 0.0]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_returned_rates_are_feasible(self, demands, tolerance):
+        rates = solve_concurrent_rates(demands, tolerance=tolerance)
+        loads = {}
+        for worker, vector in demands.items():
+            for resource, occupancy in vector.items():
+                loads[resource] = loads.get(resource, 0.0) + (
+                    occupancy * rates[worker]
+                )
+        for resource, load in loads.items():
+            assert load <= 1.0 + tolerance + 1e-12, (
+                f"{resource} oversubscribed: {load}"
+            )
+
+    @given(
+        demands=st.dictionaries(
+            keys=st.sampled_from(["w1", "w2", "w3"]),
+            values=st.dictionaries(
+                keys=st.sampled_from(["a", "b"]),
+                values=st.floats(
+                    1e-3, 1e3, allow_nan=False, allow_infinity=False
+                ),
+                min_size=1,
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_rates_never_exceed_solo_rates(self, demands):
+        rates = solve_concurrent_rates(demands)
+        for worker, vector in demands.items():
+            assert rates[worker] <= solo_rate(vector) * (1.0 + 1e-12)
