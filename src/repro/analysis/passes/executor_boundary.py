@@ -32,6 +32,14 @@ driven by ``repro.serve.scheduler`` (the ``ContentionScheduler``);
 single-operator DES usage stays inside ``repro.plan`` and the
 ``repro.transfer`` stream cross-check.  A ``Simulator(...)``
 constructed anywhere else is flagged.
+
+The cancellation path (PR 10) widened that surface: deadline
+enforcement rests on ``Simulator.schedule_at`` + ``cancel_event``
+pairs whose epoch bookkeeping lives in the scheduler, so a component
+*driving* those APIs — even against a simulator it did not construct —
+would race the scheduler's deadline/retry event accounting.  Calls to
+``schedule_at(...)`` / ``cancel_event(...)`` outside the sanctioned
+DES drivers are flagged alongside rogue constructions.
 """
 
 from __future__ import annotations
@@ -45,6 +53,12 @@ from repro.analysis.finding import Finding, Severity
 #: CostModel pricing entry points reserved for the plan executor.
 _PRICING_METHODS = {"phase_cost", "phases_cost", "occupancy_per_unit"}
 
+#: Simulator-driving entry points reserved for the sanctioned DES
+#: drivers.  ``schedule`` alone is too generic a name to key on;
+#: ``schedule_at`` and ``cancel_event`` are distinctive to the event
+#: loop and carry its clock/epoch semantics.
+_SIM_DRIVER_METHODS = {"schedule_at", "cancel_event"}
+
 
 class ExecutorBoundaryPass(AnalysisPass):
     name = "executor-boundary"
@@ -54,7 +68,8 @@ class ExecutorBoundaryPass(AnalysisPass):
         "occupancy_per_unit, only repro.logical/repro.plan may "
         "hand-assemble Plan objects, and only the sanctioned drivers "
         "(repro.serve.scheduler for multi-query workloads) may "
-        "construct Simulator instances"
+        "construct Simulator instances or drive its "
+        "schedule_at/cancel_event event APIs"
     )
     severity = Severity.ERROR
     #: everything is in scope except the pricing layer itself; see
@@ -137,6 +152,20 @@ class ExecutorBoundaryPass(AnalysisPass):
                 )
                 continue
             if not isinstance(func, ast.Attribute):
+                continue
+            if not sims_allowed and func.attr in _SIM_DRIVER_METHODS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"DES-driving call `{dotted_name(func)}()` outside "
+                    "the sanctioned drivers; schedule_at/cancel_event "
+                    "carry the simulator's clock and cancellation "
+                    "semantics (deadline/retry events are epoch-"
+                    "accounted in repro.serve.scheduler) — route event "
+                    "scheduling through the ContentionScheduler or the "
+                    "single-operator DES paths in repro.plan / "
+                    "repro.transfer.stream",
+                )
                 continue
             if func.attr not in _PRICING_METHODS:
                 continue

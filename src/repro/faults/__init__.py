@@ -33,18 +33,22 @@ See ``docs/robustness.md`` for the fault taxonomy and recovery matrix.
 _LAZY = {
     "CrashWorker": "repro.faults.plan",
     "DegradeLink": "repro.faults.plan",
+    "FailQuery": "repro.faults.plan",
     "FaultPlan": "repro.faults.plan",
     "FaultRecord": "repro.faults.plan",
     "InjectedFault": "repro.faults.plan",
     "InjectedOutOfMemoryError": "repro.faults.plan",
     "OomAt": "repro.faults.plan",
+    "QueryFault": "repro.faults.plan",
     "TransientError": "repro.faults.plan",
     "TransientKernelFault": "repro.faults.plan",
     "WorkerCrashFault": "repro.faults.plan",
     "DEFAULT_RETRY_POLICY": "repro.faults.recovery",
     "RetryPolicy": "repro.faults.recovery",
     "CHAOS_SEEDS": "repro.faults.scenarios",
+    "SERVING_CHAOS_SEEDS": "repro.faults.scenarios",
     "chaos_plan": "repro.faults.scenarios",
+    "serving_chaos_plan": "repro.faults.scenarios",
     "RESILIENCE_ACTIONS": "repro.faults.resilience",
     "RESILIENCE_SCHEMA_VERSION": "repro.faults.resilience",
     "ResilienceEvent": "repro.faults.resilience",

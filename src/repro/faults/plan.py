@@ -61,6 +61,16 @@ class InjectedOutOfMemoryError(InjectedFault, OutOfMemoryError):
     """An injected allocation failure (still an ``OutOfMemoryError``)."""
 
 
+class QueryFault(InjectedFault):
+    """An injected serving-level query failure (retryable by resubmit).
+
+    Raised from the serving scheduler's phase-boundary fault hook; the
+    :class:`~repro.serve.service.QueryService` turns it into a
+    ``RetryPolicy``-governed resubmission or a terminal ``failed``
+    outcome once the attempt budget is spent.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Declarative rules
 # ---------------------------------------------------------------------------
@@ -184,9 +194,46 @@ class DegradeLink:
         _check_times(self.times)
 
 
+@dataclass(frozen=True)
+class FailQuery:
+    """Fail a serving-level query at a phase boundary.
+
+    Visited by the serving scheduler's fault hook when a query *enters*
+    a phase (deterministic, zero machine time spent on the doomed
+    phase).  The failure surfaces as :class:`QueryFault`; whether the
+    query is resubmitted (with backoff) or terminally failed is the
+    service's :class:`~repro.faults.recovery.RetryPolicy` decision.
+
+    Args:
+        workload: exact workload name to target (None = any).
+        tenant: exact tenant name to target (None = any).
+        probability: seeded per-(request, phase, attempt) firing chance.
+        phase: only fire when entering this phase index (None = any).
+        attempts: serving attempt numbers the rule may fire on.  The
+            default ``(0,)`` makes the fault *recoverable by
+            construction* — the first resubmission always succeeds.
+            ``None`` fires on every attempt (drives a query through its
+            whole retry budget into the circuit breaker).
+        times: total fires allowed (None = unlimited).
+    """
+
+    workload: Optional[str] = None
+    tenant: Optional[str] = None
+    probability: float = 1.0
+    phase: Optional[int] = None
+    attempts: Optional[Tuple[int, ...]] = (0,)
+    times: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+        if self.phase is not None and self.phase < 0:
+            raise ValueError(f"phase must be non-negative: {self.phase}")
+        _check_times(self.times)
+
+
 FaultRule = Any  # union of the rule dataclasses above (py39-friendly)
 
-_RULE_TYPES = (CrashWorker, TransientError, OomAt, DegradeLink)
+_RULE_TYPES = (CrashWorker, TransientError, OomAt, DegradeLink, FailQuery)
 
 
 # ---------------------------------------------------------------------------
@@ -251,6 +298,12 @@ class FaultPlan:
         )
         self._has_alloc_rules = any(isinstance(r, OomAt) for r in self.rules)
         self._has_link_rules = any(isinstance(r, DegradeLink) for r in self.rules)
+        self._has_query_rules = any(isinstance(r, FailQuery) for r in self.rules)
+        #: (rule index, resource) pairs already recorded by
+        #: :meth:`resource_factor` — the serving scheduler queries
+        #: capacity at every resolve, so persistent degradation is
+        #: recorded once per (rule, resource) instead of per query.
+        self._degraded_resources: set = set()
 
     # -- deterministic randomness ---------------------------------------
     def uniform(self, *key: Any) -> float:
@@ -396,6 +449,99 @@ class FaultPlan:
                     "factor": rule.factor,
                 }
                 self._record(index, "degraded_link", site)
+                factor *= rule.factor
+        return factor
+
+    def check_query(
+        self,
+        workload: str,
+        tenant: str,
+        request_id: int,
+        phase_index: int,
+        attempt: int,
+    ) -> None:
+        """Serving phase-boundary site; may raise :class:`QueryFault`.
+
+        Called by the serving scheduler's fault hook each time a query
+        enters a (non-empty) phase; the draw is keyed by the full site
+        identity, so whether one query faults never depends on what the
+        rest of the mix did.
+        """
+        if not self._has_query_rules:
+            return
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not isinstance(rule, FailQuery):
+                    continue
+                if self._spent(index, rule.times):
+                    continue
+                if rule.workload is not None and rule.workload != workload:
+                    continue
+                if rule.tenant is not None and rule.tenant != tenant:
+                    continue
+                if rule.phase is not None and rule.phase != phase_index:
+                    continue
+                if rule.attempts is not None and attempt not in rule.attempts:
+                    continue
+                fire = (
+                    self.uniform(index, "query", request_id, phase_index, attempt)
+                    < rule.probability
+                )
+                if fire:
+                    site = {
+                        "kind": "query",
+                        "workload": workload,
+                        "tenant": tenant,
+                        "request_id": request_id,
+                        "phase_index": phase_index,
+                        "attempt": attempt,
+                    }
+                    self._record(index, "query", site)
+                    raise QueryFault(
+                        f"injected serving fault: request #{request_id} "
+                        f"({workload}, tenant {tenant}) phase {phase_index} "
+                        f"attempt {attempt}"
+                    )
+
+    def resource_factor(self, resource: str) -> float:
+        """Capacity factor of one *simulated* resource under this plan.
+
+        The serving scheduler queries this at every rate re-solve; a
+        :class:`DegradeLink` rule with no transfer-method selector
+        degrades the matching ``link:*`` resources of the contention
+        model, so a mid-serving link degradation stretches every query
+        crossing it through the same max-min re-solve that handles
+        contention.  Rules with a ``method`` selector only apply to the
+        cost-model pricing path (:meth:`bandwidth_factor`).
+        """
+        if not self._has_link_rules or not resource.startswith("link:"):
+            return 1.0
+        link_name = resource[len("link:") :]
+        factor = 1.0
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not isinstance(rule, DegradeLink):
+                    continue
+                if rule.method is not None:
+                    continue
+                if self._spent(index, rule.times):
+                    continue
+                if (
+                    rule.src_memory is not None
+                    and rule.src_memory not in link_name
+                ):
+                    continue
+                if (index, resource) not in self._degraded_resources:
+                    self._degraded_resources.add((index, resource))
+                    self._record(
+                        index,
+                        "degraded_link",
+                        {
+                            "kind": "resource",
+                            "resource": resource,
+                            "factor": rule.factor,
+                        },
+                    )
                 factor *= rule.factor
         return factor
 

@@ -23,15 +23,25 @@ from typing import Any, Dict, List, Optional
 from repro.faults.plan import FaultPlan
 
 #: Version of the manifest ``resilience`` section layout.  Bump together
-#: with a schema-changelog entry in ``docs/robustness.md``.
-RESILIENCE_SCHEMA_VERSION = "1.0"
+#: with a schema-changelog entry in ``docs/robustness.md``.  ``1.1``
+#: added the serving-layer actions (``serving_retry``,
+#: ``deadline_cancel``, ``shed``, ``breaker_fastfail``) to the
+#: zero-filled counter vocabulary.
+RESILIENCE_SCHEMA_VERSION = "1.1"
 
-#: recovery actions a log may record.
+#: recovery actions a log may record.  The first four are taken by the
+#: execution layer (PR 5); the last four by the serving layer's
+#: resilience path (deadlines, retry-with-backoff, load shedding, and
+#: the per-workload circuit breaker).
 RESILIENCE_ACTIONS = (
     "retry",
     "redispatch",
     "serial_fallback",
     "spill",
+    "serving_retry",
+    "deadline_cancel",
+    "shed",
+    "breaker_fastfail",
 )
 
 

@@ -11,11 +11,24 @@ so the suite and the committed bench baseline cannot drift apart.
 
 from __future__ import annotations
 
-from repro.faults.plan import CrashWorker, FaultPlan, OomAt, TransientError
+from repro.faults.plan import (
+    CrashWorker,
+    DegradeLink,
+    FailQuery,
+    FaultPlan,
+    OomAt,
+    TransientError,
+)
 
 #: the fixed seed set CI's chaos job sweeps; collectively the three runs
 #: must exercise >=1 retry, >=1 re-dispatch, and >=1 hybrid spill.
 CHAOS_SEEDS = (101, 202, 303)
+
+#: the fixed seed set CI's chaos-*serving* step sweeps; collectively the
+#: three plans must exercise >=1 serving retry (transients), >=1
+#: contention re-solve under degraded link capacity, and >=1 opened
+#: circuit breaker (a workload that fails on every attempt).
+SERVING_CHAOS_SEEDS = (404, 505, 606)
 
 #: the allocation-site label of the GPU placement capacity check — the
 #: OOM seed targets it to simulate a full GPU (see place_hash_table).
@@ -51,3 +64,47 @@ def chaos_plan(seed: int, worker_prefix: str = "nopa") -> FaultPlan:
             rules=[OomAt(ordinal=0, label=GPU_PLACEMENT_LABEL)],
         )
     raise ValueError(f"no chaos plan for seed {seed}; CI seeds: {CHAOS_SEEDS}")
+
+
+def serving_chaos_plan(seed: int) -> FaultPlan:
+    """The canonical serving-layer fault plan for one CI chaos seed.
+
+    * ``404`` — seeded transient query failures, first-attempt only, so
+      every faulted query recovers on its first resubmission (exercises
+      the ``RetryPolicy`` backoff path end to end).
+    * ``505`` — a persistent link degradation applied *mid-serving*:
+      the contention scheduler re-solves max-min rates with the reduced
+      link capacity, stretching every query crossing it.
+    * ``606`` — one workload (``join-b``) fails on *every* attempt:
+      its queries burn their retry budget into terminal failures and
+      the per-workload circuit breaker opens and fast-fails the rest.
+    """
+    if seed == 404:  # transient serving faults -> retry w/ backoff
+        return FaultPlan(
+            seed=seed,
+            name="chaos-serving-transients",
+            rules=[FailQuery(probability=0.3, attempts=(0,), times=None)],
+        )
+    if seed == 505:  # degraded interconnect mid-serving -> stretch
+        return FaultPlan(
+            seed=seed,
+            name="chaos-serving-degrade",
+            rules=[DegradeLink(factor=0.5, times=None)],
+        )
+    if seed == 606:  # one workload always fails -> breaker opens
+        return FaultPlan(
+            seed=seed,
+            name="chaos-serving-breaker",
+            rules=[
+                FailQuery(
+                    workload="join-b",
+                    probability=1.0,
+                    attempts=None,
+                    times=None,
+                )
+            ],
+        )
+    raise ValueError(
+        f"no serving chaos plan for seed {seed}; CI seeds: "
+        f"{SERVING_CHAOS_SEEDS}"
+    )

@@ -29,7 +29,7 @@ from repro.obs.explain import bottleneck_chain, utilization
 
 #: Version of the manifest JSON layout.  Keep in lockstep with the
 #: schema changelog in docs/observability.md.
-MANIFEST_SCHEMA_VERSION = "1.3"
+MANIFEST_SCHEMA_VERSION = "1.4"
 
 #: The *declared* manifest schema, enforced statically by the
 #: ``manifest-schema`` analysis pass: every key a writer function puts
@@ -46,8 +46,8 @@ MANIFEST_SCHEMA_VERSION = "1.3"
 #: names its writer (``Class.method`` or a module-level function) and
 #: the exact keys that writer may emit.
 MANIFEST_SCHEMA = {
-    "version": "1.3",
-    "checksum": "9e70649542e5ec1a",
+    "version": "1.4",
+    "checksum": "57cf6792e878707a",
     "sections": {
         "__top__": {
             "writer": "RunManifest.to_dict",
@@ -131,6 +131,12 @@ MANIFEST_SCHEMA = {
                 "solo_seconds",
                 "stretch",
                 "cache_hit",
+                "outcome",
+                "deadline",
+                "cancelled_at",
+                "retries",
+                "shed_reason",
+                "breaker_state",
             ],
         },
     },

@@ -10,38 +10,68 @@ memory channels and interconnect bandwidth through the max-min fair
 rate solver instead of each pretending to own the hardware.  Headline
 number: tail latency under concurrency, not single-query makespan
 (``python -m repro.bench.serving_latency``).
+
+The serving path is resilient, not just fair-weather: per-request
+deadlines are enforced inside the DES (cancellable events, mid-phase
+cancellation), an installed :class:`~repro.faults.FaultPlan` can fail
+in-flight queries (retried with capped virtual-time backoff, guarded
+by a per-workload circuit breaker) or degrade link capacity
+mid-serving, and overload beyond the :class:`ServicePolicy` bounds is
+load-shed with typed reasons instead of unbounded latency
+(``python -m repro.bench.serving_resilience``).
 """
 
 from repro.serve.admission import (
+    AdmissionAuditError,
     AdmissionController,
     AdmissionError,
     TenantQuota,
 )
 from repro.serve.cache import PlanCache, PlanCacheEntry, workload_fingerprint
+from repro.serve.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ServicePolicy,
+    ShedError,
+)
 from repro.serve.request import (
     QueryRequest,
     Rejection,
     ServedQuery,
     ServingRecord,
     ServingReport,
+    ShedQuery,
     percentile,
 )
-from repro.serve.scheduler import ContentionScheduler, ScheduleOutcome
+from repro.serve.scheduler import (
+    ContentionScheduler,
+    PhaseFault,
+    ScheduleOutcome,
+    SchedulerError,
+)
 from repro.serve.service import QueryService, modeled_query_bytes
 
 __all__ = [
+    "AdmissionAuditError",
     "AdmissionController",
     "AdmissionError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "ContentionScheduler",
+    "PhaseFault",
     "PlanCache",
     "PlanCacheEntry",
     "QueryRequest",
     "QueryService",
     "Rejection",
     "ScheduleOutcome",
+    "SchedulerError",
     "ServedQuery",
+    "ServicePolicy",
     "ServingRecord",
     "ServingReport",
+    "ShedError",
+    "ShedQuery",
     "TenantQuota",
     "modeled_query_bytes",
     "percentile",

@@ -16,12 +16,21 @@ A violation raises :class:`AdmissionError` carrying the tenant, the
 exceeded quota, its limit, and the observed value — the service layer
 converts it into a :class:`repro.serve.request.Rejection` so one greedy
 tenant cannot abort an open-loop serving run.
+
+Bookkeeping is a per-request *share ledger*: admission records exactly
+what each request was charged, and release returns exactly that —
+per-tenant totals are recomputed from the outstanding shares, so they
+return to exactly zero (not epsilon-zero) once every query finishes,
+is cancelled, or is shed.  :meth:`AdmissionController.audit` asserts
+that invariant after ``serve()`` drains; the pre-ledger implementation
+clamped drift away (``max(0.0, ...)``), which hid exactly the class of
+leak a cancellation path can introduce.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.serve.request import QueryRequest
 
@@ -66,12 +75,46 @@ class AdmissionError(RuntimeError):
         )
 
 
+class AdmissionAuditError(RuntimeError):
+    """Quota bookkeeping failed its drain invariant.
+
+    After a serve pass drains, every tenant's in-flight count and
+    modeled-bytes share must be exactly zero; ``leaks`` maps each
+    violating tenant to its residual ``(in_flight, modeled_bytes,
+    outstanding_request_ids)``.
+    """
+
+    def __init__(
+        self, leaks: Dict[str, Tuple[int, float, Tuple[int, ...]]]
+    ) -> None:
+        self.leaks = dict(leaks)
+        detail = "; ".join(
+            f"{tenant}: in_flight={in_flight}, "
+            f"modeled_bytes={modeled_bytes:g}, requests={list(requests)}"
+            for tenant, (in_flight, modeled_bytes, requests) in sorted(
+                self.leaks.items()
+            )
+        )
+        super().__init__(f"admission shares leaked after drain: {detail}")
+
+
 @dataclass
 class _TenantState:
     in_flight: int = 0
     modeled_bytes: float = 0.0
     admitted_total: int = 0
     rejected_total: int = 0
+    #: outstanding shares: request_id -> the modeled bytes it was
+    #: charged at admission.  Totals above are recomputed from this
+    #: ledger, so releases in any order land back on exactly 0.0.
+    shares: Dict[int, float] = field(default_factory=dict)
+
+    def recompute(self) -> None:
+        """Derive the totals from the ledger (request-id order)."""
+        self.in_flight = len(self.shares)
+        self.modeled_bytes = sum(
+            self.shares[request_id] for request_id in sorted(self.shares)
+        )
 
 
 class AdmissionController:
@@ -115,20 +158,48 @@ class AdmissionController:
                 observed=state.modeled_bytes + modeled_bytes,
                 request_id=request.request_id,
             )
-        state.in_flight += 1
-        state.modeled_bytes += modeled_bytes
+        state.shares[request.request_id] = modeled_bytes
         state.admitted_total += 1
+        state.recompute()
 
-    def release(self, request: QueryRequest, modeled_bytes: float) -> None:
-        """Return an admitted request's quota share (query finished)."""
+    def release(
+        self, request: QueryRequest, modeled_bytes: Optional[float] = None
+    ) -> None:
+        """Return an admitted request's quota share (query terminated).
+
+        The ledger is authoritative: the share charged at admission is
+        what gets returned, regardless of ``modeled_bytes`` (kept for
+        caller symmetry) — so finish, cancellation, and shedding paths
+        cannot drift the tenant totals.
+        """
         state = self._tenant(request.tenant)
-        if state.in_flight <= 0:
+        if request.request_id not in state.shares:
             raise RuntimeError(
                 f"release without matching admit for tenant "
                 f"{request.tenant!r} (request #{request.request_id})"
             )
-        state.in_flight -= 1
-        state.modeled_bytes = max(0.0, state.modeled_bytes - modeled_bytes)
+        del state.shares[request.request_id]
+        state.recompute()
+
+    def audit(self) -> None:
+        """Assert every tenant's shares drained back to exactly zero.
+
+        Raises :class:`AdmissionAuditError` naming the leaking tenants
+        and their outstanding request ids; a clean pass returns None.
+        The check is exact (``== 0``, not a tolerance): release returns
+        the ledgered share, so any residue is a real leak, not float
+        noise.
+        """
+        leaks: Dict[str, Tuple[int, float, Tuple[int, ...]]] = {}
+        for tenant, state in sorted(self._state.items()):
+            if state.in_flight != 0 or state.modeled_bytes != 0.0:
+                leaks[tenant] = (
+                    state.in_flight,
+                    state.modeled_bytes,
+                    tuple(sorted(state.shares)),
+                )
+        if leaks:
+            raise AdmissionAuditError(leaks)
 
     def in_flight(self, tenant: str) -> int:
         """Currently admitted, not-yet-released queries for ``tenant``."""
@@ -148,6 +219,7 @@ class AdmissionController:
 
 
 __all__ = [
+    "AdmissionAuditError",
     "AdmissionController",
     "AdmissionError",
     "DEFAULT_QUOTA",

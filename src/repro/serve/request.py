@@ -1,14 +1,23 @@
 """Request/response records of the multi-query serving engine.
 
 A :class:`QueryRequest` names a workload from the shared
-:mod:`repro.logical.explain` registry, the tenant submitting it, and
-its virtual arrival time.  The service answers with a
+:mod:`repro.logical.explain` registry, the tenant submitting it, its
+virtual arrival time, and (optionally) a deadline — a latency budget in
+virtual seconds the scheduler enforces by cancelling the query
+mid-phase when it expires.  The service answers with a
 :class:`ServedQuery`: the solo-priced phases, the contention-stretched
-start/finish times the scheduler assigned, and a per-query
-schema-versioned manifest whose ``serving`` section
+start/finish times the scheduler assigned, the terminal outcome the
+resilience layer decided (finished / deadline-exceeded / failed), and a
+per-query schema-versioned manifest whose ``serving`` section
 (:meth:`ServingRecord.section`) records how the shared machine treated
-this query — arrival-to-finish latency, solo seconds, and the stretch
-factor between them.
+this query — arrival-to-finish latency, solo seconds, stretch, retries,
+cancellation time, and the workload's circuit-breaker state.
+
+Requests turned away *before* running land in two typed buckets:
+:class:`Rejection` (admission quota or open breaker) and
+:class:`ShedQuery` (overload control — bounded queue or predicted
+stretch).  :meth:`ServingReport.conservation` accounts for every
+submitted request across all five terminal buckets.
 """
 
 from __future__ import annotations
@@ -19,8 +28,18 @@ from typing import Any, Dict, List, Optional
 
 from repro.costmodel.model import PhaseCost
 
-#: version of the per-query ``serving`` manifest section.
-SERVING_SCHEMA_VERSION = "1.0"
+from repro.serve.policy import (
+    OUTCOME_DEADLINE,
+    OUTCOME_FAILED,
+    OUTCOME_FINISHED,
+    OUTCOMES,
+    ShedError,
+)
+
+#: version of the per-query ``serving`` manifest section.  ``1.1``
+#: added the resilience fields: ``outcome``, ``deadline``,
+#: ``cancelled_at``, ``retries``, ``shed_reason``, ``breaker_state``.
+SERVING_SCHEMA_VERSION = "1.1"
 
 
 @dataclass(frozen=True)
@@ -33,12 +52,26 @@ class QueryRequest:
     machine: str
     #: virtual arrival time (seconds on the serving simulator's clock).
     arrival: float
+    #: latency budget in virtual seconds from ``arrival`` (None = no
+    #: deadline).  The scheduler cancels the query — mid-phase, wherever
+    #: it is — when ``arrival + deadline`` passes before completion.
+    deadline: Optional[float] = None
+
+    @property
+    def absolute_deadline(self) -> Optional[float]:
+        """The virtual timestamp the deadline fires at, or None."""
+        if self.deadline is None:
+            return None
+        return self.arrival + self.deadline
 
     def describe(self) -> str:
         """One-line human-readable summary of the request."""
+        budget = (
+            f" deadline={self.deadline:.6f}s" if self.deadline is not None else ""
+        )
         return (
             f"request #{self.request_id} [{self.tenant}] "
-            f"{self.workload}@{self.machine} at t={self.arrival:.6f}"
+            f"{self.workload}@{self.machine} at t={self.arrival:.6f}{budget}"
         )
 
 
@@ -55,10 +88,33 @@ class ServingRecord:
     finish: float
     solo_seconds: float
     cache_hit: bool
+    #: terminal state: one of :data:`repro.serve.policy.OUTCOMES`.
+    outcome: str = OUTCOME_FINISHED
+    #: the request's latency budget (virtual seconds), or None.
+    deadline: Optional[float] = None
+    #: virtual time the query was cancelled (deadline) or failed, None
+    #: for completed queries.
+    cancelled_at: Optional[float] = None
+    #: serving-level resubmissions this query consumed.
+    retries: int = 0
+    #: typed shed reason — always None here (shed requests never run;
+    #: they are reported as :class:`ShedQuery`), kept in the schema so
+    #: the section's key set states the full vocabulary.
+    shed_reason: Optional[str] = None
+    #: the workload's circuit-breaker state when the query terminated,
+    #: or None when no breaker was configured (the inert default).
+    breaker_state: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.outcome not in OUTCOMES:
+            raise ValueError(
+                f"unknown serving outcome {self.outcome!r}; valid: "
+                + ", ".join(OUTCOMES)
+            )
 
     @property
     def latency(self) -> float:
-        """Arrival-to-finish virtual latency (queueing + stretch)."""
+        """Arrival-to-termination virtual latency (queueing + stretch)."""
         return self.finish - self.arrival
 
     @property
@@ -83,6 +139,12 @@ class ServingRecord:
             "solo_seconds": self.solo_seconds,
             "stretch": self.stretch,
             "cache_hit": self.cache_hit,
+            "outcome": self.outcome,
+            "deadline": self.deadline,
+            "cancelled_at": self.cancelled_at,
+            "retries": self.retries,
+            "shed_reason": self.shed_reason,
+            "breaker_state": self.breaker_state,
         }
 
 
@@ -99,9 +161,19 @@ class ServedQuery:
     #: the solo manifest dict (no ``serving`` section yet); the service
     #: deep-copies it and stamps the serving record in after scheduling.
     manifest: Dict[str, Any] = field(default_factory=dict)
-    #: filled by the scheduler (virtual seconds).
+    #: filled by the scheduler (virtual seconds).  ``finish`` is the
+    #: time the query *terminated* — completion, cancellation, or
+    #: failure; ``outcome`` says which.
     start: float = 0.0
     finish: float = 0.0
+    outcome: str = OUTCOME_FINISHED
+    #: virtual time a deadline/failure removed the query mid-flight.
+    cancelled_at: Optional[float] = None
+    #: serving-level resubmissions consumed (fault retries).
+    retries: int = 0
+    #: the workload's circuit-breaker state at termination (None when
+    #: no breaker was configured).
+    breaker_state: Optional[str] = None
 
     @property
     def latency(self) -> float:
@@ -119,15 +191,21 @@ class ServedQuery:
             finish=self.finish,
             solo_seconds=self.solo_seconds,
             cache_hit=self.cache_hit,
+            outcome=self.outcome,
+            deadline=self.request.deadline,
+            cancelled_at=self.cancelled_at,
+            retries=self.retries,
+            breaker_state=self.breaker_state,
         )
 
 
 @dataclass
 class Rejection:
-    """One request the admission controller turned away."""
+    """One request turned away before running (quota or open breaker)."""
 
     request: QueryRequest
-    #: the typed :class:`repro.serve.admission.AdmissionError`.
+    #: the typed error: :class:`repro.serve.admission.AdmissionError`
+    #: or :class:`repro.serve.policy.CircuitOpenError`.
     error: Exception
 
     def describe(self) -> str:
@@ -135,10 +213,41 @@ class Rejection:
 
 
 @dataclass
+class ShedQuery:
+    """One request load-shed by overload control (typed, pre-admission)."""
+
+    request: QueryRequest
+    #: one of :data:`repro.serve.policy.SHED_REASONS`.
+    reason: str
+    #: the observed value that tripped the policy (queue depth or
+    #: predicted stretch).
+    detail: float
+    #: virtual time the shed decision was made.
+    at: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the shed decision."""
+        return (
+            f"{self.request.describe()} — shed at t={self.at:.6f} "
+            f"({self.reason}: {self.detail:g})"
+        )
+
+    def as_error(self) -> "ShedError":
+        """This shed decision as its typed error (for raising callers)."""
+        return ShedError(
+            reason=self.reason,
+            request_id=self.request.request_id,
+            detail=self.detail,
+        )
+
+
+@dataclass
 class ServingReport:
     """Everything one :meth:`QueryService.serve` call produced."""
 
+    #: queries that ran to completion.
     served: List[ServedQuery]
+    #: requests turned away before running (quota or open breaker).
     rejections: List[Rejection]
     #: plan/result cache counters (``PlanCache.stats()``).
     cache: Dict[str, Any]
@@ -146,6 +255,18 @@ class ServingReport:
     makespan: float
     #: most queries simultaneously active on the simulated machine.
     peak_concurrency: int
+    #: queries cancelled mid-flight by their deadline.
+    deadline_exceeded: List[ServedQuery] = field(default_factory=list)
+    #: queries that terminally failed (retry budget spent, or the
+    #: half-open probe of an open breaker failed again).
+    failed: List[ServedQuery] = field(default_factory=list)
+    #: requests load-shed by overload control.
+    shed: List[ShedQuery] = field(default_factory=list)
+    #: per-workload circuit-breaker counters (``CircuitBreaker.snapshot``).
+    breaker: Dict[str, Any] = field(default_factory=dict)
+    #: serving-level resilience audit (``ResilienceLog.section`` dump)
+    #: for chaos runs; None when no fault plan was installed.
+    resilience: Optional[Dict[str, Any]] = None
 
     def latencies(self) -> List[float]:
         """Per-query virtual latencies in request-id order."""
@@ -157,11 +278,34 @@ class ServingReport:
         return percentile(self.latencies(), fraction)
 
     def query(self, request_id: int) -> Optional[ServedQuery]:
-        """The served query with ``request_id``, or ``None``."""
-        for served in self.served:
-            if served.request.request_id == request_id:
-                return served
+        """The terminated query with ``request_id``, or ``None``."""
+        for bucket in (self.served, self.deadline_exceeded, self.failed):
+            for served in bucket:
+                if served.request.request_id == request_id:
+                    return served
         return None
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Terminal-bucket sizes, zero-filled (report/bench input)."""
+        return {
+            OUTCOME_FINISHED: len(self.served),
+            OUTCOME_DEADLINE: len(self.deadline_exceeded),
+            OUTCOME_FAILED: len(self.failed),
+            "rejected": len(self.rejections),
+            "shed": len(self.shed),
+        }
+
+    def total_retries(self) -> int:
+        """Serving-level resubmissions across every terminated query."""
+        return sum(
+            q.retries
+            for bucket in (self.served, self.deadline_exceeded, self.failed)
+            for q in bucket
+        )
+
+    def conservation(self, submitted: int) -> bool:
+        """Every submitted request landed in exactly one terminal bucket."""
+        return submitted == sum(self.outcome_counts().values())
 
 
 def percentile(values: List[float], fraction: float) -> float:

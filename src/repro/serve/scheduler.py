@@ -1,4 +1,4 @@
-"""DES-backed contention scheduler: many queries, one machine.
+"""DES-backed contention scheduler: many queries, one machine, bounded tails.
 
 Single-query execution prices a plan as if the query owned the whole
 machine.  Under serving traffic that is exactly wrong — co-running
@@ -20,6 +20,40 @@ This scheduler extends that model *across* queries:
   vector and re-schedules the now-stale completion times
   (epoch-guarded, so superseded events no-op).
 
+On top of that fair-weather model, the scheduler enforces the serving
+layer's *resilience* contract:
+
+* **deadlines** — a request carrying a latency budget gets one
+  cancellable deadline event at ``arrival + deadline``; if it fires
+  before completion the query is cancelled mid-phase (its accumulated
+  progress is advanced first, its admission share released via
+  ``on_evict``), and the follow-up resolve repairs the remaining-work
+  drift for every survivor.  Queries that finish in time cancel the
+  event (:meth:`Simulator.cancel_event`), so the fault-free event
+  stream is untouched.
+* **serving faults + retry** — an optional ``fault`` hook runs at
+  every phase boundary; when it reports a :class:`PhaseFault` the
+  query is evicted and either resubmitted at ``now + retry_delay``
+  (capped exponential backoff in *virtual* time, decided by the
+  service's :class:`~repro.faults.recovery.RetryPolicy`) or failed
+  terminally.  Resubmissions re-enter through overload control and
+  admission like fresh arrivals.
+* **overload control** — with a :class:`~repro.serve.policy.
+  ServicePolicy`, arrivals beyond ``max_active`` wait in a bounded
+  FIFO queue; a full queue sheds with ``queue_full``, and an arrival
+  whose max-min-solved rate against the current active set predicts a
+  stretch beyond ``stretch_limit`` sheds with ``stretch`` — typed,
+  pre-admission, zero machine time.
+* **degraded capacity** — an optional ``capacity`` hook scales
+  per-unit resource demands by ``1/factor``, so a
+  :class:`~repro.faults.plan.DegradeLink` installed mid-serving slows
+  every query crossing the degraded link through the same max-min
+  re-solve that handles contention.
+
+Under the inert default policy with no hooks, the event stream and all
+float arithmetic are bit-identical to the PR 9 scheduler — pinned by
+the chaos-serving equivalence suite.
+
 Arrivals are scheduled at *absolute* virtual timestamps
 (``schedule_at``), and completion times are ``now + remaining/rate``
 sums — both paths that motivated the simulator-clock epsilon fixes
@@ -27,20 +61,28 @@ this layer is built on.
 
 This module is the only sanctioned driver of ``Simulator.run`` for
 multi-query workloads (enforced by the ``executor-boundary`` analysis
-pass); everything else goes through the single-query
-:class:`~repro.plan.PlanExecutor`.
+pass, which also bans driving ``schedule_at``/``cancel_event`` outside
+the sanctioned DES drivers); everything else goes through the
+single-query :class:`~repro.plan.PlanExecutor`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.costmodel.model import PhaseCost
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.resources import solve_concurrent_rates
 
-from repro.serve.request import ServedQuery
+from repro.serve.policy import (
+    OUTCOME_DEADLINE,
+    OUTCOME_FAILED,
+    SHED_QUEUE_FULL,
+    SHED_STRETCH,
+    ServicePolicy,
+)
+from repro.serve.request import ServedQuery, ShedQuery
 
 #: remaining work below this fraction of a phase counts as finished
 #: (absorbs the float error of progress-accumulation across events).
@@ -51,6 +93,60 @@ _REMAINING_EPSILON = 1e-12
 AdmitHook = Callable[[ServedQuery, float], bool]
 #: completion callback: (query, now) — quota release, metrics.
 FinishHook = Callable[[ServedQuery, float], None]
+#: eviction callback: (query, now) — a deadline cancellation or fault
+#: removed an *admitted* query mid-flight; release its quota share.
+EvictHook = Callable[[ServedQuery, float], None]
+#: serving-fault hook: (query, phase_index, attempt, now) -> fault?
+#: Returning None lets the phase proceed; a :class:`PhaseFault` evicts
+#: the query (retry or terminal failure).
+FaultHook = Callable[[ServedQuery, int, int, float], Optional["PhaseFault"]]
+#: capacity hook: resource -> factor in (0, 1]; per-unit demands are
+#: scaled by 1/factor (a degraded link makes the same work occupy more
+#: of the resource per second).
+CapacityHook = Callable[[str], float]
+#: shed callback: (query, reason, detail, now) — bookkeeping only; the
+#: scheduler already recorded the typed ShedQuery.
+ShedHook = Callable[[ServedQuery, str, float, float], None]
+
+
+@dataclass(frozen=True)
+class PhaseFault:
+    """A serving fault injected at one query's phase boundary.
+
+    ``retry_delay`` is the virtual-time backoff before the query is
+    resubmitted (it re-enters overload control and admission like a
+    fresh arrival); None fails the query terminally.
+    """
+
+    retry_delay: Optional[float] = None
+    reason: str = "fault"
+
+
+class SchedulerError(RuntimeError):
+    """The scheduler drained its event queue with queries unfinished.
+
+    Mirrors the :class:`~repro.sim.resources.SolverError` diagnostics
+    pattern: instead of a bare message, the error carries the stuck
+    request ids with their phase indices and remaining solo-seconds of
+    work (``stuck``), plus the virtual clock at drain (``clock``) — so
+    a hung serving run names exactly which queries wedged and how much
+    work the simulator thought was left.
+    """
+
+    def __init__(
+        self, stuck: Sequence[Tuple[int, int, float]], clock: float
+    ) -> None:
+        self.stuck: Tuple[Tuple[int, int, float], ...] = tuple(stuck)
+        self.clock = clock
+        detail = ", ".join(
+            f"#{request_id} (phase {phase_index}, {remaining:.9g}s left)"
+            for request_id, phase_index, remaining in self.stuck
+        )
+        super().__init__(
+            f"scheduler drained with {len(self.stuck)} unfinished "
+            f"quer{'y' if len(self.stuck) == 1 else 'ies'} at "
+            f"t={clock:.9g}: {detail}"
+        )
 
 
 @dataclass
@@ -65,6 +161,8 @@ class _Active:
     rate: float = 1.0
     #: virtual time of the last progress update.
     updated: float = 0.0
+    #: serving attempt (0 = first submission, bumped per retry).
+    attempt: int = 0
 
     def phase(self) -> PhaseCost:
         return self.query.phases[self.phase_index]
@@ -76,10 +174,28 @@ class ScheduleOutcome:
 
     finished: List[ServedQuery] = field(default_factory=list)
     dropped: List[ServedQuery] = field(default_factory=list)
+    #: queries cancelled mid-flight by their deadline event.
+    deadline_exceeded: List[ServedQuery] = field(default_factory=list)
+    #: queries terminally failed by serving faults (retry budget spent).
+    failed: List[ServedQuery] = field(default_factory=list)
+    #: requests load-shed by overload control (typed reasons).
+    shed: List[ShedQuery] = field(default_factory=list)
     makespan: float = 0.0
     peak_concurrency: int = 0
     #: how many times the rate vector was re-solved (events processed).
     resolves: int = 0
+    #: serving-level resubmissions scheduled (fault retries).
+    retries: int = 0
+
+    def accounted(self) -> int:
+        """Queries that reached a terminal bucket (conservation input)."""
+        return (
+            len(self.finished)
+            + len(self.dropped)
+            + len(self.deadline_exceeded)
+            + len(self.failed)
+            + len(self.shed)
+        )
 
 
 class ContentionScheduler:
@@ -93,20 +209,56 @@ class ContentionScheduler:
         queries: Sequence[ServedQuery],
         admit: Optional[AdmitHook] = None,
         on_finish: Optional[FinishHook] = None,
+        on_evict: Optional[EvictHook] = None,
+        fault: Optional[FaultHook] = None,
+        capacity: Optional[CapacityHook] = None,
+        on_shed: Optional[ShedHook] = None,
+        policy: Optional[ServicePolicy] = None,
     ) -> ScheduleOutcome:
         """Serve ``queries`` (arrival order) and stamp start/finish.
 
         ``admit`` runs at each query's arrival event against the
         *current* in-flight population; rejected queries are dropped
-        and reported in :attr:`ScheduleOutcome.dropped`.
+        and reported in :attr:`ScheduleOutcome.dropped`.  ``on_evict``
+        releases the admission share of queries removed mid-flight
+        (deadline cancellation, fault eviction).  With every optional
+        hook absent and the default (inert) policy, scheduling is
+        bit-identical to the fair-weather PR 9 scheduler.
         """
+        policy = policy if policy is not None else ServicePolicy()
         sim = Simulator()
         outcome = ScheduleOutcome()
         active: Dict[int, _Active] = {}
+        #: FIFO of queries admitted but waiting for an active slot.
+        waiting: List[_Active] = []
+        #: one cancellable deadline event per deadline-carrying request.
+        deadline_events: Dict[int, Event] = {}
+        #: pending retry-resubmission events (cancelled on deadline).
+        retry_events: Dict[int, Event] = {}
+        #: request ids currently holding an admission share.
+        holding: set = set()
         epoch = 0
 
         def demand_key(record: _Active) -> str:
             return f"q{record.query.request.request_id}"
+
+        def per_unit_occupancy(phase: PhaseCost) -> Dict[str, float]:
+            """Per-second occupancy of one phase, capacity-adjusted."""
+            if capacity is None:
+                return {
+                    resource: busy / phase.seconds
+                    for resource, busy in phase.occupancy.items()
+                }
+            demands: Dict[str, float] = {}
+            for resource, busy in phase.occupancy.items():
+                factor = capacity(resource)
+                if not 0.0 < factor <= 1.0:
+                    raise ValueError(
+                        f"capacity factor for {resource!r} must be in "
+                        f"(0, 1]: {factor}"
+                    )
+                demands[resource] = busy / (phase.seconds * factor)
+            return demands
 
         def per_unit_demands() -> Dict[int, Dict[str, float]]:
             """Per-second occupancy of every active query's phase."""
@@ -116,10 +268,7 @@ class ContentionScheduler:
                 if phase.seconds <= 0:
                     demands[request_id] = {}
                     continue
-                demands[request_id] = {
-                    resource: busy / phase.seconds
-                    for resource, busy in phase.occupancy.items()
-                }
+                demands[request_id] = per_unit_occupancy(phase)
             return demands
 
         def advance_progress(now: float) -> None:
@@ -129,13 +278,38 @@ class ContentionScheduler:
                     record.remaining -= elapsed * record.rate
                 record.updated = now
 
-        def skip_empty_phases(record: _Active, now: float) -> bool:
-            """Advance past zero-second phases; True when query done."""
+        def release(query: ServedQuery, now: float) -> None:
+            """Return the admission share of an evicted query (once)."""
+            request_id = query.request.request_id
+            if request_id in holding:
+                holding.discard(request_id)
+                if on_evict is not None:
+                    on_evict(query, now)
+
+        def drop_deadline(query: ServedQuery) -> None:
+            event = deadline_events.pop(query.request.request_id, None)
+            if event is not None:
+                sim.cancel_event(event)
+
+        def enter_phase(record: _Active, now: float) -> bool:
+            """Advance past zero-second phases, firing the fault hook at
+            each real phase boundary; True when the query left the
+            active set (finished, faulted, or retried)."""
             while record.phase_index < len(record.query.phases):
                 phase = record.phase()
                 if phase.seconds > 0:
                     if record.remaining <= 0:
                         record.remaining = phase.seconds
+                    if fault is not None:
+                        injected = fault(
+                            record.query,
+                            record.phase_index,
+                            record.attempt,
+                            now,
+                        )
+                        if injected is not None:
+                            handle_fault(record, injected, now)
+                            return True
                     return False
                 record.phase_index += 1
                 record.remaining = 0.0
@@ -146,9 +320,155 @@ class ContentionScheduler:
             query = record.query
             query.finish = now
             del active[query.request.request_id]
+            holding.discard(query.request.request_id)
+            drop_deadline(query)
             outcome.finished.append(query)
             if on_finish is not None:
                 on_finish(query, now)
+            start_waiting(now)
+
+        def handle_fault(
+            record: _Active, injected: PhaseFault, now: float
+        ) -> None:
+            """Evict a faulted query: resubmit with backoff or fail."""
+            query = record.query
+            request_id = query.request.request_id
+            if request_id in active:
+                del active[request_id]
+            if injected.retry_delay is not None:
+                query.retries += 1
+                outcome.retries += 1
+                release(query, now)
+                retry_events[request_id] = sim.schedule_at(
+                    now + injected.retry_delay,
+                    make_retry(query, record.attempt + 1),
+                )
+            else:
+                query.finish = now
+                query.cancelled_at = now
+                query.outcome = OUTCOME_FAILED
+                release(query, now)
+                drop_deadline(query)
+                outcome.failed.append(query)
+            start_waiting(now)
+
+        def cancel_on_deadline(query: ServedQuery, now: float) -> None:
+            """Common terminal bookkeeping of a fired deadline."""
+            query.finish = now
+            query.cancelled_at = now
+            query.outcome = OUTCOME_DEADLINE
+            release(query, now)
+            outcome.deadline_exceeded.append(query)
+
+        def shed(
+            query: ServedQuery, reason: str, detail: float, now: float
+        ) -> None:
+            drop_deadline(query)
+            outcome.shed.append(
+                ShedQuery(
+                    request=query.request,
+                    reason=reason,
+                    detail=detail,
+                    at=now,
+                )
+            )
+            if on_shed is not None:
+                on_shed(query, reason, detail, now)
+
+        def predicted_stretch(query: ServedQuery, now: float) -> float:
+            """Stretch the newcomer's dominant phase would suffer now.
+
+            The newcomer's longest phase (the one dominating its solo
+            cost) is solved against the current active set; the
+            threshold is relative to solo speed, so ``1/rate`` is the
+            predicted stretch — 1.0 means the machine has headroom.
+            """
+            dominant: Optional[PhaseCost] = None
+            for phase in query.phases:
+                if phase.seconds <= 0:
+                    continue
+                if dominant is None or phase.seconds > dominant.seconds:
+                    dominant = phase
+            if dominant is None or not dominant.occupancy:
+                return 1.0
+            advance_progress(now)
+            demands = per_unit_demands()
+            solver_input = {
+                demand_key(record): demands[request_id]
+                for request_id, record in active.items()
+            }
+            candidate_key = f"candidate-{query.request.request_id}"
+            solver_input[candidate_key] = per_unit_occupancy(dominant)
+            rates = solve_concurrent_rates(
+                solver_input, tolerance=self.tolerance
+            )
+            rate = min(1.0, rates[candidate_key])
+            if rate <= 0:
+                return float("inf")
+            return 1.0 / rate
+
+        def start_waiting(now: float) -> None:
+            """Move queued queries into freed active slots (FIFO)."""
+            while (
+                waiting
+                and policy.max_active is not None
+                and len(active) < policy.max_active
+            ):
+                record = waiting.pop(0)
+                begin(record, now)
+
+        def begin(record: _Active, now: float) -> None:
+            """Start (or resume after dequeue) one admitted query."""
+            query = record.query
+            query.start = now if record.attempt == 0 else query.start
+            record.updated = now
+            active[query.request.request_id] = record
+            if enter_phase(record, now):
+                return
+            outcome.peak_concurrency = max(
+                outcome.peak_concurrency, len(active)
+            )
+            resolve(sim)
+
+        def admit_and_start(
+            query: ServedQuery, attempt: int, simulator: Simulator
+        ) -> None:
+            """The arrival/resubmission path: shed -> admit -> start."""
+            now = simulator.now
+            would_queue = (
+                policy.max_active is not None
+                and len(active) >= policy.max_active
+            )
+            if would_queue:
+                if (
+                    policy.queue_depth is not None
+                    and len(waiting) >= policy.queue_depth
+                ):
+                    shed(query, SHED_QUEUE_FULL, float(len(waiting)), now)
+                    return
+            elif policy.stretch_limit is not None and active:
+                stretch = predicted_stretch(query, now)
+                if stretch > policy.stretch_limit:
+                    shed(query, SHED_STRETCH, stretch, now)
+                    return
+            if admit is not None and not admit(query, now):
+                drop_deadline(query)
+                outcome.dropped.append(query)
+                return
+            holding.add(query.request.request_id)
+            if attempt == 0 and query.request.deadline is not None:
+                deadline_events[query.request.request_id] = (
+                    simulator.schedule_at(
+                        query.request.arrival + query.request.deadline,
+                        make_deadline(query),
+                    )
+                )
+            record = _Active(query=query, updated=now, attempt=attempt)
+            if would_queue:
+                query.start = now if attempt == 0 else query.start
+                waiting.append(record)
+                return
+            begin(record, now)
 
         def resolve(simulator: Simulator) -> None:
             """Re-solve rates and re-schedule every completion."""
@@ -174,8 +494,9 @@ class ContentionScheduler:
                 # the solo duration exactly.
                 record.rate = min(1.0, solved)
                 if record.rate <= 0:
-                    raise RuntimeError(
-                        f"starved query {request_id}: rate {record.rate}"
+                    raise SchedulerError(
+                        [(request_id, record.phase_index, record.remaining)],
+                        now,
                     )
                 eta = now + record.remaining / record.rate
                 simulator.schedule_at(
@@ -202,26 +523,51 @@ class ContentionScheduler:
                     return
                 record.phase_index += 1
                 record.remaining = 0.0
-                skip_empty_phases(record, now)
+                enter_phase(record, now)
                 resolve(simulator)
 
             return completion
 
+        def make_deadline(query: ServedQuery):
+            def deadline(simulator: Simulator) -> None:
+                request_id = query.request.request_id
+                deadline_events.pop(request_id, None)
+                now = simulator.now
+                record = active.get(request_id)
+                if record is not None:
+                    # Cancel mid-phase: bank the progress accumulated so
+                    # far, evict, then re-solve so survivors' remaining
+                    # work and completion etas are repaired.
+                    advance_progress(now)
+                    del active[request_id]
+                    cancel_on_deadline(query, now)
+                    start_waiting(now)
+                    resolve(simulator)
+                    return
+                for index, queued in enumerate(waiting):
+                    if queued.query.request.request_id == request_id:
+                        del waiting[index]
+                        cancel_on_deadline(query, now)
+                        return
+                retry_event = retry_events.pop(request_id, None)
+                if retry_event is not None:
+                    # Expired during retry backoff: the admission share
+                    # was already released at eviction time.
+                    simulator.cancel_event(retry_event)
+                    cancel_on_deadline(query, now)
+
+            return deadline
+
+        def make_retry(query: ServedQuery, attempt: int):
+            def retry(simulator: Simulator) -> None:
+                retry_events.pop(query.request.request_id, None)
+                admit_and_start(query, attempt, simulator)
+
+            return retry
+
         def make_arrival(query: ServedQuery):
             def arrival(simulator: Simulator) -> None:
-                now = simulator.now
-                if admit is not None and not admit(query, now):
-                    outcome.dropped.append(query)
-                    return
-                query.start = now
-                record = _Active(query=query, updated=now)
-                active[query.request.request_id] = record
-                if skip_empty_phases(record, now):
-                    return
-                outcome.peak_concurrency = max(
-                    outcome.peak_concurrency, len(active)
-                )
-                resolve(simulator)
+                admit_and_start(query, 0, simulator)
 
             return arrival
 
@@ -232,12 +578,28 @@ class ContentionScheduler:
             sim.schedule_at(query.request.arrival, make_arrival(query))
 
         outcome.makespan = sim.run()
-        if active:
-            stuck = sorted(active)
-            raise RuntimeError(
-                f"scheduler drained with unfinished queries: {stuck}"
+        if active or waiting:
+            stuck = sorted(
+                [
+                    (request_id, record.phase_index, record.remaining)
+                    for request_id, record in active.items()
+                ]
+                + [
+                    (
+                        record.query.request.request_id,
+                        record.phase_index,
+                        record.remaining,
+                    )
+                    for record in waiting
+                ]
             )
+            raise SchedulerError(stuck, sim.now)
         return outcome
 
 
-__all__ = ["ContentionScheduler", "ScheduleOutcome"]
+__all__ = [
+    "ContentionScheduler",
+    "PhaseFault",
+    "ScheduleOutcome",
+    "SchedulerError",
+]

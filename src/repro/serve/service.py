@@ -14,21 +14,33 @@
 2. **caches** the priced artifact by workload fingerprint
    (:mod:`repro.serve.cache`), so repeat requests skip the optimizer's
    search-space enumeration entirely;
-3. **admits** each request against its tenant's quota at its virtual
-   arrival time (:mod:`repro.serve.admission`), converting typed
-   :class:`~repro.serve.admission.AdmissionError` rejections into
+3. **admits** each request against its workload's circuit breaker and
+   its tenant's quota at its virtual arrival time
+   (:mod:`repro.serve.admission`), converting typed
+   :class:`~repro.serve.admission.AdmissionError` /
+   :class:`~repro.serve.policy.CircuitOpenError` rejections into
    report entries instead of aborting the run;
 4. **schedules** the admitted queries over one simulated machine
    (:mod:`repro.serve.scheduler`), where overlapping phases contend
-   through the max-min fair rate solver;
-5. **stamps** each served query's manifest with a schema-versioned
+   through the max-min fair rate solver — with the resilience layer
+   active: per-request deadlines cancel overrunning queries mid-phase,
+   an installed :class:`~repro.faults.FaultPlan` can fail in-flight
+   queries (resubmitted with the policy's capped virtual-time backoff)
+   or degrade link capacity mid-serving, and overload beyond the
+   policy's bounds is load-shed with typed reasons;
+5. **stamps** each terminated query's manifest with a schema-versioned
    ``serving`` section (arrival, start, finish, latency, stretch,
-   cache hit) and returns everything as a
-   :class:`~repro.serve.request.ServingReport`.
+   cache hit, outcome, deadline, cancellation time, retries, breaker
+   state) and returns everything as a
+   :class:`~repro.serve.request.ServingReport`, then audits that every
+   admission share returned exactly to zero.
 
 ``submit()`` is thread-safe (a lock guards the request log); the serve
 pass itself is deterministic and single-threaded — virtual time, not
-wall-clock, decides every latency.
+wall-clock, decides every latency, backoff, and breaker transition.
+With no fault plan installed and the default (inert)
+:class:`~repro.serve.policy.ServicePolicy`, a serve pass is
+bit-identical to the fair-weather PR 9 engine.
 """
 
 from __future__ import annotations
@@ -38,6 +50,9 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from repro.costmodel.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.costmodel.model import CostModel
+from repro.faults.plan import FaultPlan, QueryFault
+from repro.faults.resilience import ResilienceLog
+from repro.faults.runtime import active_plan
 from repro.logical.algebra import Scan
 from repro.logical.explain import MACHINES, WORKLOADS
 from repro.logical.optimizer import optimize
@@ -55,13 +70,14 @@ from repro.serve.cache import (
     PlanCacheEntry,
     workload_fingerprint,
 )
+from repro.serve.policy import CircuitOpenError, ServicePolicy
 from repro.serve.request import (
     QueryRequest,
     Rejection,
     ServedQuery,
     ServingReport,
 )
-from repro.serve.scheduler import ContentionScheduler
+from repro.serve.scheduler import ContentionScheduler, PhaseFault
 
 
 def modeled_query_bytes(query: Any) -> float:
@@ -88,6 +104,7 @@ class QueryService:
         default_quota: Optional[TenantQuota] = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
         cache: Optional[PlanCache] = None,
+        policy: Optional[ServicePolicy] = None,
     ) -> None:
         if machine not in MACHINES:
             raise KeyError(
@@ -104,6 +121,10 @@ class QueryService:
         )
         self.cache = cache if cache is not None else PlanCache()
         self.scheduler = ContentionScheduler()
+        self.policy = policy if policy is not None else ServicePolicy()
+        #: persistent across serve passes: an opened circuit stays open
+        #: into the next pass until its (virtual-time) cooldown elapses.
+        self.breaker = self.policy.build_breaker()
         self._lock = threading.Lock()
         self._requests: List[QueryRequest] = []
         self._next_id = 0
@@ -112,9 +133,18 @@ class QueryService:
     # Front door
     # ------------------------------------------------------------------
     def submit(
-        self, tenant: str, workload: str, arrival: float
+        self,
+        tenant: str,
+        workload: str,
+        arrival: float,
+        deadline: Optional[float] = None,
     ) -> QueryRequest:
-        """Register a request (thread-safe); served on ``serve()``."""
+        """Register a request (thread-safe); served on ``serve()``.
+
+        ``deadline`` is a latency budget in virtual seconds from
+        ``arrival``; omitted, the policy's ``default_deadline`` (if
+        any) applies.
+        """
         if workload not in WORKLOADS:
             raise KeyError(
                 f"unknown workload {workload!r}; valid: "
@@ -122,6 +152,10 @@ class QueryService:
             )
         if arrival < 0:
             raise ValueError(f"arrival must be >= 0, got {arrival}")
+        if deadline is None:
+            deadline = self.policy.default_deadline
+        elif deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         with self._lock:
             request = QueryRequest(
                 request_id=self._next_id,
@@ -129,6 +163,7 @@ class QueryService:
                 workload=workload,
                 machine=self.machine_name,
                 arrival=arrival,
+                deadline=deadline,
             )
             self._next_id += 1
             self._requests.append(request)
@@ -223,8 +258,29 @@ class QueryService:
             )
 
         rejections: List[Rejection] = []
+        resilience = ResilienceLog()
+        plan: Optional[FaultPlan] = active_plan()
 
-        def admit(query: ServedQuery, _now: float) -> bool:
+        def admit(query: ServedQuery, now: float) -> bool:
+            workload = query.request.workload
+            if not self.breaker.allow(workload, now):
+                resilience.record(
+                    "breaker_fastfail",
+                    request_id=query.request.request_id,
+                    workload=workload,
+                    at=now,
+                )
+                rejections.append(
+                    Rejection(
+                        request=query.request,
+                        error=CircuitOpenError(
+                            workload=workload,
+                            request_id=query.request.request_id,
+                            opened_at=self.breaker.opened_at(workload),
+                        ),
+                    )
+                )
+                return False
             try:
                 self.admission.admit(
                     query.request, modeled[query.request.request_id]
@@ -236,22 +292,115 @@ class QueryService:
                 return False
             return True
 
-        def on_finish(query: ServedQuery, _now: float) -> None:
+        def on_finish(query: ServedQuery, now: float) -> None:
+            self.admission.release(
+                query.request, modeled[query.request.request_id]
+            )
+            if self.breaker.enabled:
+                query.breaker_state = self.breaker.record_success(
+                    query.request.workload, now
+                )
+
+        def on_evict(query: ServedQuery, _now: float) -> None:
+            # A deadline cancellation or fault eviction removed an
+            # admitted query mid-flight; return its exact ledger share.
             self.admission.release(
                 query.request, modeled[query.request.request_id]
             )
 
+        def fault(
+            query: ServedQuery, phase_index: int, attempt: int, now: float
+        ) -> Optional[PhaseFault]:
+            assert plan is not None
+            try:
+                plan.check_query(
+                    workload=query.request.workload,
+                    tenant=query.request.tenant,
+                    request_id=query.request.request_id,
+                    phase_index=phase_index,
+                    attempt=attempt,
+                )
+            except QueryFault as error:
+                retry = self.policy.retry
+                if attempt + 1 < retry.max_attempts:
+                    # delay() is 1-based: the backoff before the next
+                    # serving attempt (attempt + 1 in 0-based terms).
+                    delay = retry.delay(attempt + 1)
+                    resilience.record(
+                        "serving_retry",
+                        request_id=query.request.request_id,
+                        workload=query.request.workload,
+                        phase_index=phase_index,
+                        attempt=attempt,
+                        delay=delay,
+                        at=now,
+                    )
+                    return PhaseFault(retry_delay=delay, reason=str(error))
+                # Retry budget spent: terminal failure, counted by the
+                # workload's breaker at this virtual time.
+                if self.breaker.enabled:
+                    query.breaker_state = self.breaker.record_failure(
+                        query.request.workload, now
+                    )
+                return PhaseFault(retry_delay=None, reason=str(error))
+            return None
+
         outcome = self.scheduler.run(
-            queries, admit=admit, on_finish=on_finish
+            queries,
+            admit=admit,
+            on_finish=on_finish,
+            on_evict=on_evict,
+            fault=fault if plan is not None else None,
+            capacity=plan.resource_factor if plan is not None else None,
+            policy=self.policy,
         )
-        for query in outcome.finished:
+
+        for query in sorted(
+            outcome.deadline_exceeded,
+            key=lambda q: (q.cancelled_at, q.request.request_id),
+        ):
+            if self.breaker.enabled:
+                query.breaker_state = self.breaker.state(
+                    query.request.workload
+                )
+            resilience.record(
+                "deadline_cancel",
+                request_id=query.request.request_id,
+                workload=query.request.workload,
+                deadline=query.request.deadline,
+                at=query.cancelled_at,
+            )
+        for shed in outcome.shed:
+            resilience.record(
+                "shed",
+                request_id=shed.request.request_id,
+                workload=shed.request.workload,
+                reason=shed.reason,
+                detail=shed.detail,
+                at=shed.at,
+            )
+        for query in (
+            outcome.finished + outcome.deadline_exceeded + outcome.failed
+        ):
             query.manifest["serving"] = query.serving_record().section()
+        # Drain invariant: every admission share is back to exactly zero
+        # no matter how each query terminated.
+        self.admission.audit()
         return ServingReport(
             served=outcome.finished,
             rejections=rejections,
             cache=self.cache.stats(),
             makespan=outcome.makespan,
             peak_concurrency=outcome.peak_concurrency,
+            deadline_exceeded=outcome.deadline_exceeded,
+            failed=outcome.failed,
+            shed=outcome.shed,
+            breaker=self.breaker.snapshot(),
+            resilience=(
+                resilience.section(plan)
+                if plan is not None or len(resilience)
+                else None
+            ),
         )
 
 

@@ -2,7 +2,10 @@
 
 Events are (time, sequence) ordered; ties resolve in scheduling order,
 which makes simulations reproducible.  Callbacks receive the simulator
-so they can schedule follow-up events.
+so they can schedule follow-up events.  Scheduled events can be
+revoked with :meth:`Simulator.cancel_event` before they fire — the
+serving scheduler uses this for per-query deadline events, which are
+cancelled when the query completes in time.
 """
 
 from __future__ import annotations
@@ -10,7 +13,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from repro.obs.trace import Tracer
 
@@ -60,6 +63,13 @@ class Simulator:
         self._seq = itertools.count()
         self._fired = 0
         self._running = False
+        #: seqs of scheduled-but-cancelled events; purged lazily when
+        #: they reach the heap head, so cancellation is O(1).
+        self._cancelled: Set[int] = set()
+        #: seqs currently live in the queue (scheduled, not yet fired
+        #: or cancelled) — lets :meth:`cancel_event` distinguish "still
+        #: pending" from "already fired / already cancelled".
+        self._live: Set[int] = set()
 
     def schedule(self, delay: float, callback: Callable[["Simulator"], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
@@ -67,6 +77,7 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
         event = Event(time=self.now + delay, seq=next(self._seq), callback=callback)
         heapq.heappush(self._queue, event)
+        self._live.add(event.seq)
         return event
 
     def schedule_at(self, time: float, callback: Callable[["Simulator"], None]) -> Event:
@@ -84,15 +95,43 @@ class Simulator:
             delta = 0.0
         return self.schedule(delta, callback)
 
+    def cancel_event(self, event: Event) -> bool:
+        """Cancel a scheduled event before it fires.
+
+        Returns True when the event was still pending (it will now
+        never fire and the clock will never advance to it on its
+        account); False when it already fired or was already
+        cancelled.  Cancellation is O(1): the heap entry is discarded
+        lazily when it reaches the head.
+
+        This is what makes deadline enforcement cheap for the serving
+        scheduler: every admitted query schedules one deadline event,
+        and the common case — the query finishes in time — cancels it
+        instead of letting a stale callback fire.
+        """
+        if event.seq not in self._live:
+            return False
+        self._live.discard(event.seq)
+        self._cancelled.add(event.seq)
+        return True
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled events sitting at the heap head."""
+        while self._queue and self._queue[0].seq in self._cancelled:
+            dead = heapq.heappop(self._queue)
+            self._cancelled.discard(dead.seq)
+
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self._live)
 
     def step(self) -> bool:
-        """Fire the next event; returns False when the queue is empty."""
+        """Fire the next live event; returns False when none remain."""
+        self._purge_cancelled()
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        self._live.discard(event.seq)
         if event.time < self.now:
             raise SimulationError("event queue corrupted: time went backwards")
         self.now = event.time
@@ -121,6 +160,9 @@ class Simulator:
         fired_before = self._fired
         try:
             while self._queue:
+                self._purge_cancelled()
+                if not self._queue:
+                    break
                 if until is not None and self._queue[0].time > until:
                     break
                 self.step()

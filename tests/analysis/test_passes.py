@@ -187,6 +187,30 @@ def test_executor_boundary_bans_rogue_simulators():
     assert [f.rule for f in findings] == ["executor-boundary"]
 
 
+def test_executor_boundary_bans_rogue_des_driving():
+    """schedule_at/cancel_event carry the scheduler's epoch-accounted
+    deadline/retry semantics; driving them outside the sanctioned DES
+    drivers races the cancellation path."""
+    source = (
+        "def hijack(sim, event):\n"
+        "    sim.cancel_event(event)\n"
+        "    return sim.schedule_at(1.0, lambda s: None)\n"
+    )
+    findings = analyze_source(source, path="src/repro/serve/service.py")
+    assert [f.rule for f in findings] == [
+        "executor-boundary",
+        "executor-boundary",
+    ]
+    assert "cancel_event" in findings[0].message
+    for exempt_path in (
+        "src/repro/sim/engine.py",
+        "src/repro/serve/scheduler.py",
+        "src/repro/transfer/stream.py",
+        "src/repro/plan/executor.py",
+    ):
+        assert analyze_source(source, path=exempt_path) == []
+
+
 def test_syntax_error_becomes_finding():
     findings = analyze_source("def broken(:\n", path="src/repro/core/x.py")
     assert len(findings) == 1

@@ -36,6 +36,10 @@ class TestRecording:
             "redispatch": 0,
             "serial_fallback": 0,
             "spill": 0,
+            "serving_retry": 0,
+            "deadline_cancel": 0,
+            "shed": 0,
+            "breaker_fastfail": 0,
         }
         log.record("spill", from_strategy="gpu", to_strategy="hybrid")
         assert log.count("spill") == 1

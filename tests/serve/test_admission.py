@@ -3,6 +3,7 @@
 import pytest
 
 from repro.serve.admission import (
+    AdmissionAuditError,
     AdmissionController,
     AdmissionError,
     TenantQuota,
@@ -113,3 +114,56 @@ class TestDefaults:
         assert snapshot["alpha"]["admitted_total"] == 1
         assert snapshot["alpha"]["modeled_bytes"] == 10.0
         assert snapshot["beta"]["rejected_total"] == 1
+
+
+class TestLedgerAudit:
+    def test_clean_controller_audits_quietly(self):
+        controller = AdmissionController()
+        controller.audit()
+
+    def test_drained_ledger_returns_to_exact_zero(self):
+        controller = AdmissionController()
+        # adversarial float sums: admitting in one order and releasing
+        # in another must still cancel exactly, because the ledger
+        # recomputes modeled_bytes from the surviving shares instead of
+        # accumulating +=/-= drift.
+        sizes = [0.1, 0.2, 0.3, 1e-9, 1e12, 7.7]
+        for i, size in enumerate(sizes):
+            controller.admit(_request(i), size)
+        for i in (3, 0, 5, 1, 4, 2):
+            controller.release(_request(i))
+        assert controller.in_flight("alpha") == 0
+        snapshot = controller.snapshot()
+        assert snapshot["alpha"]["modeled_bytes"] == 0.0  # exact
+        controller.audit()
+
+    def test_leaked_share_fails_the_audit_with_details(self):
+        controller = AdmissionController()
+        controller.admit(_request(0), 10.0)
+        controller.admit(_request(1), 5.0)
+        controller.release(_request(1))
+        with pytest.raises(AdmissionAuditError) as excinfo:
+            controller.audit()
+        leaks = excinfo.value.leaks
+        assert "alpha" in leaks
+        in_flight, modeled, request_ids = leaks["alpha"]
+        assert in_flight == 1
+        assert modeled == 10.0
+        assert request_ids == (0,)
+        assert "alpha" in str(excinfo.value)
+
+    def test_ledger_is_authoritative_for_release(self):
+        # release() no longer trusts a caller-supplied byte count: the
+        # share recorded at admit() is what gets returned.
+        controller = AdmissionController()
+        controller.admit(_request(0), 10.0)
+        controller.release(_request(0), 999.0)  # wrong hint, ignored
+        assert controller.snapshot()["alpha"]["modeled_bytes"] == 0.0
+        controller.audit()
+
+    def test_double_release_is_an_error(self):
+        controller = AdmissionController()
+        controller.admit(_request(0), 10.0)
+        controller.release(_request(0))
+        with pytest.raises(RuntimeError):
+            controller.release(_request(0))

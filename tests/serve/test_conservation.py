@@ -1,0 +1,160 @@
+"""Property suite: request conservation and same-seed determinism.
+
+Every submitted request must land in exactly one terminal bucket —
+
+    submitted == finished + rejected + shed + deadline_exceeded + failed
+
+— for any arrival pattern, any overload-policy knob combination, and
+any seeded fault plan; and re-serving the identical scenario must
+reproduce the identical report bit for bit.  Hypothesis drives the
+scenario space; the service's own ``conservation()`` plus the
+admission ledger ``audit()`` are the oracles.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FailQuery, FaultPlan
+from repro.serve import QueryService, ServicePolicy
+
+#: cheap-to-price workloads so each hypothesis example stays fast.
+WORKLOAD_NAMES = ("q6", "star")
+
+policies = st.one_of(
+    st.none(),
+    st.builds(
+        ServicePolicy,
+        max_active=st.integers(min_value=1, max_value=3),
+        queue_depth=st.integers(min_value=0, max_value=2),
+        default_deadline=st.one_of(
+            st.none(), st.floats(min_value=0.01, max_value=2.0)
+        ),
+    ),
+    st.builds(
+        ServicePolicy,
+        stretch_limit=st.floats(min_value=1.0, max_value=4.0),
+        breaker_threshold=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=3)
+        ),
+        breaker_cooldown=st.floats(min_value=0.1, max_value=10.0),
+    ),
+)
+
+scenarios = st.fixed_dictionaries(
+    {
+        "gaps": st.lists(
+            st.floats(min_value=0.0, max_value=0.5),
+            min_size=1,
+            max_size=8,
+        ),
+        "picks": st.lists(
+            st.integers(min_value=0, max_value=len(WORKLOAD_NAMES) - 1),
+            min_size=8,
+            max_size=8,
+        ),
+        "policy": policies,
+        "fault_seed": st.one_of(
+            st.none(), st.integers(min_value=0, max_value=2**20)
+        ),
+        "fault_probability": st.floats(min_value=0.1, max_value=1.0),
+        "first_attempt_only": st.booleans(),
+    }
+)
+
+
+def _run_scenario(params):
+    service = QueryService(policy=params["policy"])
+    arrival = 0.0
+    for i, gap in enumerate(params["gaps"]):
+        arrival += gap
+        workload = WORKLOAD_NAMES[params["picks"][i]]
+        service.submit("tenant-h", workload, arrival)
+    submitted = len(params["gaps"])
+    if params["fault_seed"] is None:
+        report = service.serve()
+    else:
+        plan = FaultPlan(
+            seed=params["fault_seed"],
+            rules=[
+                FailQuery(
+                    probability=params["fault_probability"],
+                    attempts=(0,) if params["first_attempt_only"] else None,
+                    times=None,
+                )
+            ],
+            name="hypothesis-chaos",
+        )
+        with plan.install():
+            report = service.serve()
+    return service, report, submitted
+
+
+def _report_fingerprint(report):
+    """A bit-exact JSON digest of everything a report exposes."""
+    return json.dumps(
+        {
+            "manifests": [q.manifest for q in report.served],
+            "deadline": [q.manifest for q in report.deadline_exceeded],
+            "failed": [q.manifest for q in report.failed],
+            "shed": [s.describe() for s in report.shed],
+            "rejected": [
+                (r.request.request_id, str(r.error))
+                for r in report.rejections
+            ],
+            "outcomes": report.outcome_counts(),
+            "latencies": report.latencies(),
+            "makespan": report.makespan,
+            "peak": report.peak_concurrency,
+            "breaker": report.breaker,
+        },
+        sort_keys=True,
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=scenarios)
+def test_every_request_lands_in_exactly_one_bucket(params):
+    _service, report, submitted = _run_scenario(params)
+    counts = report.outcome_counts()
+    assert report.conservation(submitted), (
+        f"conservation violated: submitted {submitted} != {counts}"
+    )
+    # no request id appears in two buckets.
+    ids = (
+        [q.request.request_id for q in report.served]
+        + [q.request.request_id for q in report.deadline_exceeded]
+        + [q.request.request_id for q in report.failed]
+        + [s.request.request_id for s in report.shed]
+        + [r.request.request_id for r in report.rejections]
+    )
+    assert len(ids) == len(set(ids)) == submitted
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=scenarios)
+def test_admission_ledger_returns_to_zero(params):
+    service, _report, _submitted = _run_scenario(params)
+    # raises AdmissionAuditError on any leaked share.
+    service.admission.audit()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=scenarios)
+def test_same_seed_scenarios_are_bit_identical(params):
+    _service1, first, _ = _run_scenario(params)
+    _service2, second, _ = _run_scenario(params)
+    assert _report_fingerprint(first) == _report_fingerprint(second)

@@ -1,0 +1,194 @@
+"""Overload control: bounded queue, queue-full and stretch shedding.
+
+Scheduler-level tests pin exactly *which* request is shed and why;
+service-level tests check the typed report surface (ShedQuery,
+ShedError, outcome counts, conservation) and that shed requests never
+touch the admission ledger.
+"""
+
+import pytest
+
+from repro.costmodel.model import PhaseCost
+from repro.serve import QueryService, ServicePolicy, ShedError, ShedQuery
+from repro.serve.policy import SHED_QUEUE_FULL, SHED_STRETCH
+from repro.serve.request import QueryRequest, ServedQuery
+from repro.serve.scheduler import ContentionScheduler
+
+
+def _phase(seconds, occupancy=None, label="work"):
+    occupancy = (
+        occupancy if occupancy is not None else {"mem:cpu0-mem": seconds}
+    )
+    bottleneck = (
+        max(occupancy, key=occupancy.get) if occupancy else "(none)"
+    )
+    return PhaseCost(
+        seconds=seconds,
+        bottleneck=bottleneck,
+        occupancy=occupancy,
+        label=label,
+    )
+
+
+def _query(request_id, arrival, phases):
+    return ServedQuery(
+        request=QueryRequest(
+            request_id=request_id,
+            tenant="alpha",
+            workload="synthetic",
+            machine="ibm-ac922",
+            arrival=arrival,
+        ),
+        phases=phases,
+        solo_seconds=sum(p.seconds for p in phases),
+    )
+
+
+class TestQueueShedding:
+    def test_zero_depth_queue_sheds_second_query(self):
+        policy = ServicePolicy(max_active=1, queue_depth=0)
+        queries = [
+            _query(0, 0.0, [_phase(1.0)]),
+            _query(1, 0.0, [_phase(1.0)]),
+        ]
+        outcome = ContentionScheduler().run(queries, policy=policy)
+        assert [q.request.request_id for q in outcome.finished] == [0]
+        assert len(outcome.shed) == 1
+        shed = outcome.shed[0]
+        assert shed.request.request_id == 1
+        assert shed.reason == SHED_QUEUE_FULL
+        assert shed.at == pytest.approx(0.0)
+        assert outcome.accounted() == 2
+
+    def test_bounded_queue_admits_up_to_depth(self):
+        policy = ServicePolicy(max_active=1, queue_depth=1)
+        queries = [_query(i, 0.0, [_phase(1.0)]) for i in range(3)]
+        outcome = ContentionScheduler().run(queries, policy=policy)
+        assert [q.request.request_id for q in outcome.finished] == [0, 1]
+        assert [s.request.request_id for s in outcome.shed] == [2]
+        # FIFO: the queued query runs after the first finishes.
+        assert queries[0].finish == pytest.approx(1.0)
+        assert queries[1].start == pytest.approx(1.0)
+        assert queries[1].finish == pytest.approx(2.0)
+
+    def test_queue_drains_so_later_arrivals_are_admitted(self):
+        policy = ServicePolicy(max_active=1, queue_depth=1)
+        queries = [
+            _query(0, 0.0, [_phase(1.0)]),
+            _query(1, 0.0, [_phase(1.0)]),
+            _query(2, 1.5, [_phase(1.0)]),  # arrives after q0 finished
+        ]
+        outcome = ContentionScheduler().run(queries, policy=policy)
+        assert len(outcome.finished) == 3
+        assert not outcome.shed
+
+
+class TestStretchShedding:
+    def test_stretch_above_limit_sheds(self):
+        # three identical saturating queries: the second would run at
+        # stretch 2.0, the third at 3.0.  A limit of 2.5 admits the
+        # second and sheds the third.
+        policy = ServicePolicy(stretch_limit=2.5)
+        queries = [_query(i, 0.0, [_phase(1.0)]) for i in range(3)]
+        outcome = ContentionScheduler().run(queries, policy=policy)
+        assert [q.request.request_id for q in outcome.finished] == [0, 1]
+        shed = outcome.shed[0]
+        assert shed.request.request_id == 2
+        assert shed.reason == SHED_STRETCH
+        # detail carries the predicted stretch: q2 against two actives.
+        assert shed.detail == pytest.approx(3.0)
+
+    def test_disjoint_queries_never_stretch_shed(self):
+        policy = ServicePolicy(stretch_limit=1.5)
+        queries = [
+            _query(0, 0.0, [_phase(1.0, {"a": 1.0})]),
+            _query(1, 0.0, [_phase(1.0, {"b": 1.0})]),
+        ]
+        outcome = ContentionScheduler().run(queries, policy=policy)
+        assert len(outcome.finished) == 2
+        assert not outcome.shed
+
+    def test_first_query_on_idle_machine_never_shed(self):
+        policy = ServicePolicy(stretch_limit=1.0)
+        query = _query(0, 0.0, [_phase(1.0)])
+        outcome = ContentionScheduler().run([query], policy=policy)
+        assert len(outcome.finished) == 1
+
+
+class TestShedSurface:
+    def test_shed_query_describe_and_error(self):
+        shed = ShedQuery(
+            request=QueryRequest(
+                request_id=3,
+                tenant="alpha",
+                workload="q6",
+                machine="ibm-ac922",
+                arrival=1.0,
+            ),
+            reason=SHED_QUEUE_FULL,
+            detail=0.0,
+            at=1.0,
+        )
+        assert "queue_full" in shed.describe()
+        error = shed.as_error()
+        assert isinstance(error, ShedError)
+        assert "queue_full" in str(error)
+
+    def test_service_queue_shed_reported_and_conserved(self):
+        service = QueryService(
+            policy=ServicePolicy(max_active=1, queue_depth=0)
+        )
+        for _ in range(4):
+            service.submit("alpha", "q6", 0.0)
+        report = service.serve()
+        counts = report.outcome_counts()
+        assert counts["finished"] == 1
+        assert counts["shed"] == 3
+        for shed in report.shed:
+            assert shed.reason == SHED_QUEUE_FULL
+        assert report.conservation(4)
+        service.admission.audit()
+
+    def test_service_stretch_shed_uses_solo_cost(self):
+        service = QueryService(
+            policy=ServicePolicy(stretch_limit=1.5)
+        )
+        for _ in range(3):
+            service.submit("alpha", "q6", 0.0)
+        report = service.serve()
+        counts = report.outcome_counts()
+        assert counts["finished"] == 1
+        assert counts["shed"] == 2
+        for shed in report.shed:
+            assert shed.reason == SHED_STRETCH
+        # the survivor ran contention-free.
+        survivor = report.served[0]
+        assert survivor.latency == pytest.approx(survivor.solo_seconds)
+
+    def test_shed_recorded_in_resilience_section(self):
+        service = QueryService(
+            policy=ServicePolicy(max_active=1, queue_depth=0)
+        )
+        service.submit("alpha", "q6", 0.0)
+        service.submit("alpha", "q6", 0.0)
+        report = service.serve()
+        assert report.resilience is not None
+        events = [
+            e for e in report.resilience["events"] if e["action"] == "shed"
+        ]
+        assert len(events) == 1
+        assert report.resilience["counters"]["shed"] == 1
+
+    def test_shed_requests_live_in_their_own_bucket(self):
+        service = QueryService(
+            policy=ServicePolicy(max_active=1, queue_depth=0)
+        )
+        service.submit("alpha", "q6", 0.0)
+        doomed = service.submit("alpha", "q6", 0.0)
+        report = service.serve()
+        # shed requests never ran, so query() (terminated queries with
+        # manifests) does not return them; they live in report.shed.
+        assert report.query(doomed.request_id) is None
+        shed_ids = [s.request.request_id for s in report.shed]
+        assert shed_ids == [doomed.request_id]
+        assert isinstance(report.shed[0], ShedQuery)

@@ -177,3 +177,74 @@ class TestRunUntilClockSemantics:
         sim.schedule(2.5, lambda s: fired.append(s.now))
         assert sim.run(until=2.5) == 2.5
         assert fired == [2.5]
+
+
+class TestCancellableEvents:
+    """Events can be revoked before they fire (serving deadlines)."""
+
+    def test_cancelled_event_never_fires(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda s: fired.append("dead"))
+        sim.schedule(2.0, lambda s: fired.append("live"))
+        assert sim.cancel_event(event) is True
+        sim.run()
+        assert fired == ["live"]
+
+    def test_cancelled_event_does_not_advance_the_clock(self):
+        sim = Simulator()
+        event = sim.schedule(10.0, lambda s: None)
+        sim.schedule(1.0, lambda s: None)
+        sim.cancel_event(event)
+        assert sim.run() == 1.0
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        sim.run()
+        assert sim.cancel_event(event) is False
+
+    def test_double_cancel_returns_false(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        assert sim.cancel_event(event) is True
+        assert sim.cancel_event(event) is False
+
+    def test_pending_excludes_cancelled_events(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        assert sim.pending == 2
+        sim.cancel_event(event)
+        assert sim.pending == 1
+
+    def test_cancel_from_within_a_callback(self):
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(5.0, lambda s: fired.append("doomed"))
+        sim.schedule(1.0, lambda s: s.cancel_event(doomed))
+        sim.run()
+        assert fired == []
+        assert sim.now == 1.0
+
+    def test_cancelled_head_does_not_mask_later_event_under_until(self):
+        # A cancelled event before `until` must not let run(until=T)
+        # fire a live event scheduled beyond T.
+        sim = Simulator()
+        fired = []
+        dead = sim.schedule(1.0, lambda s: fired.append("dead"))
+        sim.schedule(10.0, lambda s: fired.append("late"))
+        sim.cancel_event(dead)
+        assert sim.run(until=2.0) == 2.0
+        assert fired == []
+        assert sim.pending == 1
+
+    def test_step_skips_cancelled_events(self):
+        sim = Simulator()
+        fired = []
+        dead = sim.schedule(1.0, lambda s: fired.append("dead"))
+        sim.schedule(2.0, lambda s: fired.append("live"))
+        sim.cancel_event(dead)
+        assert sim.step() is True
+        assert fired == ["live"]
+        assert sim.step() is False
